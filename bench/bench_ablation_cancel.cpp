@@ -1,0 +1,116 @@
+//===- bench_ablation_cancel.cpp - Cancellation & memoization ablations ----===//
+//
+// Quantifies the two Section 6 claims:
+//
+//  1. Cancellation saves work: a speculative search where one branch
+//     finds the answer early; without cancel the loser "runs to
+//     completion ... needlessly using up cycles", with cancel it stops at
+//     the next poll point. We count leaf evaluations actually executed.
+//
+//  2. Memoized work survives cancellation (getMemoRO): repeated queries
+//     against a memo table evaluate each unique key once, even when the
+//     requesting branches are cancelled.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/LVish.h"
+#include "src/data/Counter.h"
+#include "src/trans/Cancel.h"
+#include "src/trans/Memo.h"
+
+#include <atomic>
+#include <cstdio>
+
+using namespace lvish;
+
+namespace {
+
+std::atomic<long> WorkDone{0};
+
+/// A slow speculative worker: processes Chunks units, yielding between
+/// units (each yield is a cancellation poll point).
+Par<int> slowWorker(ParCtx<Eff::ReadOnly> C, int Chunks) {
+  for (int I = 0; I < Chunks; ++I) {
+    for (int Spin = 0; Spin < 200000; ++Spin)
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+    WorkDone.fetch_add(1, std::memory_order_relaxed);
+    co_await yield(C);
+  }
+  co_return Chunks;
+}
+
+/// Runs the race: a fast branch finishes immediately; the slow branch
+/// would process \p SlowChunks units. Returns units actually executed.
+long raceOnce(bool UseCancel, int SlowChunks) {
+  WorkDone.store(0);
+  runParIO<Eff::FullIO>(
+      [&](ParCtx<Eff::FullIO> Ctx) -> Par<void> {
+        auto Slow = forkCancelable(
+            Ctx, [SlowChunks](ParCtx<Eff::ReadOnly> C) -> Par<int> {
+              int V = co_await slowWorker(C, SlowChunks);
+              co_return V;
+            });
+        // The "fast branch": takes a little while to decide, so the
+        // speculative branch makes real progress before the cancel lands.
+        for (int I = 0; I < 40; ++I)
+          co_await yield(Ctx);
+        if (UseCancel)
+          cancel(Ctx, Slow);
+        co_return;
+      },
+      SchedulerConfig{2});
+  return WorkDone.load();
+}
+
+} // namespace
+
+int main() {
+  constexpr int SlowChunks = 200;
+
+  std::printf("== Ablation: transitive cancellation (Section 6.1) ==\n");
+  long Without = raceOnce(/*UseCancel=*/false, SlowChunks);
+  long With = raceOnce(/*UseCancel=*/true, SlowChunks);
+  std::printf("speculative units executed: without cancel = %ld / %d, "
+              "with cancel = %ld / %d\n",
+              Without, SlowChunks, With, SlowChunks);
+  std::printf("work saved by cancellation: %.1f%%  (paper: the loser "
+              "branch 'needlessly uses up cycles' without it)\n",
+              100.0 * (Without - With) / static_cast<double>(Without));
+
+  std::printf("\n== Ablation: memo tables under cancellation "
+              "(Section 6.2) ==\n");
+  std::atomic<int> Evaluations{0};
+  int Queries = 64;
+  runParIO<Eff::FullIO>(
+      [&](ParCtx<Eff::FullIO> Ctx) -> Par<void> {
+        auto M = makeMemo<int>(
+            Ctx, [&Evaluations](ParCtx<Eff::ReadOnly> C, int K) -> Par<int> {
+              Evaluations.fetch_add(1);
+              co_return K * K;
+            });
+        // Many cancellable branches all asking for the same few keys.
+        std::vector<CFuture<int>> Futures;
+        for (int I = 0; I < Queries; ++I) {
+          auto Fut = forkCancelable(
+              Ctx, [M, I](ParCtx<Eff::ReadOnly> C) -> Par<int> {
+                int V = co_await getMemoRO(C, M, I % 8);
+                co_return V;
+              });
+          Futures.push_back(Fut);
+        }
+        // Wait for the memo table to fill, then cancel every branch.
+        for (int K = 0; K < 8; ++K) {
+          int V = co_await getMemo(Ctx, M, K);
+          (void)V;
+        }
+        for (auto &F : Futures)
+          cancel(Ctx, F);
+        co_return;
+      },
+      SchedulerConfig{2});
+  std::printf("%d queries over 8 unique keys from cancellable branches -> "
+              "%d evaluations (paper: 'learn something from a computation "
+              "that never happened')\n",
+              Queries, Evaluations.load());
+  return Evaluations.load() == 8 ? 0 : 1;
+}

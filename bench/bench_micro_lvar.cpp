@@ -1,0 +1,171 @@
+//===- bench_micro_lvar.cpp - LVar primitive micro-benchmarks --------------===//
+//
+// google-benchmark micro-measurements of the primitives the paper's
+// engineering notes discuss: lub puts, threshold gets, non-idempotent
+// bumps (Section 3's single-memory-location counter), monotone hash-table
+// inserts, and the footnote-6 asymmetric gate versus a plain mutex on the
+// put fast path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/LVish.h"
+#include "src/data/Counter.h"
+#include "src/data/IMap.h"
+#include "src/data/ISet.h"
+#include "src/data/MonotoneHashMap.h"
+#include "src/support/AsymmetricGate.h"
+
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+using namespace lvish;
+
+namespace {
+
+constexpr EffectSet D = Eff::Det;
+constexpr EffectSet DB = Eff::DetBump;
+
+void BM_IVarPutGetRoundTrip(benchmark::State &State) {
+  Scheduler Sched(SchedulerConfig{1});
+  for (auto _ : State) {
+    int R = runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<int> {
+      auto IV = newIVar<int>(Ctx);
+      put(Ctx, *IV, 1);
+      int V = co_await get(Ctx, *IV);
+      co_return V;
+    });
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_IVarPutGetRoundTrip);
+
+void BM_ForkJoin(benchmark::State &State) {
+  Scheduler Sched(SchedulerConfig{1});
+  for (auto _ : State) {
+    runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
+      auto IV = newIVar<int>(Ctx);
+      fork(Ctx, [IV](ParCtx<D> C) -> Par<void> {
+        put(C, *IV, 1);
+        co_return;
+      });
+      int V = co_await get(Ctx, *IV);
+      benchmark::DoNotOptimize(V);
+      co_return;
+    });
+  }
+}
+BENCHMARK(BM_ForkJoin);
+
+void BM_CounterBump(benchmark::State &State) {
+  Scheduler Sched(SchedulerConfig{1});
+  for (auto _ : State) {
+    uint64_t R = runParIOOn<Eff::FullIO>(
+        Sched, [](ParCtx<Eff::FullIO> Ctx) -> Par<uint64_t> {
+          auto C = newCounter(Ctx);
+          for (int I = 0; I < 1000; ++I)
+            incrCounter(Ctx, *C);
+          co_return freezeCounter(Ctx, *C);
+        });
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(State.iterations() * 1000);
+}
+BENCHMARK(BM_CounterBump);
+
+void BM_ISetInsertFresh(benchmark::State &State) {
+  Scheduler Sched(SchedulerConfig{1});
+  for (auto _ : State) {
+    runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
+      auto S = newISet<int>(Ctx);
+      for (int I = 0; I < 1000; ++I)
+        insert(Ctx, *S, I);
+      co_return;
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * 1000);
+}
+BENCHMARK(BM_ISetInsertFresh);
+
+void BM_ISetInsertDuplicate(benchmark::State &State) {
+  // Idempotent re-put: the lub fast path.
+  Scheduler Sched(SchedulerConfig{1});
+  for (auto _ : State) {
+    runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
+      auto S = newISet<int>(Ctx);
+      insert(Ctx, *S, 7);
+      for (int I = 0; I < 1000; ++I)
+        insert(Ctx, *S, 7);
+      co_return;
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * 1000);
+}
+BENCHMARK(BM_ISetInsertDuplicate);
+
+void BM_MonotoneHashMapInsert(benchmark::State &State) {
+  for (auto _ : State) {
+    MonotoneHashMap<int, int> M;
+    for (int I = 0; I < 1000; ++I)
+      benchmark::DoNotOptimize(M.insert(I, I));
+  }
+  State.SetItemsProcessed(State.iterations() * 1000);
+}
+BENCHMARK(BM_MonotoneHashMapInsert);
+
+void BM_MonotoneHashMapFind(benchmark::State &State) {
+  MonotoneHashMap<int, int> M;
+  for (int I = 0; I < 1000; ++I)
+    M.insert(I, I);
+  int I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(M.find(I++ % 1000));
+  }
+}
+BENCHMARK(BM_MonotoneHashMapFind);
+
+// Footnote 6: the asymmetric gate's put fast path vs. a plain mutex.
+void BM_AsymmetricGateFastPath(benchmark::State &State) {
+  AsymmetricGate Gate;
+  for (auto _ : State) {
+    AsymmetricGate::FastGuard Guard(Gate);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_AsymmetricGateFastPath);
+
+void BM_PlainMutexBaseline(benchmark::State &State) {
+  std::mutex Mu;
+  for (auto _ : State) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_PlainMutexBaseline);
+
+void BM_PureLVarPut(benchmark::State &State) {
+  Scheduler Sched(SchedulerConfig{1});
+  for (auto _ : State) {
+    runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
+      auto LV = newPureLVar<MaxUint64Lattice>(Ctx);
+      for (unsigned long long I = 0; I < 1000; ++I)
+        putPureLVar(Ctx, *LV, I);
+      co_return;
+    });
+  }
+  State.SetItemsProcessed(State.iterations() * 1000);
+}
+BENCHMARK(BM_PureLVarPut);
+
+void BM_SessionStartup(benchmark::State &State) {
+  // Cost of an empty runPar session on a persistent scheduler.
+  Scheduler Sched(SchedulerConfig{1});
+  for (auto _ : State) {
+    runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> { co_return; });
+  }
+}
+BENCHMARK(BM_SessionStartup);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+//===- bench_table1_phybin.cpp - Table 1: PhyBin performance comparison ----===//
+//
+// Regenerates Table 1 of the paper:
+//
+//   Trees   Species   | PhyBin  DendroPy      (100-tree set)
+//   100     150       | 0.269   22.1
+//   1000    150       | PhyBin 1,2,4,8 core: 4.7 3 1.9 1.4 | Phylip 12.8 |
+//                       HashRF 1.7
+//
+// Stand-ins (see DESIGN.md): DendroPy/Phylip = rfNaivePairwise (N^2/2 full
+// metric applications, recomputing bipartitions per pair); HashRF =
+// rfHashRFSequential; PhyBin = the LVish-parallel rfHashRFParallel. The
+// paper's biological inputs are replaced by seeded NNI-mutated tree sets
+// of the same dimensions. Multi-core points are simulated from the
+// recorded task DAG (this container has one CPU); the 1-core point is a
+// real measurement.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/kernels/Harness.h"
+#include "src/phybin/RFDistance.h"
+#include "src/phybin/TreeGen.h"
+#include "src/sim/Simulator.h"
+#include "src/support/Timer.h"
+
+#include <cstdio>
+
+using namespace lvish;
+using namespace lvish::phybin;
+
+namespace {
+
+struct Row {
+  size_t Trees;
+  size_t Species;
+  double NaiveSec;    // DendroPy/Phylip stand-in.
+  double HashRFSec;   // Sequential HashRF stand-in.
+  double PhyBin1Sec;  // Real 1-core parallel-PhyBin time.
+  double Sim[4];      // Simulated times at 1, 2, 4, 8 cores.
+};
+
+Row runScale(size_t NumTrees, size_t NumSpecies, int Reps) {
+  Row R{};
+  R.Trees = NumTrees;
+  R.Species = NumSpecies;
+  TreeSet TS = generateTreeSet(NumTrees, NumSpecies,
+                               /*MutationsPerTree=*/6, /*Seed=*/20140609);
+
+  R.NaiveSec = medianSeconds([&] { rfNaivePairwise(TS); }, Reps);
+  R.HashRFSec = medianSeconds([&] { rfHashRFSequential(TS); }, Reps);
+
+  {
+    Scheduler Sched(SchedulerConfig{1});
+    R.PhyBin1Sec =
+        medianSeconds([&] { rfHashRFParallelOn(Sched, TS); }, Reps);
+  }
+  {
+    SchedulerConfig Cfg;
+    Cfg.NumWorkers = 1;
+    Cfg.EnableTracing = true;
+    Scheduler Sched(Cfg);
+    rfHashRFParallelOn(Sched, TS);
+    sim::TaskGraph G = sim::TaskGraph::fromTrace(*Sched.trace());
+    sim::MachineModel Model;
+    unsigned Cores[4] = {1, 2, 4, 8};
+    double Base = sim::simulate(G, 1, Model).MakespanSeconds;
+    double Scale = Base > 0 ? R.PhyBin1Sec / Base : 1.0;
+    for (int I = 0; I < 4; ++I)
+      R.Sim[I] =
+          sim::simulate(G, Cores[I], Model).MakespanSeconds * Scale;
+  }
+
+  // Cross-check correctness while we are here.
+  if (!(rfHashRFSequential(TS) == rfHashRFParallel(TS, SchedulerConfig{2})))
+    std::fprintf(stderr, "ERROR: implementations disagree!\n");
+  return R;
+}
+
+void printRow(const Row &R) {
+  std::printf("%-6zu %-8zu | naive(DendroPy/Phylip-class): %7.3fs | "
+              "HashRF: %7.3fs | PhyBin-par 1 core (real): %7.3fs\n",
+              R.Trees, R.Species, R.NaiveSec, R.HashRFSec, R.PhyBin1Sec);
+  std::printf("%-6s %-8s |   PhyBin 1,2,4,8 core (simulated): "
+              "%.3f  %.3f  %.3f  %.3f   (speedup at 8: %.2fx)\n",
+              "", "", R.Sim[0], R.Sim[1], R.Sim[2], R.Sim[3],
+              R.Sim[3] > 0 ? R.Sim[0] / R.Sim[3] : 0.0);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Table 1: PhyBin performance comparison "
+              "(synthetic tree sets; see DESIGN.md substitutions) ==\n");
+  std::printf("%-6s %-8s\n", "Trees", "Species");
+  Row Small = runScale(100, 150, 3);
+  printRow(Small);
+  Row Large = runScale(1000, 150, 1);
+  printRow(Large);
+
+  std::printf("\nPaper's shape checks:\n");
+  std::printf("  naive/HashRF ratio (paper: 'dozens or hundreds of times "
+              "faster'): %.0fx (small), %.0fx (large)\n",
+              Small.NaiveSec / Small.HashRFSec,
+              Large.NaiveSec / Large.HashRFSec);
+  std::printf("  HashRF vs parallel-PhyBin@1: %.2fx (paper: HashRF 2-3x "
+              "faster than PhyBin)\n",
+              Large.PhyBin1Sec / Large.HashRFSec);
+  std::printf("  PhyBin 8-core speedup (paper: 3.35x): %.2fx\n",
+              Large.Sim[0] / Large.Sim[3]);
+  return 0;
+}

@@ -1,0 +1,107 @@
+//===- parallel_and.cpp - Section 2's asyncAnd with cancellation -----------===//
+//
+// The paper's running example: a tree of parallel logical-"and"
+// computations over an AndLV (the Figure 1 lattice), short-circuiting as
+// soon as any false arrives - here over the paper's "100 trivial boolean
+// computations":
+//
+//   main = print (runPar
+//     foldr asyncAnd (return True)
+//     (concat (replicate 100 [return True, return False])))
+//
+// The second half demonstrates Section 6.1: the same search with
+// forkCancelable, where discovering the answer cancels the still-running
+// sibling (counted by how many leaves actually evaluate).
+//
+// Run: build/examples/parallel_and
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/LVish.h"
+#include "src/data/AndLV.h"
+#include "src/trans/Cancel.h"
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+using namespace lvish;
+
+namespace {
+
+constexpr EffectSet D = Eff::Det;
+
+std::atomic<int> LeavesRun{0};
+
+bool foldAsyncAnd() {
+  return runPar<D>(
+      [](ParCtx<D> Ctx) -> Par<bool> {
+        std::vector<std::function<Par<bool>(ParCtx<D>)>> Ms;
+        for (int I = 0; I < 100; ++I) {
+          Ms.push_back([](ParCtx<D> C) -> Par<bool> {
+            LeavesRun.fetch_add(1, std::memory_order_relaxed);
+            co_return true;
+          });
+          Ms.push_back([](ParCtx<D> C) -> Par<bool> {
+            LeavesRun.fetch_add(1, std::memory_order_relaxed);
+            co_return false;
+          });
+        }
+        bool R = co_await asyncAndTree<D>(Ctx, Ms);
+        co_return R;
+      },
+      SchedulerConfig{4});
+}
+
+/// The cancellation variant: two read-only branches race to evaluate
+/// halves of the tree; when the conjunction is already decided, the other
+/// branch is cancelled mid-flight (the paper's motivation for CancelT:
+/// without it the loser "runs to completion ... needlessly using up
+/// cycles").
+bool cancellableAnd(int &UnitsExecuted) {
+  std::atomic<int> Units{0};
+  bool R = runParIO<Eff::FullIO>(
+      [&Units](ParCtx<Eff::FullIO> Ctx) -> Par<bool> {
+        // Slow branch: many yields (poll points) before concluding true.
+        auto Slow = forkCancelable(
+            Ctx, [&Units](ParCtx<Eff::ReadOnly> C) -> Par<bool> {
+              for (int I = 0; I < 1000; ++I) {
+                Units.fetch_add(1, std::memory_order_relaxed);
+                co_await yield(C);
+              }
+              co_return true;
+            });
+        // Fast branch: concludes false after a short while - the "and"
+        // is then decided and the speculative branch becomes useless.
+        for (int I = 0; I < 30; ++I)
+          co_await yield(Ctx);
+        bool Fast = false;
+        if (!Fast) {
+          cancel(Ctx, Slow); // The slow branch's work is now useless.
+          co_return false;
+        }
+        bool SlowV = co_await readCFuture(Ctx, Slow);
+        co_return Fast && SlowV;
+      },
+      SchedulerConfig{2});
+  UnitsExecuted = Units.load();
+  return R;
+}
+
+} // namespace
+
+int main() {
+  bool R1 = foldAsyncAnd();
+  std::printf("asyncAnd over 200 computations (100 true, 100 false): %s "
+              "(%d leaves ran)\n",
+              R1 ? "True" : "False", LeavesRun.load());
+
+  int Units = 0;
+  bool R2 = cancellableAnd(Units);
+  std::printf("cancellable and: %s, speculative units executed: %d/1000 "
+              "(cancel stopped the loser early)\n",
+              R2 ? "True" : "False", Units);
+
+  return (!R1 && !R2 && Units < 1000) ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+//===- Effects.h - Static effect tracking for Par ---------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's fine-grained effect tracking (Section 3): a Par computation
+/// is indexed by "a type-level encoding of booleans indicating whether or
+/// not writes, reads, non-idempotent (bump), or non-deterministic (IO)
+/// operations are allowed to run inside it". Haskell encodes this with a
+/// phantom type parameter and constraints like `HasPut e`. Here the same
+/// switches live in an \c EffectSet non-type template parameter on the
+/// capability token \c ParCtx<E>; every effectful operation requires the
+/// corresponding bit via a `requires` clause, so a read-only computation
+/// that tries to \c put fails to compile, exactly as in LVish 2.x.
+///
+/// The \c ST bit corresponds to the paper's Section 5 rule that "a given
+/// Par monad can either have the ST feature, or not": \c ParST state can
+/// only be introduced once, which \c runParST enforces by setting the bit
+/// at the boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_CORE_EFFECTS_H
+#define LVISH_CORE_EFFECTS_H
+
+namespace lvish {
+
+/// A set of effect switches; a structural literal type so it can be used as
+/// a non-type template parameter.
+struct EffectSet {
+  bool Put = false;    ///< Least-upper-bound LVar writes.
+  bool Get = false;    ///< Blocking threshold reads.
+  bool Bump = false;   ///< Non-idempotent inflationary updates.
+  bool Freeze = false; ///< Exact (quasi-deterministic) reads.
+  bool IO = false;     ///< Arbitrary nondeterminism (cancel of effectful
+                       ///< children, timing observations, ...).
+  bool ST = false;     ///< Disjoint destructive state (ParST).
+
+  /// True iff a context with this effect set may be used where \p O is
+  /// required (every switch \p O demands is present here).
+  constexpr bool subsumes(EffectSet O) const {
+    return (!O.Put || Put) && (!O.Get || Get) && (!O.Bump || Bump) &&
+           (!O.Freeze || Freeze) && (!O.IO || IO) && (!O.ST || ST);
+  }
+
+  friend constexpr bool operator==(EffectSet A, EffectSet B) {
+    return A.Put == B.Put && A.Get == B.Get && A.Bump == B.Bump &&
+           A.Freeze == B.Freeze && A.IO == B.IO && A.ST == B.ST;
+  }
+
+  /// Union of two effect sets.
+  friend constexpr EffectSet operator|(EffectSet A, EffectSet B) {
+    return EffectSet{A.Put || B.Put,       A.Get || B.Get,
+                     A.Bump || B.Bump,     A.Freeze || B.Freeze,
+                     A.IO || B.IO,         A.ST || B.ST};
+  }
+};
+
+/// Common effect levels, named after the paper's idioms.
+namespace Eff {
+/// Pure deterministic Par: puts and gets only. `runPar` accepts this.
+inline constexpr EffectSet Det{true, true, false, false, false, false};
+/// Deterministic plus non-idempotent bumps (Section 3).
+inline constexpr EffectSet DetBump{true, true, true, false, false, false};
+/// Read-only: what forkCancelable requires of its child (Section 6.1).
+inline constexpr EffectSet ReadOnly{false, true, false, false, false, false};
+/// Write-only ("blind"): what DeadlockT requires of its children.
+inline constexpr EffectSet WriteOnly{true, false, false, false, false, false};
+/// Quasi-deterministic: freezing during the computation is allowed.
+inline constexpr EffectSet QuasiDet{true, true, false, true, false, false};
+/// Deterministic plus disjoint destructive state (Section 5).
+inline constexpr EffectSet DetST{true, true, false, false, false, true};
+/// Everything, including nondeterminism; `runParIO` territory.
+inline constexpr EffectSet FullIO{true, true, true, true, true, true};
+} // namespace Eff
+
+// Readability helpers for `requires` clauses; e.g.
+//   template <EffectSet E> requires (hasPut(E)) void put(ParCtx<E>, ...);
+constexpr bool hasPut(EffectSet E) { return E.Put; }
+constexpr bool hasGet(EffectSet E) { return E.Get; }
+constexpr bool hasBump(EffectSet E) { return E.Bump; }
+constexpr bool hasFreeze(EffectSet E) { return E.Freeze; }
+constexpr bool hasIO(EffectSet E) { return E.IO; }
+constexpr bool hasST(EffectSet E) { return E.ST; }
+constexpr bool noFreeze(EffectSet E) { return !E.Freeze; }
+constexpr bool noIO(EffectSet E) { return !E.IO; }
+constexpr bool readOnly(EffectSet E) {
+  return !E.Put && !E.Bump && !E.Freeze && !E.IO && !E.ST;
+}
+
+} // namespace lvish
+
+#endif // LVISH_CORE_EFFECTS_H

@@ -1,0 +1,121 @@
+//===- HandlerPool.h - Event handlers and quiescence ------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Handler pools: LVish lets a program "register latent event handlers
+/// that run when puts that change the state of an LVar occur ... these are
+/// equivalent to an implicit set of functions blocked on gets" (Section 2,
+/// footnote 3). A pool groups handler invocations so that \c quiesce can
+/// block until the entire cascade they trigger has drained - the pattern
+/// behind the graph-traversal example in the paper's appendix.
+///
+/// Any LVar data structure exposing
+///   using DeltaType = ...;
+///   void addHandlerRaw(std::function<void(const DeltaType&)>, Task*);
+/// plugs into \c addHandler below; this is the "general data-structure /
+/// scheduler interface" role that \c ParLVar plays in Section 4's
+/// independent-extensibility discussion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_CORE_HANDLERPOOL_H
+#define LVISH_CORE_HANDLERPOOL_H
+
+#include "src/core/Par.h"
+#include "src/sched/TaskScope.h"
+
+#include <memory>
+
+namespace lvish {
+
+/// Groups handler invocations for quiescence; see file comment.
+class HandlerPool {
+public:
+  HandlerPool() : Scope(TaskScope::Mode::Live) {}
+
+  /// Counts every handler task spawned under this pool, including the
+  /// tasks they transitively fork.
+  TaskScope Scope;
+};
+
+/// Allocates a handler pool for the current session.
+template <EffectSet E> std::shared_ptr<HandlerPool> newPool(ParCtx<E> Ctx) {
+  (void)Ctx;
+  return std::make_shared<HandlerPool>();
+}
+
+/// Registers \p Callback (signature `Par<void>(ParCtx<E>, const Delta&)`)
+/// to run, as a freshly forked task counted by \p Pool, for the LVar's
+/// current contents and for every subsequent change.
+///
+/// Ownership note: the callback is stored inside the LVar for the LVar's
+/// whole lifetime. A handler that refers to its *own* LVar (the fixpoint
+/// idiom, e.g. graph traversal) must capture a non-owning pointer or
+/// reference - capturing the shared_ptr would create a reference cycle
+/// that Haskell's GC would collect but C++ cannot.
+template <EffectSet E, typename LVarT, typename F>
+void addHandler(ParCtx<E> Ctx, std::shared_ptr<HandlerPool> Pool, LVarT &LV,
+                F Callback) {
+  using Delta = typename LVarT::DeltaType;
+  static_assert(
+      std::is_invocable_r_v<Par<void>, F, ParCtx<E>, const Delta &>,
+      "handler callback must be callable as Par<void>(ParCtx<E>, Delta)");
+  Scheduler *Sched = Ctx.sched();
+  LV.addHandlerRaw(
+      [Sched, Pool, Callback](const Delta &D) {
+        // Runs synchronously inside the put (or registration); spawn the
+        // user callback as its own task so the put does not block.
+        Task *Spawner = Scheduler::currentTask();
+        Par<void> Body = detail::forkBody<E>(
+            [Callback, D](ParCtx<E> C) -> Par<void> {
+              co_await Callback(C, D);
+            });
+        Task *T = detail::installTaskRoot(*Sched, std::move(Body), Spawner);
+        T->Scopes.push_back(&Pool->Scope);
+        T->Keepalives.push_back(Pool); // Scope must outlive the task.
+        Pool->Scope.enter();
+        Sched->schedule(T);
+      },
+      Ctx.task());
+}
+
+/// Awaitable that blocks until every handler task in the pool (and
+/// everything those tasks forked) has finished: LVish's `quiesce`.
+class QuiesceAwaiter {
+public:
+  QuiesceAwaiter(std::shared_ptr<HandlerPool> P, Task *T)
+      : Pool(std::move(P)), Tsk(T) {}
+
+  bool await_ready() const noexcept { return false; }
+
+  bool await_suspend(std::coroutine_handle<> H) {
+    if (Tsk->isCancelled()) {
+      Tsk->Sched->deferRetire(Tsk);
+      return true;
+    }
+    Tsk->Resume = H;
+    return Pool->Scope.parkUntilDrained(Tsk);
+  }
+
+  void await_resume() const noexcept {}
+
+private:
+  std::shared_ptr<HandlerPool> Pool;
+  Task *Tsk;
+};
+
+/// Blocks until \p Pool has drained. The caller must not itself be a
+/// handler task of the same pool (it could then never drain).
+template <EffectSet E>
+  requires(hasGet(E))
+QuiesceAwaiter quiesce(ParCtx<E> Ctx, std::shared_ptr<HandlerPool> Pool) {
+  return QuiesceAwaiter(std::move(Pool), Ctx.task());
+}
+
+} // namespace lvish
+
+#endif // LVISH_CORE_HANDLERPOOL_H

@@ -1,0 +1,147 @@
+//===- IVar.h - Single-assignment variables ---------------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IVars: single-assignment variables with blocking read semantics (Arvind
+/// et al.'s I-structures), "a special case of LVars, corresponding to a
+/// lattice with one empty and multiple full states, where
+/// forall i. empty < full_i". A second put with a *different* value hits
+/// top and is a deterministic error; re-putting an equal value is the
+/// idempotent lub and is allowed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_CORE_IVAR_H
+#define LVISH_CORE_IVAR_H
+
+#include "src/core/LVarBase.h"
+#include "src/core/Par.h"
+
+#include <memory>
+#include <optional>
+
+namespace lvish {
+
+/// Single-assignment LVar; see file comment. Construct via \c newIVar.
+template <typename T> class IVar : public LVarBase {
+public:
+  explicit IVar(uint64_t SessionId) : LVarBase(SessionId) {}
+
+  /// Lub write: empty -> full(V). Full(V) -> full(V) is a no-op; a
+  /// conflicting value is a deterministic error (lattice top).
+  void putValue(const T &V, Task *Writer) {
+    checkSession(Writer);
+    {
+      std::lock_guard<std::mutex> Lock(WaitMutex);
+      if (Full) {
+        if constexpr (std::equality_comparable<T>) {
+          if (*Slot == V)
+            return; // Idempotent repeat of the same write.
+        }
+        fatalError("multiple put to an IVar with conflicting values "
+                   "(lattice top reached)");
+      }
+      if (isFrozen())
+        putAfterFreezeError();
+      Slot.emplace(V);
+      Full = true;
+    }
+    notifyWaiters(Writer);
+  }
+
+  /// Non-blocking peek used by freezing reads and tests. Only deterministic
+  /// after a freeze or at session quiescence.
+  std::optional<T> peek() const {
+    std::lock_guard<std::mutex> Lock(WaitMutex);
+    return Full ? Slot : std::nullopt;
+  }
+
+  /// Blocking threshold read: unblocks once full.
+  class GetAwaiter {
+  public:
+    GetAwaiter(IVar &V, Task *Reader) : Var(V), Tsk(Reader) {}
+
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> H) {
+      return Var.parkGet(Tsk, H, this);
+    }
+    T await_resume() { return std::move(*Out); }
+
+    /// Called under WaitMutex by parkGet/notifyWaiters.
+    bool tryCapture() {
+      if (!Var.Full)
+        return false;
+      Out = Var.Slot; // Copy: many readers may capture the same value.
+      return true;
+    }
+
+  private:
+    IVar &Var;
+    Task *Tsk;
+    std::optional<T> Out;
+  };
+
+private:
+  friend class GetAwaiter;
+  // State guarded by WaitMutex (an IVar transitions at most once, so the
+  // mutex is uncontended in steady state).
+  bool Full = false;
+  std::optional<T> Slot;
+};
+
+/// Allocates an IVar tied to the current session. LVars are heap-allocated
+/// and shared so their lifetime covers every task that may park on them
+/// (the GC would do this in Haskell).
+template <typename T, EffectSet E>
+std::shared_ptr<IVar<T>> newIVar(ParCtx<E> Ctx) {
+  return std::make_shared<IVar<T>>(Ctx.sessionId());
+}
+
+/// `put :: HasPut e => IVar s a -> a -> Par e s ()`
+template <EffectSet E, typename T>
+  requires(hasPut(E))
+void put(ParCtx<E> Ctx, IVar<T> &IV, const T &Value) {
+  IV.putValue(Value, Ctx.task());
+}
+
+/// `get :: HasGet e => IVar s a -> Par e s a` - awaitable.
+template <EffectSet E, typename T>
+  requires(hasGet(E))
+typename IVar<T>::GetAwaiter get(ParCtx<E> Ctx, IVar<T> &IV) {
+  return typename IVar<T>::GetAwaiter(IV, Ctx.task());
+}
+
+/// Freezes an IVar mid-computation (quasi-deterministic; requires the
+/// Freeze effect) and returns its exact current contents.
+template <EffectSet E, typename T>
+  requires(hasFreeze(E))
+std::optional<T> freezeIVar(ParCtx<E> Ctx, IVar<T> &IV) {
+  IV.checkSession(Ctx.task());
+  IV.markFrozen();
+  return IV.peek();
+}
+
+/// Forks \p Body and returns an IVar future carrying its result: the
+/// \c spawn of the ParFuture interface, built from fork + IVar exactly as
+/// in monad-par.
+template <EffectSet E, typename F>
+auto spawn(ParCtx<E> Ctx, F Body) {
+  using RetPar = std::invoke_result_t<F, ParCtx<E>>;
+  using R = decltype(std::declval<RetPar>().await_resume());
+  static_assert(hasPut(E) && hasGet(E),
+                "spawn needs Put (to fill the future) and Get (to read it)");
+  auto Future = newIVar<R>(Ctx);
+  fork(Ctx, [Future, B = std::move(Body)](ParCtx<E> C) mutable -> Par<void> {
+    R Value = co_await B(C);
+    put(C, *Future, Value);
+  });
+  return Future;
+}
+
+} // namespace lvish
+
+#endif // LVISH_CORE_IVAR_H

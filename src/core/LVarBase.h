@@ -1,0 +1,189 @@
+//===- LVarBase.h - Common LVar runtime machinery ---------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime substrate shared by every LVar data structure: the waiter
+/// list for blocked threshold reads, the freeze bit for quasi-deterministic
+/// exact reads, the session id standing in for the paper's `s` parameter,
+/// and the asymmetric put/handler-registration gate of footnote 6.
+///
+/// Park/wake protocol (no lost wakeups):
+///  * A get-awaiter calls \c parkGet, which under \c WaitMutex re-checks
+///    the threshold via the awaiter's \c tryCapture. If unsatisfied it
+///    publishes the waiter entry and performs the scheduler's park
+///    bookkeeping *last*, still under the lock (see Scheduler.h).
+///  * A put applies its state change (with the structure's own
+///    synchronization), then calls \c notifyWaiters, which under the same
+///    lock re-runs \c tryCapture for each waiter. Any change that lands
+///    between a waiter's check and its publication is observed by the
+///    put's scan, because the scan serializes after the publication on
+///    \c WaitMutex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_CORE_LVARBASE_H
+#define LVISH_CORE_LVARBASE_H
+
+#include "src/sched/Scheduler.h"
+#include "src/sched/Task.h"
+#include "src/support/AsymmetricGate.h"
+#include "src/support/Assert.h"
+
+#include <atomic>
+#include <coroutine>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#ifdef LVISH_TRACE_DEBUG
+#define LVISH_TRACE2(...) std::fprintf(stderr, __VA_ARGS__)
+#else
+#define LVISH_TRACE2(...) (void)0
+#endif
+
+namespace lvish {
+
+/// Base class of every LVar; see file comment.
+class LVarBase : public ParkSite {
+public:
+  explicit LVarBase(uint64_t SessionId) : Session(SessionId) {}
+  ~LVarBase() override = default;
+
+  LVarBase(const LVarBase &) = delete;
+  LVarBase &operator=(const LVarBase &) = delete;
+
+  uint64_t sessionId() const { return Session; }
+
+  /// True after a freeze; further state-changing puts are deterministic
+  /// errors.
+  bool isFrozen() const { return Frozen.load(std::memory_order_acquire); }
+
+  /// Marks this LVar frozen. Exposed operations wrap this with the
+  /// HasFreeze effect requirement; runParThenFreeze calls it after session
+  /// quiescence, which is the always-deterministic pattern.
+  void markFrozen() { Frozen.store(true, std::memory_order_release); }
+
+  /// ParkSite: forget a reaped waiter (only called at quiescence).
+  void removeParkedTask(Task *T) override {
+    std::lock_guard<std::mutex> Lock(WaitMutex);
+    for (auto It = Waiters.begin(); It != Waiters.end();)
+      if (It->Owner == T) {
+        It = Waiters.erase(It);
+        WaiterCount.fetch_sub(1, std::memory_order_release);
+        T->ParkedOn = nullptr;
+      } else {
+        ++It;
+      }
+  }
+
+  /// Asserts the accessing task belongs to this LVar's session (the
+  /// runtime stand-in for the `s` type parameter).
+  void checkSession(const Task *T) const {
+    assert(T && "LVar access outside a Par computation");
+    assert(T->SessionId == Session &&
+           "LVar reused across runPar sessions (the `s` parameter would "
+           "have rejected this program)");
+    (void)T;
+  }
+
+protected:
+  /// One blocked threshold read. \c TryCapture re-checks the threshold
+  /// against the current state and, when satisfied, stores the read result
+  /// into the awaiter (which lives in the parked coroutine's frame).
+  struct WaiterEntry {
+    Task *Owner;
+    void *Awaiter;
+    bool (*TryCapture)(void *Awaiter);
+  };
+
+  /// Parks the calling coroutine unless the awaiter's threshold is already
+  /// satisfied. Returns true if parked (the awaiter must suspend), false if
+  /// \c A->tryCapture() succeeded (the awaiter must resume immediately).
+  /// Also the cancellation poll point for reads (Section 6.1).
+  template <typename AwaiterT>
+  bool parkGet(Task *T, std::coroutine_handle<> H, AwaiterT *A) {
+    checkSession(T);
+    if (T->isCancelled()) {
+      T->Sched->deferRetire(T);
+      return true; // Suspend; the worker destroys the frame right after.
+    }
+    std::lock_guard<std::mutex> Lock(WaitMutex);
+    if (A->tryCapture()) {
+      LVISH_TRACE2("parkGet lv=%p task=%p h=%p CAPTURED\n", (void *)this,
+                   (void *)T, H.address());
+      return false;
+    }
+    LVISH_TRACE2("parkGet lv=%p task=%p h=%p PARKED\n", (void *)this,
+                 (void *)T, H.address());
+    T->Resume = H;
+    Waiters.push_back(WaiterEntry{
+        T, A, [](void *P) { return static_cast<AwaiterT *>(P)->tryCapture(); }});
+    WaiterCount.fetch_add(1, std::memory_order_release);
+    T->ParkedOn = this;
+    // Park bookkeeping last, under the lock (session-quiescence protocol).
+    T->Sched->onTaskParked(T);
+    return true;
+  }
+
+  /// Re-checks all waiters after a state change and wakes the satisfied
+  /// ones. \p Waker is the task performing the put (for trace edges); may
+  /// be null for external (session-setup) writes.
+  void notifyWaiters(Task *Waker) {
+    // Fast path: no parked readers (the overwhelmingly common case for
+    // bump-heavy workloads like PhyBin's distance phase). Safe: waiters
+    // register under WaitMutex and re-check the threshold there, so any
+    // reader arriving after this load has already seen our state change.
+    if (WaiterCount.load(std::memory_order_acquire) == 0)
+      return;
+    std::vector<Task *> ToWake;
+    {
+      std::lock_guard<std::mutex> Lock(WaitMutex);
+      if (Waiters.empty())
+        return;
+      for (auto It = Waiters.begin(); It != Waiters.end();)
+        if (It->TryCapture(It->Awaiter)) {
+          It->Owner->ParkedOn = nullptr;
+          ToWake.push_back(It->Owner);
+          It = Waiters.erase(It);
+          WaiterCount.fetch_sub(1, std::memory_order_release);
+        } else {
+          ++It;
+        }
+    }
+    for (Task *T : ToWake) {
+      LVISH_TRACE2("notify lv=%p wake task=%p resume=%p\n", (void *)this,
+                   (void *)T, T->Resume.address());
+      T->Sched->wake(T, Waker);
+    }
+  }
+
+  /// Guards Waiters and (for mutex-based structures like PureLVar) the
+  /// state itself.
+  mutable std::mutex WaitMutex;
+  std::vector<WaiterEntry> Waiters;
+  /// Lock-free probe for the notify fast path; tracks Waiters.size().
+  std::atomic<uint32_t> WaiterCount{0};
+
+  /// Footnote-6 gate: puts take the fast side; handler registration takes
+  /// the slow side. See src/support/AsymmetricGate.h.
+  AsymmetricGate HandlerGate;
+
+private:
+  std::atomic<bool> Frozen{false};
+  uint64_t Session;
+};
+
+/// Reports a state-changing put on a frozen LVar: the deterministic error
+/// of the quasi-deterministic fragment (Kuper et al., POPL 2014).
+[[noreturn]] inline void putAfterFreezeError() {
+  fatalError("put changed the state of a frozen LVar (quasi-determinism "
+             "violation)");
+}
+
+} // namespace lvish
+
+#endif // LVISH_CORE_LVARBASE_H

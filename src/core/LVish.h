@@ -1,0 +1,26 @@
+//===- LVish.h - Umbrella header for the LVish core --------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella: the Par type, effect levels, runPar entry points,
+/// IVars, pure LVars, and handler pools. Data structures (Data.LVar.* in
+/// the paper) live under src/data; transformers under src/trans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_CORE_LVISH_H
+#define LVISH_CORE_LVISH_H
+
+#include "src/core/Effects.h"       // IWYU pragma: export
+#include "src/core/HandlerPool.h"   // IWYU pragma: export
+#include "src/core/IVar.h"          // IWYU pragma: export
+#include "src/core/Lattice.h"       // IWYU pragma: export
+#include "src/core/Par.h"           // IWYU pragma: export
+#include "src/core/PureLVar.h"      // IWYU pragma: export
+#include "src/core/RunPar.h"        // IWYU pragma: export
+
+#endif // LVISH_CORE_LVISH_H

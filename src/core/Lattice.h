@@ -1,0 +1,74 @@
+//===- Lattice.h - Lattice policy concept -----------------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lattice-policy concept behind PureLVar: a type supplying the
+/// bounded-join-semilattice structure (D, leq, bottom, top) of Section 2.
+/// "We do not require that every pair of elements have a greatest lower
+/// bound, only a least upper bound" - so only bottom and join are required;
+/// a designated top is optional and, when present, enables the exhaustive
+/// pairwise-incompatibility checks on threshold sets.
+///
+/// Data-structure authors carry the paper's proof obligations: join must be
+/// associative, commutative, idempotent, and inflationary. The law-checking
+/// helpers in tests/LatticeLawsTest.cpp sweep these properties for every
+/// lattice shipped in this repository.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_CORE_LATTICE_H
+#define LVISH_CORE_LATTICE_H
+
+#include <concepts>
+
+namespace lvish {
+
+/// A lattice policy: value type + bottom + join.
+template <typename L>
+concept Lattice = requires(const typename L::ValueType &A,
+                           const typename L::ValueType &B) {
+  { L::bottom() } -> std::convertible_to<typename L::ValueType>;
+  { L::join(A, B) } -> std::convertible_to<typename L::ValueType>;
+  { A == B } -> std::convertible_to<bool>;
+};
+
+/// A lattice with a designated greatest element (error state).
+template <typename L>
+concept LatticeWithTop = Lattice<L> && requires(const typename L::ValueType
+                                                    &A) {
+  { L::isTop(A) } -> std::convertible_to<bool>;
+};
+
+/// Derived partial order: a leq b iff join(a, b) == b.
+template <typename L>
+  requires Lattice<L>
+bool latticeLeq(const typename L::ValueType &A,
+                const typename L::ValueType &B) {
+  return L::join(A, B) == B;
+}
+
+// -- Stock lattices ---------------------------------------------------------
+
+/// Natural numbers under max: the counter-shaped lattice of Section 3's
+/// running example ("states are natural numbers ... the ordering induces a
+/// lub operation equivalent to max").
+struct MaxUint64Lattice {
+  using ValueType = unsigned long long;
+  static ValueType bottom() { return 0; }
+  static ValueType join(ValueType A, ValueType B) { return A > B ? A : B; }
+};
+
+/// Two-point lattice Bot < Top; the simplest "flag" LVar.
+struct BoolOrLattice {
+  using ValueType = bool;
+  static ValueType bottom() { return false; }
+  static ValueType join(ValueType A, ValueType B) { return A || B; }
+};
+
+} // namespace lvish
+
+#endif // LVISH_CORE_LATTICE_H

@@ -1,0 +1,103 @@
+//===- ParFor.h - Parallel loops over index ranges --------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Divide-and-conquer parallel loops built from fork + IVar joins: the
+/// bread-and-butter idiom of the traditional-kernel benchmark suite
+/// (Section 7.2 / Figure 4). The recursive binary split bottoms out at a
+/// grain size, below which iterations run sequentially.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_CORE_PARFOR_H
+#define LVISH_CORE_PARFOR_H
+
+#include "src/core/IVar.h"
+#include "src/core/Par.h"
+
+#include <cstddef>
+
+namespace lvish {
+
+/// Parallel for over [Begin, End): calls \p Fn(I) for every index. The
+/// body is a plain callable (no blocking); iterations must be independent.
+template <EffectSet E, typename F>
+  requires(hasPut(E) && hasGet(E) && std::is_invocable_v<F, size_t>)
+Par<void> parallelFor(ParCtx<E> Ctx, size_t Begin, size_t End, size_t Grain,
+                      F Fn) {
+  assert(Grain > 0 && "grain must be positive");
+  if (End - Begin <= Grain) {
+    for (size_t I = Begin; I < End; ++I)
+      Fn(I);
+    co_return;
+  }
+  size_t Mid = Begin + (End - Begin) / 2;
+  auto Done = newIVar<bool>(Ctx);
+  fork(Ctx, [Done, Begin, Mid, Grain, Fn](ParCtx<E> C) -> Par<void> {
+    co_await parallelFor(C, Begin, Mid, Grain, Fn);
+    put(C, *Done, true);
+  });
+  co_await parallelFor(Ctx, Mid, End, Grain, Fn);
+  co_await get(Ctx, *Done);
+}
+
+/// Parallel for whose body is itself a Par computation (may block, fork,
+/// and perform LVar effects).
+template <EffectSet E, typename F>
+  requires(hasPut(E) && hasGet(E) &&
+           std::is_invocable_r_v<Par<void>, F, ParCtx<E>, size_t>)
+Par<void> parallelForPar(ParCtx<E> Ctx, size_t Begin, size_t End,
+                         size_t Grain, F Fn) {
+  assert(Grain > 0 && "grain must be positive");
+  if (End - Begin <= Grain) {
+    for (size_t I = Begin; I < End; ++I)
+      co_await Fn(Ctx, I);
+    co_return;
+  }
+  size_t Mid = Begin + (End - Begin) / 2;
+  auto Done = newIVar<bool>(Ctx);
+  fork(Ctx, [Done, Begin, Mid, Grain, Fn](ParCtx<E> C) -> Par<void> {
+    co_await parallelForPar(C, Begin, Mid, Grain, Fn);
+    put(C, *Done, true);
+  });
+  co_await parallelForPar(Ctx, Mid, End, Grain, Fn);
+  co_await get(Ctx, *Done);
+}
+
+/// Parallel reduction over [Begin, End): \p Leaf maps an index to a value,
+/// \p Combine folds two values (must be associative for determinism; the
+/// reduction tree shape is fixed by the range, so commutativity is NOT
+/// required).
+template <typename T, EffectSet E, typename LeafF, typename CombineF>
+  requires(hasPut(E) && hasGet(E))
+Par<T> parallelReduce(ParCtx<E> Ctx, size_t Begin, size_t End, size_t Grain,
+                      LeafF Leaf, CombineF Combine, T Identity) {
+  assert(Grain > 0 && "grain must be positive");
+  if (End - Begin <= Grain) {
+    T Acc = Identity;
+    for (size_t I = Begin; I < End; ++I)
+      Acc = Combine(Acc, Leaf(I));
+    co_return Acc;
+  }
+  size_t Mid = Begin + (End - Begin) / 2;
+  auto Left = newIVar<T>(Ctx);
+  fork(Ctx,
+       [Left, Begin, Mid, Grain, Leaf, Combine, Identity](ParCtx<E> C)
+           -> Par<void> {
+         T V = co_await parallelReduce<T>(C, Begin, Mid, Grain, Leaf, Combine,
+                                          Identity);
+         put(C, *Left, V);
+       });
+  T Right = co_await parallelReduce<T>(Ctx, Mid, End, Grain, Leaf, Combine,
+                                       Identity);
+  T LeftV = co_await get(Ctx, *Left);
+  co_return Combine(LeftV, Right);
+}
+
+} // namespace lvish
+
+#endif // LVISH_CORE_PARFOR_H

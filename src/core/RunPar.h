@@ -1,0 +1,144 @@
+//===- RunPar.h - Session entry points --------------------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runPar family: the bridge between ordinary sequential code and Par
+/// computations.
+///
+///   runPar :: (NoFreeze e, NoIO e) => (forall s. Par e s a) -> a
+///
+/// becomes `runPar<E>(Body)` with a static assertion that E contains
+/// neither Freeze nor IO, so the result is a pure function of the program.
+/// `runParIO` lifts that restriction (nondeterministic effects allowed);
+/// `runParThenFreeze` runs to full quiescence, then freezes the returned
+/// LVar so its exact contents can be read deterministically.
+///
+/// Sessions run to *full* quiescence before returning: every forked task
+/// has either finished or is permanently blocked (and is then reaped; see
+/// Scheduler.h). If the root itself never produced a value the program has
+/// a deterministic deadlock and runPar reports a fatal error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_CORE_RUNPAR_H
+#define LVISH_CORE_RUNPAR_H
+
+#include "src/core/Par.h"
+
+#include <memory>
+#include <optional>
+#include <type_traits>
+
+namespace lvish {
+
+namespace detail {
+
+template <typename P> struct ParValue;
+template <typename T> struct ParValue<Par<T>> {
+  using type = T;
+};
+
+/// Root coroutine: materializes the session context and funnels the result
+/// out to the caller's stack (which outlives the session).
+template <EffectSet E, typename F, typename R>
+Par<void> rootBody(F Body, std::optional<R> *Out) {
+  ParCtx<E> Ctx = CtxAccess::make<E>(Scheduler::currentTask());
+  *Out = co_await Body(Ctx);
+}
+
+template <EffectSet E, typename F>
+Par<void> rootBodyVoid(F Body, bool *Done) {
+  ParCtx<E> Ctx = CtxAccess::make<E>(Scheduler::currentTask());
+  co_await Body(Ctx);
+  *Done = true;
+}
+
+template <EffectSet E, typename F>
+auto runParOnImpl(Scheduler &Sched, F Body) {
+  using RetPar = std::invoke_result_t<F, ParCtx<E>>;
+  using R = typename ParValue<RetPar>::type;
+
+  auto Launch = [&](Par<void> RootPar) {
+    Task *Root = installTaskRoot(Sched, std::move(RootPar), nullptr);
+    Root->SessionId = Sched.newSessionId();
+    Root->Cancel = std::make_shared<CancelNode>();
+    Sched.schedule(Root);
+    Sched.waitSessionQuiescent();
+    Sched.finishSession();
+  };
+
+  if constexpr (std::is_void_v<R>) {
+    bool Done = false;
+    Launch(rootBodyVoid<E>(std::move(Body), &Done));
+    if (!Done)
+      fatalError("runPar: deterministic deadlock (the main computation "
+                 "blocked forever)");
+    return;
+  } else {
+    std::optional<R> Slot;
+    Launch(rootBody<E, F, R>(std::move(Body), &Slot));
+    if (!Slot)
+      fatalError("runPar: deterministic deadlock (the main computation "
+                 "blocked forever)");
+    return std::move(*Slot);
+  }
+}
+
+} // namespace detail
+
+/// Runs \p Body on an existing scheduler (one session at a time). Useful
+/// for benchmarks that amortize worker startup.
+template <EffectSet E = Eff::Det, typename F>
+auto runParOn(Scheduler &Sched, F Body) {
+  static_assert(noFreeze(E) && noIO(E),
+                "runPar requires NoFreeze and NoIO; use runParIO or "
+                "runParThenFreeze");
+  return detail::runParOnImpl<E>(Sched, std::move(Body));
+}
+
+/// Runs \p Body on a fresh scheduler and returns its pure result.
+template <EffectSet E = Eff::Det, typename F>
+auto runPar(F Body, SchedulerConfig Config = SchedulerConfig()) {
+  static_assert(noFreeze(E) && noIO(E),
+                "runPar requires NoFreeze and NoIO; use runParIO or "
+                "runParThenFreeze");
+  Scheduler Sched(Config);
+  return detail::runParOnImpl<E>(Sched, std::move(Body));
+}
+
+/// Like runPar but without the purity restriction: quasi-deterministic
+/// freezes and nondeterministic (IO-bit) operations are allowed.
+template <EffectSet E = Eff::FullIO, typename F>
+auto runParIO(F Body, SchedulerConfig Config = SchedulerConfig()) {
+  Scheduler Sched(Config);
+  return detail::runParOnImpl<E>(Sched, std::move(Body));
+}
+
+template <EffectSet E = Eff::FullIO, typename F>
+auto runParIOOn(Scheduler &Sched, F Body) {
+  return detail::runParOnImpl<E>(Sched, std::move(Body));
+}
+
+/// Runs \p Body (which returns a shared_ptr to an LVar data structure),
+/// waits for full quiescence, then freezes the structure "on the way out"
+/// so its exact contents can be read - the always-deterministic freezing
+/// pattern (runParThenFreeze in LVish).
+template <EffectSet E = Eff::Det, typename F>
+auto runParThenFreeze(F Body, SchedulerConfig Config = SchedulerConfig()) {
+  static_assert(noFreeze(E) && noIO(E),
+                "the computation under runParThenFreeze must not freeze "
+                "explicitly");
+  Scheduler Sched(Config);
+  auto Result = detail::runParOnImpl<E>(Sched, std::move(Body));
+  // The session is fully quiescent: freezing here cannot race any put.
+  Result->markFrozen();
+  return Result;
+}
+
+} // namespace lvish
+
+#endif // LVISH_CORE_RUNPAR_H

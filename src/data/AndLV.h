@@ -1,0 +1,176 @@
+//===- AndLV.h - Parallel-and LVar and asyncAnd -----------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running example (Section 2, Figure 1): an LVar storing the
+/// result of a parallel logical "and" of two inputs. States are pairs of
+/// {Bot, T, F} plus an error top; the threshold sets
+///
+///   bothtrue = { (T,T) }
+///   anyfalse = { (F,Bot), (Bot,F), (F,T), (T,F), (F,F) }
+///
+/// are pairwise incompatible, so \c getAndLV is a deterministic read that
+/// can unblock ("short-circuit") after only one input arrives, if that
+/// input is false.
+///
+/// \c asyncAnd launches two boolean Par computations and combines them
+/// through an AndLV; \c asyncAndTree folds it over a whole list, as in the
+/// paper's 100-leaf example.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_DATA_ANDLV_H
+#define LVISH_DATA_ANDLV_H
+
+#include "src/core/Par.h"
+#include "src/core/PureLVar.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace lvish {
+
+/// One input of the parallel and: unwritten, true, or false.
+enum class Inp : uint8_t { Bot = 0, T = 1, F = 2 };
+
+/// Lattice of Figure 1. nullopt is top (conflicting writes to one input);
+/// Just(Bot,Bot) is bottom.
+struct AndLattice {
+  using ValueType = std::optional<std::pair<Inp, Inp>>;
+
+  static ValueType bottom() { return std::make_pair(Inp::Bot, Inp::Bot); }
+
+  static std::optional<Inp> joinInp(Inp X, Inp Y) {
+    if (X == Y)
+      return X;
+    if (X == Inp::Bot)
+      return Y;
+    if (Y == Inp::Bot)
+      return X;
+    return std::nullopt; // T join F = top.
+  }
+
+  static ValueType join(const ValueType &A, const ValueType &B) {
+    if (!A || !B)
+      return std::nullopt;
+    std::optional<Inp> X = joinInp(A->first, B->first);
+    std::optional<Inp> Y = joinInp(A->second, B->second);
+    if (!X || !Y)
+      return std::nullopt;
+    return std::make_pair(*X, *Y);
+  }
+
+  static bool isTop(const ValueType &A) { return !A.has_value(); }
+
+  /// Enumerates the full 10-state lattice (for exhaustive law tests).
+  static std::vector<ValueType> allStates() {
+    std::vector<ValueType> States;
+    for (Inp X : {Inp::Bot, Inp::T, Inp::F})
+      for (Inp Y : {Inp::Bot, Inp::T, Inp::F})
+        States.push_back(std::make_pair(X, Y));
+    States.push_back(std::nullopt);
+    return States;
+  }
+};
+
+using AndLV = PureLVar<AndLattice>;
+
+inline Inp toInp(bool B) { return B ? Inp::T : Inp::F; }
+
+/// Allocates a fresh AndLV at bottom.
+template <EffectSet E> std::shared_ptr<AndLV> newAndLV(ParCtx<E> Ctx) {
+  return newPureLVar<AndLattice>(Ctx);
+}
+
+/// Writes the left (first) input.
+template <EffectSet E>
+  requires(hasPut(E))
+void putAndLeft(ParCtx<E> Ctx, AndLV &LV, bool B) {
+  putPureLVar(Ctx, LV, AndLattice::ValueType(std::make_pair(toInp(B),
+                                                            Inp::Bot)));
+}
+
+/// Writes the right (second) input.
+template <EffectSet E>
+  requires(hasPut(E))
+void putAndRight(ParCtx<E> Ctx, AndLV &LV, bool B) {
+  putPureLVar(Ctx, LV, AndLattice::ValueType(std::make_pair(Inp::Bot,
+                                                            toInp(B))));
+}
+
+/// Deterministic threshold read of the conjunction; may unblock after a
+/// single false input (short-circuit).
+template <EffectSet E>
+  requires(hasGet(E))
+Par<bool> getAndLV(ParCtx<E> Ctx, std::shared_ptr<AndLV> LV) {
+  using VT = AndLattice::ValueType;
+  auto Pair = [](Inp X, Inp Y) { return VT(std::make_pair(X, Y)); };
+  ThresholdSets<VT> Triggers{
+      /*bothtrue=*/{Pair(Inp::T, Inp::T)},
+      /*anyfalse=*/
+      {Pair(Inp::F, Inp::Bot), Pair(Inp::Bot, Inp::F), Pair(Inp::F, Inp::T),
+       Pair(Inp::T, Inp::F), Pair(Inp::F, Inp::F)}};
+  size_t Which = co_await getPureLVar(Ctx, *LV, Triggers);
+  co_return Which == 0;
+}
+
+/// Launches two boolean computations in parallel and returns the result of
+/// their logical and (Section 2's asyncAnd). The callables are template
+/// parameters (not std::function) so that passing stateless lambdas creates
+/// no non-trivially-destructible temporaries in the caller's co_await
+/// expression - see the GCC 12 note in src/core/Par.h.
+template <EffectSet E, typename F1, typename F2>
+  requires(hasPut(E) && hasGet(E))
+Par<bool> asyncAnd(ParCtx<E> Ctx, F1 M1, F2 M2) {
+  auto Res = newAndLV(Ctx);
+  fork(Ctx, [Res, M1](ParCtx<E> C) -> Par<void> {
+    bool B1 = co_await M1(C);
+    putAndLeft(C, *Res, B1);
+  });
+  fork(Ctx, [Res, M2](ParCtx<E> C) -> Par<void> {
+    bool B2 = co_await M2(C);
+    putAndRight(C, *Res, B2);
+  });
+  bool Result = co_await getAndLV(Ctx, Res);
+  co_return Result;
+}
+
+/// Balanced asyncAnd over a whole list of boolean computations (the
+/// paper's foldr asyncAnd example, but as a tree so depth is logarithmic).
+template <EffectSet E>
+  requires(hasPut(E) && hasGet(E))
+Par<bool> asyncAndTree(ParCtx<E> Ctx,
+                       std::vector<std::function<Par<bool>(ParCtx<E>)>> Ms) {
+  if (Ms.empty())
+    co_return true;
+  if (Ms.size() == 1)
+    co_return co_await Ms.front()(Ctx);
+  size_t Mid = Ms.size() / 2;
+  std::vector<std::function<Par<bool>(ParCtx<E>)>> Left(
+      Ms.begin(), Ms.begin() + static_cast<long>(Mid));
+  std::vector<std::function<Par<bool>(ParCtx<E>)>> Right(
+      Ms.begin() + static_cast<long>(Mid), Ms.end());
+  // Named before the await: the capturing closures are not trivially
+  // destructible (GCC 12 discipline, see src/core/Par.h).
+  auto LeftBranch = [Left](ParCtx<E> C) -> Par<bool> {
+    bool B = co_await asyncAndTree<E>(C, Left);
+    co_return B;
+  };
+  auto RightBranch = [Right](ParCtx<E> C) -> Par<bool> {
+    bool B = co_await asyncAndTree<E>(C, Right);
+    co_return B;
+  };
+  bool Result = co_await asyncAnd<E>(Ctx, LeftBranch, RightBranch);
+  co_return Result;
+}
+
+} // namespace lvish
+
+#endif // LVISH_DATA_ANDLV_H

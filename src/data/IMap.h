@@ -1,0 +1,228 @@
+//===- IMap.h - Monotone concurrent key-value map LVar ----------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `Data.LVar.Map` / `Data.LVar.PureMap`: a key-value map LVar supporting
+/// concurrent insertion but not deletion or update. Each key behaves like
+/// an IVar: inserting a key twice with conflicting values is a
+/// deterministic error (per-key lattice top). \c getKey is the blocking
+/// threshold read from the paper's appendix shopping-cart example:
+///
+///   p = do cart <- newEmptyMap
+///          fork (insert Book 2 cart)
+///          fork (insert Shoes 1 cart)
+///          getKey Book cart        -- blocks until Book is present
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_DATA_IMAP_H
+#define LVISH_DATA_IMAP_H
+
+#include "src/core/LVarBase.h"
+#include "src/core/Par.h"
+#include "src/data/MonotoneHashMap.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace lvish {
+
+/// Monotone map LVar; construct via \c newEmptyMap.
+template <typename K, typename V, typename HashT = DefaultHash<K>>
+class IMap : public LVarBase {
+public:
+  using DeltaType = std::pair<K, V>;
+  using Handler = std::function<void(const DeltaType &)>;
+
+  explicit IMap(uint64_t SessionId) : LVarBase(SessionId) {
+    Handlers.store(std::make_shared<const std::vector<Handler>>());
+  }
+
+  /// Lub write: binds \p Key to \p Val. Re-inserting an equal value is a
+  /// no-op; a conflicting value for an existing key is a deterministic
+  /// error.
+  void insertKV(const K &Key, const V &Val, Task *Writer) {
+    checkSession(Writer);
+    AsymmetricGate::FastGuard Gate(HandlerGate);
+    auto [Stored, Inserted] = Table.insert(Key, Val);
+    if (!Inserted) {
+      if constexpr (std::equality_comparable<V>) {
+        if (*Stored == Val)
+          return; // Idempotent repeat.
+      }
+      fatalError("conflicting insert for an existing IMap key (per-key "
+                 "lattice top reached)");
+    }
+    if (isFrozen())
+      putAfterFreezeError();
+    auto Snapshot = Handlers.load(std::memory_order_acquire);
+    if (!Snapshot->empty()) {
+      DeltaType Delta(Key, Val);
+      for (const Handler &H : *Snapshot)
+        H(Delta);
+    }
+    notifyWaiters(Writer);
+  }
+
+  /// Non-blocking probe (deterministic only for keys known to be present,
+  /// or when frozen). Returns a stable pointer or null.
+  const V *lookupNow(const K &Key) const { return Table.find(Key); }
+
+  /// Monotone get-or-create (LVish's `modify` for nested-LVar values): if
+  /// \p Key is absent, binds it to \p Factory(); returns the stable stored
+  /// value either way. Deterministic when the factory produces a fresh
+  /// bottom LVar (every winner is indistinguishable) - the idiom behind
+  /// "a map of sets" in the PhyBin parallelization (Section 7.1).
+  template <typename FactoryT>
+  const V &modifyKey(const K &Key, FactoryT Factory, Task *Writer) {
+    checkSession(Writer);
+    if (const V *Existing = Table.find(Key))
+      return *Existing;
+    AsymmetricGate::FastGuard Gate(HandlerGate);
+    auto [Stored, Inserted] = Table.insert(Key, Factory());
+    if (!Inserted)
+      return *Stored; // Lost the race; the winner's value is canonical.
+    if (isFrozen())
+      putAfterFreezeError();
+    auto Snapshot = Handlers.load(std::memory_order_acquire);
+    if (!Snapshot->empty()) {
+      DeltaType Delta(Key, *Stored);
+      for (const Handler &H : *Snapshot)
+        H(Delta);
+    }
+    notifyWaiters(Writer);
+    return *Stored;
+  }
+
+  size_t sizeNow() const { return Table.size(); }
+
+  void addHandlerRaw(Handler H, Task *Registrar) {
+    checkSession(Registrar);
+    AsymmetricGate::SlowGuard Gate(HandlerGate);
+    auto Old = Handlers.load(std::memory_order_acquire);
+    auto New = std::make_shared<std::vector<Handler>>(*Old);
+    New->push_back(H);
+    Handlers.store(std::shared_ptr<const std::vector<Handler>>(std::move(New)),
+                   std::memory_order_release);
+    Table.forEach([&H](const K &Key, const V &Val) {
+      H(DeltaType(Key, Val));
+    });
+  }
+
+  /// Sorted snapshot; call after freezing for deterministic iteration.
+  std::vector<std::pair<K, V>> toSortedVector() const {
+    assert(isFrozen() && "iterating an unfrozen IMap is nondeterministic");
+    return Table.snapshotSorted();
+  }
+
+  /// Unordered traversal (post-freeze or at quiescence).
+  template <typename FnT> void forEachFrozen(FnT &&Fn) const {
+    assert(isFrozen() && "iterating an unfrozen IMap is nondeterministic");
+    Table.forEach(Fn);
+  }
+
+  /// Threshold read: unblocks once \p Key is bound; returns its value.
+  class GetKeyAwaiter {
+  public:
+    GetKeyAwaiter(IMap &M, Task *Reader, K Key)
+        : Map(M), Tsk(Reader), Target(std::move(Key)) {}
+
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> H) {
+      return Map.parkGet(Tsk, H, this);
+    }
+    V await_resume() { return std::move(*Out); }
+
+    bool tryCapture() {
+      const V *P = Map.Table.find(Target);
+      if (!P)
+        return false;
+      Out = *P;
+      return true;
+    }
+
+  private:
+    IMap &Map;
+    Task *Tsk;
+    K Target;
+    std::optional<V> Out;
+  };
+
+  /// Threshold read on cardinality.
+  class WaitSizeAwaiter {
+  public:
+    WaitSizeAwaiter(IMap &M, Task *Reader, size_t N)
+        : Map(M), Tsk(Reader), Threshold(N) {}
+
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> H) {
+      return Map.parkGet(Tsk, H, this);
+    }
+    void await_resume() const noexcept {}
+
+    bool tryCapture() { return Map.Table.size() >= Threshold; }
+
+  private:
+    IMap &Map;
+    Task *Tsk;
+    size_t Threshold;
+  };
+
+private:
+  MonotoneHashMap<K, V, HashT> Table;
+  std::atomic<std::shared_ptr<const std::vector<Handler>>> Handlers;
+};
+
+/// Allocates an empty map for the current session.
+template <typename K, typename V, EffectSet E>
+std::shared_ptr<IMap<K, V>> newEmptyMap(ParCtx<E> Ctx) {
+  return std::make_shared<IMap<K, V>>(Ctx.sessionId());
+}
+
+/// `insert :: HasPut e => k -> v -> IMap k s v -> Par e s ()`
+template <EffectSet E, typename K, typename V, typename HashT>
+  requires(hasPut(E))
+void insert(ParCtx<E> Ctx, IMap<K, V, HashT> &Map, const K &Key,
+            const V &Val) {
+  Map.insertKV(Key, Val, Ctx.task());
+}
+
+/// `getKey :: HasGet e => k -> IMap k s v -> Par e s v`
+template <EffectSet E, typename K, typename V, typename HashT>
+  requires(hasGet(E))
+typename IMap<K, V, HashT>::GetKeyAwaiter getKey(ParCtx<E> Ctx,
+                                                 IMap<K, V, HashT> &Map,
+                                                 K Key) {
+  return typename IMap<K, V, HashT>::GetKeyAwaiter(Map, Ctx.task(),
+                                                   std::move(Key));
+}
+
+/// Blocks until the map has at least \p N bindings.
+template <EffectSet E, typename K, typename V, typename HashT>
+  requires(hasGet(E))
+typename IMap<K, V, HashT>::WaitSizeAwaiter
+waitMapSize(ParCtx<E> Ctx, IMap<K, V, HashT> &Map, size_t N) {
+  return typename IMap<K, V, HashT>::WaitSizeAwaiter(Map, Ctx.task(), N);
+}
+
+/// Freezes mid-computation (quasi-deterministic) and returns the sorted
+/// contents.
+template <EffectSet E, typename K, typename V, typename HashT>
+  requires(hasFreeze(E))
+std::vector<std::pair<K, V>> freezeMap(ParCtx<E> Ctx,
+                                       IMap<K, V, HashT> &Map) {
+  Map.checkSession(Ctx.task());
+  Map.markFrozen();
+  return Map.toSortedVector();
+}
+
+} // namespace lvish
+
+#endif // LVISH_DATA_IMAP_H

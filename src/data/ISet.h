@@ -1,0 +1,189 @@
+//===- ISet.h - Monotone concurrent set LVar --------------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `Data.LVar.Set`: a set LVar that "supports concurrent insertion, but not
+/// deletion, during Par computations". The lattice is the powerset of the
+/// element type ordered by inclusion; insert is the lub with a singleton.
+/// Deterministic observations:
+///  * \c waitElem - threshold read that unblocks once a given element is
+///    present (the returned information, "x is in the set", is stable);
+///  * \c waitSize - unblocks once the cardinality reaches N (cardinality is
+///    monotone, and the read returns only the threshold N, not the exact
+///    size);
+///  * handlers - run for each element exactly once (current and future);
+///  * freezing - exact contents, quasi-deterministic unless performed at
+///    session quiescence (runParThenFreeze).
+///
+/// As in the paper, ISet deliberately has no \c bump operations: put-style
+/// and bump-style updates never mix on one LVar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_DATA_ISET_H
+#define LVISH_DATA_ISET_H
+
+#include "src/core/LVarBase.h"
+#include "src/core/Par.h"
+#include "src/data/MonotoneHashMap.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace lvish {
+
+/// Monotone set LVar; construct via \c newISet.
+template <typename T, typename HashT = DefaultHash<T>>
+class ISet : public LVarBase {
+  struct Unit {};
+
+public:
+  using DeltaType = T;
+  using Handler = std::function<void(const T &)>;
+
+  explicit ISet(uint64_t SessionId) : LVarBase(SessionId) {
+    Handlers.store(std::make_shared<const std::vector<Handler>>());
+  }
+
+  /// Lub write: adds \p Elem. No-op if already present (idempotent).
+  void insertElem(const T &Elem, Task *Writer) {
+    checkSession(Writer);
+    AsymmetricGate::FastGuard Gate(HandlerGate);
+    auto [Ptr, Inserted] = Table.insert(Elem, Unit{});
+    (void)Ptr;
+    if (!Inserted)
+      return;
+    if (isFrozen())
+      putAfterFreezeError();
+    auto Snapshot = Handlers.load(std::memory_order_acquire);
+    for (const Handler &H : *Snapshot)
+      H(Elem);
+    notifyWaiters(Writer);
+  }
+
+  bool containsElem(const T &Elem) const { return Table.contains(Elem); }
+
+  /// Exact cardinality; deterministic only when frozen/quiescent.
+  size_t sizeNow() const { return Table.size(); }
+
+  /// Registers a handler; delivers every existing element, then every
+  /// future one, exactly once (footnote-6 gate).
+  void addHandlerRaw(Handler H, Task *Registrar) {
+    checkSession(Registrar);
+    AsymmetricGate::SlowGuard Gate(HandlerGate);
+    auto Old = Handlers.load(std::memory_order_acquire);
+    auto New = std::make_shared<std::vector<Handler>>(*Old);
+    New->push_back(H);
+    Handlers.store(std::shared_ptr<const std::vector<Handler>>(std::move(New)),
+                   std::memory_order_release);
+    Table.forEach([&H](const T &Elem, const Unit &) { H(Elem); });
+  }
+
+  /// Sorted snapshot; call after freezing for deterministic iteration.
+  std::vector<T> toSortedVector() const {
+    assert(isFrozen() && "iterating an unfrozen ISet is nondeterministic");
+    return Table.snapshotSortedKeys();
+  }
+
+  /// Unordered traversal (post-freeze or at quiescence).
+  template <typename FnT> void forEachFrozen(FnT &&Fn) const {
+    assert(isFrozen() && "iterating an unfrozen ISet is nondeterministic");
+    Table.forEach([&Fn](const T &Elem, const Unit &) { Fn(Elem); });
+  }
+
+  /// Threshold read: unblocks once \p Elem is present.
+  class WaitElemAwaiter {
+  public:
+    WaitElemAwaiter(ISet &S, Task *Reader, T Elem)
+        : Set(S), Tsk(Reader), Target(std::move(Elem)) {}
+
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> H) {
+      return Set.parkGet(Tsk, H, this);
+    }
+    void await_resume() const noexcept {}
+
+    bool tryCapture() { return Set.Table.contains(Target); }
+
+  private:
+    ISet &Set;
+    Task *Tsk;
+    T Target;
+  };
+
+  /// Threshold read: unblocks once |set| >= N.
+  class WaitSizeAwaiter {
+  public:
+    WaitSizeAwaiter(ISet &S, Task *Reader, size_t N)
+        : Set(S), Tsk(Reader), Threshold(N) {}
+
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(std::coroutine_handle<> H) {
+      return Set.parkGet(Tsk, H, this);
+    }
+    void await_resume() const noexcept {}
+
+    bool tryCapture() { return Set.Table.size() >= Threshold; }
+
+  private:
+    ISet &Set;
+    Task *Tsk;
+    size_t Threshold;
+  };
+
+private:
+  MonotoneHashMap<T, Unit, HashT> Table;
+  std::atomic<std::shared_ptr<const std::vector<Handler>>> Handlers;
+};
+
+/// Allocates an empty set for the current session.
+template <typename T, EffectSet E>
+std::shared_ptr<ISet<T>> newISet(ParCtx<E> Ctx) {
+  return std::make_shared<ISet<T>>(Ctx.sessionId());
+}
+
+/// `insert :: HasPut e => a -> ISet s a -> Par e s ()`
+template <EffectSet E, typename T, typename HashT>
+  requires(hasPut(E))
+void insert(ParCtx<E> Ctx, ISet<T, HashT> &Set, const T &Elem) {
+  Set.insertElem(Elem, Ctx.task());
+}
+
+/// Blocks until \p Elem appears.
+template <EffectSet E, typename T, typename HashT>
+  requires(hasGet(E))
+typename ISet<T, HashT>::WaitElemAwaiter waitElem(ParCtx<E> Ctx,
+                                                  ISet<T, HashT> &Set,
+                                                  T Elem) {
+  return typename ISet<T, HashT>::WaitElemAwaiter(Set, Ctx.task(),
+                                                  std::move(Elem));
+}
+
+/// Blocks until the set has at least \p N elements.
+template <EffectSet E, typename T, typename HashT>
+  requires(hasGet(E))
+typename ISet<T, HashT>::WaitSizeAwaiter waitSize(ParCtx<E> Ctx,
+                                                  ISet<T, HashT> &Set,
+                                                  size_t N) {
+  return typename ISet<T, HashT>::WaitSizeAwaiter(Set, Ctx.task(), N);
+}
+
+/// Freezes mid-computation (quasi-deterministic) and returns the sorted
+/// contents.
+template <EffectSet E, typename T, typename HashT>
+  requires(hasFreeze(E))
+std::vector<T> freezeSet(ParCtx<E> Ctx, ISet<T, HashT> &Set) {
+  Set.checkSession(Ctx.task());
+  Set.markFrozen();
+  return Set.toSortedVector();
+}
+
+} // namespace lvish
+
+#endif // LVISH_DATA_ISET_H

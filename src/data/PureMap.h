@@ -1,0 +1,121 @@
+//===- PureMap.h - Pure-value map LVar (Data.LVar.PureMap) ------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `Data.LVar.PureMap` - the map used in the paper's appendix quickstart.
+/// Where IMap (src/data/IMap.h) is the *scalable* variant backed by a
+/// striped concurrent hash table, PureMap follows the PureLVar recipe: the
+/// whole map is "a single, pure value in a mutable box", with insertion as
+/// a lub against the map-union lattice and \c getKeyPure as a general
+/// monotone threshold read (footnote 5). Simpler to reason about (its
+/// join is literally map union with per-key conflict detection), slower
+/// under contention - the same trade the Haskell library offered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_DATA_PUREMAP_H
+#define LVISH_DATA_PUREMAP_H
+
+#include "src/core/PureLVar.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+
+namespace lvish {
+
+/// The map-union lattice: bottom is the empty map; join is key-wise union;
+/// binding one key to two different values is the (designated) top,
+/// represented as nullopt - exactly the per-key-IVar semantics of IMap,
+/// expressed as a pure lattice.
+template <typename K, typename V> struct MapUnionLattice {
+  using MapT = std::map<K, V>;
+  using ValueType = std::optional<MapT>; // nullopt = top.
+
+  static ValueType bottom() { return MapT{}; }
+
+  static ValueType join(const ValueType &A, const ValueType &B) {
+    if (!A || !B)
+      return std::nullopt;
+    MapT Out = *A;
+    for (const auto &[Key, Val] : *B) {
+      auto [It, Inserted] = Out.insert({Key, Val});
+      if (!Inserted && !(It->second == Val))
+        return std::nullopt; // Conflicting binding: top.
+    }
+    return Out;
+  }
+
+  static bool isTop(const ValueType &A) { return !A.has_value(); }
+};
+
+/// Pure-value map LVar; see file comment.
+template <typename K, typename V>
+using PureMap = PureLVar<MapUnionLattice<K, V>>;
+
+/// Allocates an empty PureMap (the appendix's `newEmptyMap`).
+template <typename K, typename V, EffectSet E>
+std::shared_ptr<PureMap<K, V>> newEmptyPureMap(ParCtx<E> Ctx) {
+  return newPureLVar<MapUnionLattice<K, V>>(Ctx);
+}
+
+/// Inserts a binding: a lub with the singleton map. Conflicting rebinds
+/// hit lattice top (a deterministic error), equal rebinds are idempotent.
+template <EffectSet E, typename K, typename V>
+  requires(hasPut(E))
+void insertPure(ParCtx<E> Ctx, PureMap<K, V> &Map, const K &Key,
+                const V &Val) {
+  typename MapUnionLattice<K, V>::MapT Singleton{{Key, Val}};
+  putPureLVar(Ctx, Map,
+              typename MapUnionLattice<K, V>::ValueType(
+                  std::move(Singleton)));
+}
+
+/// `getKey`: blocks until \p Key is bound, returns its value. A monotone
+/// threshold function: once a key is bound its value can never change
+/// (change would be top), so the returned observation is stable.
+template <EffectSet E, typename K, typename V>
+  requires(hasGet(E))
+auto getKeyPure(ParCtx<E> Ctx, PureMap<K, V> &Map, K Key) {
+  using VT = typename MapUnionLattice<K, V>::ValueType;
+  return getPureLVarWith<V>(
+      Ctx, Map, [Key = std::move(Key)](const VT &State) -> std::optional<V> {
+        if (!State)
+          return std::nullopt; // Top is unreachable (put aborts first).
+        auto It = State->find(Key);
+        if (It == State->end())
+          return std::nullopt;
+        return It->second;
+      });
+}
+
+/// Blocks until the map holds at least \p N bindings (cardinality is
+/// monotone; the observation returns only N itself).
+template <EffectSet E, typename K, typename V>
+  requires(hasGet(E))
+auto waitPureMapSize(ParCtx<E> Ctx, PureMap<K, V> &Map, size_t N) {
+  using VT = typename MapUnionLattice<K, V>::ValueType;
+  return getPureLVarWith<size_t>(
+      Ctx, Map, [N](const VT &State) -> std::optional<size_t> {
+        if (State && State->size() >= N)
+          return N;
+        return std::nullopt;
+      });
+}
+
+/// Freezes and returns the exact contents (requires HasFreeze); also the
+/// runParThenFreeze-compatible exact read.
+template <EffectSet E, typename K, typename V>
+  requires(hasFreeze(E))
+std::map<K, V> freezePureMap(ParCtx<E> Ctx, PureMap<K, V> &Map) {
+  auto State = freezePureLVar(Ctx, Map);
+  return State ? *State : std::map<K, V>{};
+}
+
+} // namespace lvish
+
+#endif // LVISH_DATA_PUREMAP_H

@@ -1,0 +1,68 @@
+//===- Harness.cpp - Benchmark sweep and reporting utilities ---------------===//
+
+#include "src/kernels/Harness.h"
+
+#include <cstdio>
+
+using namespace lvish;
+using namespace lvish::kernels;
+
+KernelCapture kernels::captureKernel(
+    const std::string &Name, const std::function<void(Scheduler &)> &Fn,
+    unsigned Workers, int Reps) {
+  KernelCapture Out;
+  Out.Name = Name;
+  {
+    SchedulerConfig Cfg;
+    Cfg.NumWorkers = Workers;
+    Scheduler Sched(Cfg);
+    Out.RealSeconds = medianSeconds([&] { Fn(Sched); }, Reps);
+  }
+  {
+    SchedulerConfig Cfg;
+    Cfg.NumWorkers = 1; // Contention-free slice durations.
+    Cfg.EnableTracing = true;
+    Scheduler Sched(Cfg);
+    WallTimer T;
+    Fn(Sched);
+    Out.TracedSeconds = T.elapsedSeconds();
+    Out.Graph = sim::TaskGraph::fromTrace(*Sched.trace());
+  }
+  return Out;
+}
+
+std::string kernels::formatSeconds(double S) {
+  char Buf[32];
+  if (S >= 100)
+    std::snprintf(Buf, sizeof(Buf), "%.0f", S);
+  else if (S >= 10)
+    std::snprintf(Buf, sizeof(Buf), "%.1f", S);
+  else if (S >= 1)
+    std::snprintf(Buf, sizeof(Buf), "%.2f", S);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.3f", S);
+  return Buf;
+}
+
+void kernels::printSpeedupTable(const std::vector<KernelCapture> &Kernels,
+                                const std::vector<unsigned> &WorkerCounts,
+                                const sim::MachineModel &Model,
+                                const char *Title) {
+  std::printf("%s\n", Title);
+  std::printf("%-14s %10s %12s", "kernel", "seq(s)", "work/span");
+  for (unsigned W : WorkerCounts)
+    std::printf("  P=%-5u", W);
+  std::printf("\n");
+  for (const KernelCapture &K : Kernels) {
+    double WorkS = static_cast<double>(K.Graph.totalWorkNanos()) * 1e-9;
+    double SpanS = static_cast<double>(K.Graph.criticalPathNanos()) * 1e-9;
+    std::printf("%-14s %10s %12.1f", K.Name.c_str(),
+                formatSeconds(K.RealSeconds).c_str(),
+                SpanS > 0 ? WorkS / SpanS : 0.0);
+    std::vector<double> Speedups =
+        sim::speedupSeries(K.Graph, WorkerCounts, Model);
+    for (double S : Speedups)
+      std::printf("  %-7.2f", S);
+    std::printf("\n");
+  }
+}

@@ -1,0 +1,58 @@
+//===- Harness.h - Benchmark sweep and reporting utilities ------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the bench/ executables: real timing (median of
+/// five, like the paper), DAG capture for the simulated thread sweeps, and
+/// fixed-width table printing in the shape of the paper's tables/figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_KERNELS_HARNESS_H
+#define LVISH_KERNELS_HARNESS_H
+
+#include "src/sched/Scheduler.h"
+#include "src/sim/Simulator.h"
+#include "src/support/Timer.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lvish {
+namespace kernels {
+
+/// One kernel's capture: real single-thread time plus its recorded DAG.
+struct KernelCapture {
+  std::string Name;
+  double RealSeconds = 0;   ///< Median wall time, tracing off.
+  sim::TaskGraph Graph;     ///< DAG recorded in a separate traced run.
+  double TracedSeconds = 0; ///< Wall time of the traced run (overhead probe).
+};
+
+/// Runs \p Fn (which takes the scheduler to use) untraced for timing, then
+/// once more with tracing on to capture the DAG. \p Workers sets the real
+/// worker count for the timing runs (the traced run always uses one worker
+/// so measured slice durations are contention-free).
+KernelCapture captureKernel(const std::string &Name,
+                            const std::function<void(Scheduler &)> &Fn,
+                            unsigned Workers = 1, int Reps = 5);
+
+/// Prints a "Figure 4/5"-shaped speedup table: one row per kernel, one
+/// column per simulated worker count.
+void printSpeedupTable(const std::vector<KernelCapture> &Kernels,
+                       const std::vector<unsigned> &WorkerCounts,
+                       const sim::MachineModel &Model,
+                       const char *Title);
+
+/// Formats seconds with 3 significant digits.
+std::string formatSeconds(double S);
+
+} // namespace kernels
+} // namespace lvish
+
+#endif // LVISH_KERNELS_HARNESS_H

@@ -1,0 +1,138 @@
+//===- Kernels.h - Traditional parallel benchmark kernels -------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "benchmark suite of traditional parallel kernels" of Figure 4:
+/// blackscholes, mergesortFP (purely functional, copying), matmult,
+/// sumeuler, and nbody - each with a sequential oracle and an LVish Par
+/// implementation - plus the two non-copying ParST merge sorts of Figure 5
+/// ("bottom out to different sequential sorts: either (1) a pure
+/// [hand-written] sequential sort, or (2) a library call" - here std::sort
+/// standing in for the C leaf).
+///
+/// Kernels annotate their memory traffic via ParCtx::noteBytes so the
+/// parallelism simulator's bandwidth model can reproduce the figures'
+/// shapes (the copying sort "reads the entire input memory at least
+/// log2(N) times"); the annotations are no-ops unless tracing is on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_KERNELS_KERNELS_H
+#define LVISH_KERNELS_KERNELS_H
+
+#include "src/core/LVish.h"
+#include "src/sched/Scheduler.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lvish {
+namespace kernels {
+
+/// Effect level all kernels run at (pure deterministic Par).
+inline constexpr EffectSet KernelEff = Eff::Det;
+
+/// Figure 2 knob: rerun a kernel with an *unneeded* transformer layered on
+/// top, to measure what a capability costs when present but unused.
+///  * UnusedState - one splittable-state layer (a CancelT "is just such a
+///    StateT"), split at every fork;
+///  * UnusedST    - the ParST capability switched on around the
+///    computation (a tiny vector state that is never touched).
+enum class Layering { None, UnusedState, UnusedST };
+
+// -- blackscholes ------------------------------------------------------
+
+/// One European option.
+struct Option {
+  double Spot;
+  double Strike;
+  double Years;
+  double Rate;
+  double Volatility;
+  bool IsCall;
+};
+
+/// Deterministic random option portfolio.
+std::vector<Option> makeOptions(size_t N, uint64_t Seed);
+
+/// Sequential oracle.
+std::vector<double> blackScholesSeq(const std::vector<Option> &Opts);
+
+/// LVish-parallel pricing.
+std::vector<double> blackScholesPar(Scheduler &Sched,
+                                    const std::vector<Option> &Opts,
+                                    size_t Grain = 1024,
+                                    Layering Layers = Layering::None);
+
+// -- sumeuler ----------------------------------------------------------
+
+/// Sequential sum of Euler totients over [1, N].
+uint64_t sumEulerSeq(uint32_t N);
+
+/// LVish-parallel via parallelReduce.
+uint64_t sumEulerPar(Scheduler &Sched, uint32_t N, size_t Grain = 64,
+                     Layering Layers = Layering::None);
+
+// -- matmult -----------------------------------------------------------
+
+/// Row-major N x N double matrices; deterministic random fill.
+std::vector<double> makeMatrix(size_t N, uint64_t Seed);
+
+std::vector<double> matMultSeq(const std::vector<double> &A,
+                               const std::vector<double> &B, size_t N);
+
+std::vector<double> matMultPar(Scheduler &Sched,
+                               const std::vector<double> &A,
+                               const std::vector<double> &B, size_t N,
+                               size_t RowGrain = 8,
+                               Layering Layers = Layering::None);
+
+// -- nbody -------------------------------------------------------------
+
+struct Body {
+  double X, Y, Z;
+  double VX, VY, VZ;
+  double Mass;
+};
+
+std::vector<Body> makeBodies(size_t N, uint64_t Seed);
+
+/// Advances \p Steps leapfrog steps, all-pairs forces. Sequential oracle.
+void nBodySeq(std::vector<Body> &Bodies, int Steps, double Dt = 1e-3);
+
+/// LVish-parallel (parallel force phase per step).
+void nBodyPar(Scheduler &Sched, std::vector<Body> &Bodies, int Steps,
+              double Dt = 1e-3, size_t Grain = 32,
+              Layering Layers = Layering::None);
+
+// -- merge sorts ---------------------------------------------------------
+
+/// Deterministic random keys.
+std::vector<int64_t> makeKeys(size_t N, uint64_t Seed);
+
+/// Hand-written sequential merge sort (the "pure Haskell leaf" stand-in).
+void mergeSortSeq(std::vector<int64_t> &Keys);
+
+/// Purely functional (copying) parallel merge sort: each recursive call
+/// returns a fresh vector; merging appends/copies - Figure 4's
+/// "mergesortFP", the kernel that stops scaling first.
+std::vector<int64_t> mergeSortFP(Scheduler &Sched, std::vector<int64_t> Keys,
+                                 size_t LeafSize = 8192,
+                                 Layering Layers = Layering::None);
+
+/// Non-copying ParST merge sort (Section 7.3 / Figure 5): sorts in place
+/// over a VecView with forkSTSplit2, double-split unrolling so "after each
+/// round the output ends up back in the original buffer". \p UseStdSortLeaf
+/// selects the std::sort leaf (the "C leaf" variant) instead of the
+/// hand-written one.
+void mergeSortParST(Scheduler &Sched, std::vector<int64_t> &Keys,
+                    size_t LeafSize = 8192, bool UseStdSortLeaf = false);
+
+} // namespace kernels
+} // namespace lvish
+
+#endif // LVISH_KERNELS_KERNELS_H

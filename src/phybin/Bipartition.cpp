@@ -1,0 +1,80 @@
+//===- Bipartition.cpp - Tree bipartitions as bit vectors ------------------===//
+
+#include "src/phybin/Bipartition.h"
+
+#include <algorithm>
+
+using namespace lvish;
+using namespace lvish::phybin;
+
+void phybin::canonicalizeBipartition(DenseLabelSet &Split) {
+  if (Split.universeSize() > 0 && Split.test(0))
+    Split.flipAll();
+}
+
+std::vector<DenseLabelSet>
+phybin::extractBipartitions(const PhyloTree &Tree, size_t NumSpecies) {
+  // Post-order accumulation of leaf sets: children before parents. The
+  // arena has no guaranteed topological order, so compute one explicitly.
+  size_t N = Tree.numNodes();
+  std::vector<NodeId> PostOrder;
+  PostOrder.reserve(N);
+  {
+    std::vector<std::pair<NodeId, size_t>> Stack;
+    Stack.emplace_back(Tree.root(), 0);
+    while (!Stack.empty()) {
+      auto &[Node, NextChild] = Stack.back();
+      const PhyloNode &Nd = Tree.node(Node);
+      if (NextChild < Nd.Children.size()) {
+        NodeId C = Nd.Children[NextChild++];
+        Stack.emplace_back(C, 0);
+      } else {
+        PostOrder.push_back(Node);
+        Stack.pop_back();
+      }
+    }
+  }
+
+  std::vector<DenseLabelSet> Below(N, DenseLabelSet(NumSpecies));
+  std::vector<DenseLabelSet> Result;
+  for (NodeId Node : PostOrder) {
+    const PhyloNode &Nd = Tree.node(Node);
+    DenseLabelSet &Mine = Below[size_t(Node)];
+    if (Nd.isLeaf()) {
+      Mine.set(size_t(Nd.Species));
+    } else {
+      for (NodeId C : Nd.Children)
+        Mine |= Below[size_t(C)];
+    }
+    // Every internal, non-root edge (Node -> parent) induces a split.
+    if (Nd.isLeaf() || Nd.Parent == InvalidNode)
+      continue;
+    size_t SideSize = Mine.count();
+    if (SideSize <= 1 || SideSize >= NumSpecies - 1)
+      continue; // Trivial split.
+    DenseLabelSet Split = Mine;
+    canonicalizeBipartition(Split);
+    Result.push_back(std::move(Split));
+  }
+  std::sort(Result.begin(), Result.end());
+  Result.erase(std::unique(Result.begin(), Result.end()), Result.end());
+  return Result;
+}
+
+size_t
+phybin::symmetricDifferenceSize(const std::vector<DenseLabelSet> &A,
+                                const std::vector<DenseLabelSet> &B) {
+  size_t IA = 0, IB = 0, Shared = 0;
+  while (IA < A.size() && IB < B.size()) {
+    if (A[IA] == B[IB]) {
+      ++Shared;
+      ++IA;
+      ++IB;
+    } else if (A[IA] < B[IB]) {
+      ++IA;
+    } else {
+      ++IB;
+    }
+  }
+  return A.size() + B.size() - 2 * Shared;
+}

@@ -1,0 +1,54 @@
+//===- Bipartition.h - Tree bipartitions as bit vectors ---------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Each intermediate node of a tree can be seen as partitioning the set of
+/// leaves into those below and above the node ... Identical trees convert
+/// to the same set of bipartitions. Furthermore, after converting trees to
+/// sets of bipartitions, set difference may be computed using standard set
+/// data structures." (Section 7.1.)
+///
+/// A bipartition is encoded as a \c DenseBitset over the species universe -
+/// the paper's \c DenseLabelSet - canonicalized so that species 0 is always
+/// on the zero side (a split and its complement denote the same unrooted
+/// edge). Trivial splits (single leaf / all-but-one) carry no topological
+/// information and are omitted, following RF-distance convention.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_PHYBIN_BIPARTITION_H
+#define LVISH_PHYBIN_BIPARTITION_H
+
+#include "src/phybin/PhyloTree.h"
+#include "src/support/DenseBitset.h"
+
+#include <vector>
+
+namespace lvish {
+namespace phybin {
+
+/// The paper's DenseLabelSet: one bipartition as a species bit vector.
+using DenseLabelSet = DenseBitset;
+
+/// Canonicalizes a split in place: complements it if species 0 is set, so
+/// each unrooted edge has exactly one encoding.
+void canonicalizeBipartition(DenseLabelSet &Split);
+
+/// Extracts the canonical non-trivial bipartitions of \p Tree over a
+/// universe of \p NumSpecies. Deterministic order (sorted).
+std::vector<DenseLabelSet> extractBipartitions(const PhyloTree &Tree,
+                                               size_t NumSpecies);
+
+/// Symmetric-difference size between two *sorted* bipartition lists: the
+/// Robinson-Foulds distance between their trees.
+size_t symmetricDifferenceSize(const std::vector<DenseLabelSet> &A,
+                               const std::vector<DenseLabelSet> &B);
+
+} // namespace phybin
+} // namespace lvish
+
+#endif // LVISH_PHYBIN_BIPARTITION_H

@@ -1,0 +1,92 @@
+//===- Cluster.cpp - Hierarchical clustering of tree sets ------------------===//
+
+#include "src/phybin/Cluster.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+using namespace lvish;
+using namespace lvish::phybin;
+
+Dendrogram phybin::clusterSingleLinkage(const DistanceMatrix &D) {
+  // SLINK (Sibson 1973). Processes points incrementally, maintaining the
+  // pointer representation (Pi, Lambda).
+  size_t N = D.size();
+  Dendrogram Out;
+  Out.Pi.assign(N, 0);
+  Out.Lambda.assign(N, std::numeric_limits<double>::infinity());
+  if (N == 0)
+    return Out;
+  std::vector<double> M(N, 0);
+  for (size_t I = 0; I < N; ++I) {
+    Out.Pi[I] = I;
+    Out.Lambda[I] = std::numeric_limits<double>::infinity();
+    for (size_t J = 0; J < I; ++J)
+      M[J] = static_cast<double>(D.at(I, J));
+    for (size_t J = 0; J < I; ++J) {
+      if (Out.Lambda[J] >= M[J]) {
+        M[Out.Pi[J]] = std::min(M[Out.Pi[J]], Out.Lambda[J]);
+        Out.Lambda[J] = M[J];
+        Out.Pi[J] = I;
+      } else {
+        M[Out.Pi[J]] = std::min(M[Out.Pi[J]], M[J]);
+      }
+    }
+    for (size_t J = 0; J < I; ++J)
+      if (Out.Lambda[J] >= Out.Lambda[Out.Pi[J]])
+        Out.Pi[J] = I;
+  }
+  return Out;
+}
+
+std::vector<size_t> phybin::cutClusters(const Dendrogram &Dend,
+                                        double MaxDistance) {
+  // Union elements with their Pi target when the merge height is within
+  // the cut; then renumber components by smallest member.
+  size_t N = Dend.size();
+  std::vector<size_t> Parent(N);
+  for (size_t I = 0; I < N; ++I)
+    Parent[I] = I;
+  // Tiny union-find with path halving.
+  auto Find = [&Parent](size_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  for (size_t I = 0; I < N; ++I)
+    if (Dend.Lambda[I] <= MaxDistance) {
+      size_t A = Find(I), B = Find(Dend.Pi[I]);
+      if (A != B)
+        Parent[std::max(A, B)] = std::min(A, B);
+    }
+  std::vector<size_t> Assignment(N);
+  std::map<size_t, size_t> Renumber;
+  for (size_t I = 0; I < N; ++I) {
+    size_t Root = Find(I);
+    auto [It, Inserted] = Renumber.emplace(Root, Renumber.size());
+    (void)Inserted;
+    Assignment[I] = It->second;
+  }
+  return Assignment;
+}
+
+std::string phybin::formatClusters(const std::vector<size_t> &Assignment) {
+  size_t K = 0;
+  for (size_t C : Assignment)
+    K = std::max(K, C + 1);
+  std::vector<std::vector<size_t>> Bins(K);
+  for (size_t I = 0; I < Assignment.size(); ++I)
+    Bins[Assignment[I]].push_back(I);
+  std::string Out;
+  for (size_t C = 0; C < K; ++C) {
+    Out += "bin " + std::to_string(C) + " (" +
+           std::to_string(Bins[C].size()) + " trees):";
+    for (size_t T : Bins[C])
+      Out += " " + std::to_string(T);
+    Out += "\n";
+  }
+  return Out;
+}

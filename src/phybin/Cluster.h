@@ -1,0 +1,55 @@
+//===- Cluster.h - Hierarchical clustering of tree sets ---------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The primary output of the software is a hierarchical clustering of the
+/// input tree set (a tree of trees)" (Section 7.1). This module implements
+/// single-linkage agglomerative clustering over an RF distance matrix via
+/// the SLINK algorithm (Sibson 1973) - O(N^2) time, O(N) space - plus a
+/// threshold cut that bins trees by topology, matching PhyBin's published
+/// purpose ("PhyBin: binning trees by topology").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_PHYBIN_CLUSTER_H
+#define LVISH_PHYBIN_CLUSTER_H
+
+#include "src/phybin/RFDistance.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lvish {
+namespace phybin {
+
+/// A dendrogram in SLINK's pointer representation: element i merges into
+/// cluster Pi[i] at height Lambda[i] (the last element has Lambda = inf).
+struct Dendrogram {
+  std::vector<size_t> Pi;
+  std::vector<double> Lambda;
+
+  size_t size() const { return Pi.size(); }
+};
+
+/// Single-linkage hierarchical clustering of the distance matrix.
+Dendrogram clusterSingleLinkage(const DistanceMatrix &D);
+
+/// Cuts the dendrogram at \p MaxDistance: trees whose single-linkage merge
+/// height is <= MaxDistance share a bin. Returns a cluster id per tree,
+/// with ids numbered 0..k-1 in order of each cluster's smallest member
+/// (deterministic).
+std::vector<size_t> cutClusters(const Dendrogram &Dend, double MaxDistance);
+
+/// Renders the clustering as a sorted, human-readable summary (one line
+/// per bin), for the demo executable and golden tests.
+std::string formatClusters(const std::vector<size_t> &Assignment);
+
+} // namespace phybin
+} // namespace lvish
+
+#endif // LVISH_PHYBIN_CLUSTER_H

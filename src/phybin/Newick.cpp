@@ -1,0 +1,228 @@
+//===- Newick.cpp - Newick tree format parser/printer ----------------------===//
+
+#include "src/phybin/Newick.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+using namespace lvish;
+using namespace lvish::phybin;
+
+namespace {
+
+/// Recursive-descent Newick parser over a string_view cursor.
+class Parser {
+public:
+  Parser(std::string_view Text, PhyloTree &Tree,
+         std::vector<std::string> &Species)
+      : Text(Text), Tree(Tree), Species(Species) {
+    for (size_t I = 0; I < Species.size(); ++I)
+      NameToIndex[Species[I]] = static_cast<int32_t>(I);
+  }
+
+  NewickError run() {
+    skipSpace();
+    NodeId Root = parseNode();
+    if (Failed)
+      return Err;
+    skipSpace();
+    if (!eat(';'))
+      return fail("expected ';' at end of tree");
+    Tree.setRoot(Root);
+    return NewickError();
+  }
+
+  size_t position() const { return Pos; }
+
+private:
+  NodeId parseNode() {
+    skipSpace();
+    NodeId N;
+    if (peek() == '(') {
+      N = parseGroup();
+      if (Failed)
+        return InvalidNode;
+      // Optional internal label, discarded.
+      std::string Label = parseLabel();
+      (void)Label;
+    } else {
+      std::string Label = parseLabel();
+      if (Label.empty()) {
+        fail("expected a leaf label");
+        return InvalidNode;
+      }
+      N = Tree.addLeaf(speciesIndex(Label));
+    }
+    if (Failed)
+      return InvalidNode;
+    // Optional branch length.
+    if (peek() == ':') {
+      ++Pos;
+      Tree.node(N).BranchLength = parseNumber();
+    }
+    return N;
+  }
+
+  NodeId parseGroup() {
+    // Caller saw '('.
+    ++Pos;
+    NodeId Group = Tree.addNode();
+    for (;;) {
+      NodeId Child = parseNode();
+      if (Failed)
+        return InvalidNode;
+      Tree.attach(Group, Child);
+      skipSpace();
+      if (eat(','))
+        continue;
+      if (eat(')'))
+        return Group;
+      fail("expected ',' or ')' in group");
+      return InvalidNode;
+    }
+  }
+
+  std::string parseLabel() {
+    skipSpace();
+    std::string Label;
+    if (peek() == '\'') {
+      ++Pos;
+      while (Pos < Text.size() && Text[Pos] != '\'')
+        Label.push_back(Text[Pos++]);
+      if (Pos == Text.size()) {
+        fail("unterminated quoted label");
+        return Label;
+      }
+      ++Pos; // Closing quote.
+      return Label;
+    }
+    while (Pos < Text.size() && !strchr("():,;'", Text[Pos]) &&
+           !std::isspace(static_cast<unsigned char>(Text[Pos])))
+      Label.push_back(Text[Pos++]);
+    return Label;
+  }
+
+  double parseNumber() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            strchr("+-.eE", Text[Pos])))
+      ++Pos;
+    if (Pos == Start) {
+      fail("expected a branch length after ':'");
+      return 0;
+    }
+    return std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                       nullptr);
+  }
+
+  int32_t speciesIndex(const std::string &Name) {
+    auto It = NameToIndex.find(Name);
+    if (It != NameToIndex.end())
+      return It->second;
+    int32_t Idx = static_cast<int32_t>(Species.size());
+    Species.push_back(Name);
+    NameToIndex.emplace(Name, Idx);
+    return Idx;
+  }
+
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+  bool eat(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+  NewickError fail(const char *Msg) {
+    if (!Failed) {
+      Failed = true;
+      Err.Offset = Pos;
+      Err.Message = Msg;
+    }
+    return Err;
+  }
+
+  std::string_view Text;
+  PhyloTree &Tree;
+  std::vector<std::string> &Species;
+  std::unordered_map<std::string, int32_t> NameToIndex;
+  size_t Pos = 0;
+  bool Failed = false;
+  NewickError Err;
+};
+
+void printNode(const PhyloTree &Tree, NodeId N,
+               const std::vector<std::string> &Species, std::string &Out) {
+  const PhyloNode &Nd = Tree.node(N);
+  if (Nd.isLeaf()) {
+    Out += Species[size_t(Nd.Species)];
+  } else {
+    Out.push_back('(');
+    for (size_t I = 0; I < Nd.Children.size(); ++I) {
+      if (I)
+        Out.push_back(',');
+      printNode(Tree, Nd.Children[I], Species, Out);
+    }
+    Out.push_back(')');
+  }
+  if (Nd.BranchLength != 0) {
+    Out.push_back(':');
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%g", Nd.BranchLength);
+    Out += Buf;
+  }
+}
+
+} // namespace
+
+NewickError phybin::parseNewick(std::string_view Text, PhyloTree &Out,
+                                std::vector<std::string> &Species) {
+  Parser P(Text, Out, Species);
+  return P.run();
+}
+
+NewickError phybin::parseNewickForest(std::string_view Text, TreeSet &Out) {
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    // Skip whitespace between trees.
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos >= Text.size())
+      break;
+    size_t End = Text.find(';', Pos);
+    if (End == std::string_view::npos) {
+      NewickError E;
+      E.Offset = Pos;
+      E.Message = "tree not terminated by ';'";
+      return E;
+    }
+    PhyloTree Tree;
+    NewickError E = parseNewick(Text.substr(Pos, End - Pos + 1), Tree,
+                                Out.SpeciesNames);
+    if (!E.ok()) {
+      E.Offset += Pos;
+      return E;
+    }
+    Out.Trees.push_back(std::move(Tree));
+    Pos = End + 1;
+  }
+  return NewickError();
+}
+
+std::string phybin::printNewick(const PhyloTree &Tree,
+                                const std::vector<std::string> &Species) {
+  std::string Out;
+  printNode(Tree, Tree.root(), Species, Out);
+  Out.push_back(';');
+  return Out;
+}

@@ -1,0 +1,55 @@
+//===- Newick.h - Newick tree format parser/printer -------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reader and writer for the Newick phylogenetic tree format, the input
+/// format of PhyBin and the other tools in Table 1 (e.g. "(A:0.1,(B,C))R;").
+/// Supported: nested parenthesized groups, leaf and internal labels,
+/// branch lengths, quoted labels, whitespace. Errors are reported with a
+/// character offset rather than thrown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_PHYBIN_NEWICK_H
+#define LVISH_PHYBIN_NEWICK_H
+
+#include "src/phybin/PhyloTree.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lvish {
+namespace phybin {
+
+/// Parse failure description (Offset == npos means success).
+struct NewickError {
+  size_t Offset = std::string::npos;
+  std::string Message;
+
+  bool ok() const { return Offset == std::string::npos; }
+};
+
+/// Parses one Newick string into \p Out, resolving leaf names through
+/// \p Species: existing names map to their indices, new names are
+/// appended. Internal-node labels are accepted and discarded (RF distance
+/// only uses topology).
+NewickError parseNewick(std::string_view Text, PhyloTree &Out,
+                        std::vector<std::string> &Species);
+
+/// Parses a whole file's worth of semicolon-terminated trees into a
+/// TreeSet (one tree per semicolon).
+NewickError parseNewickForest(std::string_view Text, TreeSet &Out);
+
+/// Renders \p Tree back to Newick (without branch lengths when zero).
+std::string printNewick(const PhyloTree &Tree,
+                        const std::vector<std::string> &Species);
+
+} // namespace phybin
+} // namespace lvish
+
+#endif // LVISH_PHYBIN_NEWICK_H

@@ -1,0 +1,81 @@
+//===- PhyloTree.cpp - Phylogenetic tree representation --------------------===//
+
+#include "src/phybin/PhyloTree.h"
+
+#include <vector>
+
+using namespace lvish;
+using namespace lvish::phybin;
+
+bool PhyloTree::validate(std::string *Error) const {
+  auto Fail = [Error](const char *Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+  if (Nodes.empty() || Root == InvalidNode ||
+      size_t(Root) >= Nodes.size())
+    return Fail("missing or out-of-range root");
+  if (Nodes[size_t(Root)].Parent != InvalidNode)
+    return Fail("root has a parent");
+  // Every node reachable from the root exactly once; links consistent.
+  std::vector<char> Seen(Nodes.size(), 0);
+  std::vector<NodeId> Stack{Root};
+  size_t Count = 0;
+  while (!Stack.empty()) {
+    NodeId N = Stack.back();
+    Stack.pop_back();
+    if (Seen[size_t(N)])
+      return Fail("node reachable twice (cycle or shared subtree)");
+    Seen[size_t(N)] = 1;
+    ++Count;
+    const PhyloNode &Nd = Nodes[size_t(N)];
+    if (Nd.isLeaf() && Nd.Species < 0)
+      return Fail("unlabeled leaf");
+    if (!Nd.isLeaf() && Nd.Species >= 0)
+      return Fail("labeled internal node");
+    for (NodeId C : Nd.Children) {
+      if (size_t(C) >= Nodes.size())
+        return Fail("child index out of range");
+      if (Nodes[size_t(C)].Parent != N)
+        return Fail("child's parent link is inconsistent");
+      Stack.push_back(C);
+    }
+  }
+  if (Count != Nodes.size())
+    return Fail("unreachable nodes in arena");
+  return true;
+}
+
+bool TreeSet::validate(std::string *Error) const {
+  for (size_t TI = 0; TI < Trees.size(); ++TI) {
+    if (!Trees[TI].validate(Error))
+      return false;
+    std::vector<char> Present(SpeciesNames.size(), 0);
+    size_t Leaves = 0;
+    for (size_t N = 0; N < Trees[TI].numNodes(); ++N) {
+      const PhyloNode &Nd = Trees[TI].node(static_cast<NodeId>(N));
+      if (!Nd.isLeaf())
+        continue;
+      ++Leaves;
+      if (Nd.Species < 0 ||
+          size_t(Nd.Species) >= SpeciesNames.size()) {
+        if (Error)
+          *Error = "leaf species index out of range";
+        return false;
+      }
+      if (Present[size_t(Nd.Species)]) {
+        if (Error)
+          *Error = "species appears on two leaves of one tree";
+        return false;
+      }
+      Present[size_t(Nd.Species)] = 1;
+    }
+    if (Leaves != SpeciesNames.size()) {
+      if (Error)
+        *Error = "tree does not cover the species universe";
+      return false;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,111 @@
+//===- PhyloTree.h - Phylogenetic tree representation -----------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tree substrate for the PhyBin case study (Section 7.1): "a
+/// phylogenetic tree represents a possible ancestry for a set of N species.
+/// Leaf nodes in the tree are labeled with species' names, and the
+/// structure of the tree represents a hypothesis about common ancestors."
+///
+/// Trees are stored as node arenas; leaves carry species indices into a
+/// shared species table (a \c TreeSet holds many trees over one species
+/// universe, the shape PhyBin consumes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_PHYBIN_PHYLOTREE_H
+#define LVISH_PHYBIN_PHYLOTREE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lvish {
+namespace phybin {
+
+/// Index of a node within its tree's arena.
+using NodeId = int32_t;
+inline constexpr NodeId InvalidNode = -1;
+
+/// One tree node. Leaves have Species >= 0 and no children.
+struct PhyloNode {
+  NodeId Parent = InvalidNode;
+  std::vector<NodeId> Children;
+  int32_t Species = -1;    ///< Species index for leaves; -1 for internals.
+  double BranchLength = 0; ///< Optional; not used by RF distance.
+
+  bool isLeaf() const { return Children.empty(); }
+};
+
+/// An unordered rooted tree over a species universe. RF distance treats
+/// trees as unrooted; the bipartition extraction (Bipartition.h) handles
+/// that by canonicalizing each split.
+class PhyloTree {
+public:
+  PhyloTree() = default;
+
+  NodeId root() const { return Root; }
+  void setRoot(NodeId N) { Root = N; }
+
+  size_t numNodes() const { return Nodes.size(); }
+  const PhyloNode &node(NodeId N) const { return Nodes[size_t(N)]; }
+  PhyloNode &node(NodeId N) { return Nodes[size_t(N)]; }
+
+  /// Appends a fresh node and returns its id.
+  NodeId addNode() {
+    Nodes.push_back(PhyloNode());
+    return static_cast<NodeId>(Nodes.size() - 1);
+  }
+
+  /// Appends a leaf for species \p Species.
+  NodeId addLeaf(int32_t Species) {
+    NodeId N = addNode();
+    Nodes[size_t(N)].Species = Species;
+    return N;
+  }
+
+  /// Attaches \p Child under \p Parent (maintains both links).
+  void attach(NodeId Parent, NodeId Child) {
+    Nodes[size_t(Parent)].Children.push_back(Child);
+    Nodes[size_t(Child)].Parent = Parent;
+  }
+
+  /// Number of leaves (counted).
+  size_t countLeaves() const {
+    size_t N = 0;
+    for (const PhyloNode &Nd : Nodes)
+      if (Nd.isLeaf())
+        ++N;
+    return N;
+  }
+
+  /// Structural well-formedness check (single root, parent/child links
+  /// consistent, every leaf labeled). Used by tests and the parser.
+  bool validate(std::string *Error = nullptr) const;
+
+private:
+  std::vector<PhyloNode> Nodes;
+  NodeId Root = InvalidNode;
+};
+
+/// A collection of trees over one shared species table: PhyBin's input.
+/// All trees must have exactly one leaf per species.
+struct TreeSet {
+  std::vector<std::string> SpeciesNames;
+  std::vector<PhyloTree> Trees;
+
+  size_t numSpecies() const { return SpeciesNames.size(); }
+  size_t numTrees() const { return Trees.size(); }
+
+  /// Checks every tree covers the species universe exactly once.
+  bool validate(std::string *Error = nullptr) const;
+};
+
+} // namespace phybin
+} // namespace lvish
+
+#endif // LVISH_PHYBIN_PHYLOTREE_H

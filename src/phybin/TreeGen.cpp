@@ -1,0 +1,81 @@
+//===- TreeGen.cpp - Synthetic phylogenetic tree sets ----------------------===//
+
+#include "src/phybin/TreeGen.h"
+
+#include <cassert>
+#include <string>
+
+using namespace lvish;
+using namespace lvish::phybin;
+
+PhyloTree phybin::randomBinaryTree(size_t NumSpecies, SplitMix64 &Rng) {
+  assert(NumSpecies >= 2 && "need at least two species");
+  PhyloTree Tree;
+  std::vector<NodeId> Roots;
+  Roots.reserve(NumSpecies);
+  for (size_t S = 0; S < NumSpecies; ++S)
+    Roots.push_back(Tree.addLeaf(static_cast<int32_t>(S)));
+  while (Roots.size() > 1) {
+    size_t A = Rng.nextBounded(Roots.size());
+    NodeId Left = Roots[A];
+    Roots[A] = Roots.back();
+    Roots.pop_back();
+    size_t B = Rng.nextBounded(Roots.size());
+    NodeId Right = Roots[B];
+    NodeId Join = Tree.addNode();
+    Tree.attach(Join, Left);
+    Tree.attach(Join, Right);
+    Roots[B] = Join;
+  }
+  Tree.setRoot(Roots.front());
+  return Tree;
+}
+
+void phybin::mutateNNI(PhyloTree &Tree, size_t Moves, SplitMix64 &Rng) {
+  // Collect mutable internal nodes (non-root internals with a parent).
+  std::vector<NodeId> Internal;
+  for (size_t N = 0; N < Tree.numNodes(); ++N) {
+    NodeId Id = static_cast<NodeId>(N);
+    const PhyloNode &Nd = Tree.node(Id);
+    if (!Nd.isLeaf() && Nd.Parent != InvalidNode)
+      Internal.push_back(Id);
+  }
+  if (Internal.empty())
+    return;
+  for (size_t M = 0; M < Moves; ++M) {
+    NodeId V = Internal[Rng.nextBounded(Internal.size())];
+    NodeId U = Tree.node(V).Parent;
+    PhyloNode &Un = Tree.node(U);
+    PhyloNode &Vn = Tree.node(V);
+    // Pick a sibling of V under U and a child of V; swap them.
+    size_t SibIdx = Rng.nextBounded(Un.Children.size());
+    if (Un.Children[SibIdx] == V)
+      SibIdx = (SibIdx + 1) % Un.Children.size();
+    if (Un.Children[SibIdx] == V)
+      continue; // U has only V as child; degenerate, skip.
+    size_t ChildIdx = Rng.nextBounded(Vn.Children.size());
+    NodeId Sib = Un.Children[SibIdx];
+    NodeId Child = Vn.Children[ChildIdx];
+    Un.Children[SibIdx] = Child;
+    Vn.Children[ChildIdx] = Sib;
+    Tree.node(Child).Parent = U;
+    Tree.node(Sib).Parent = V;
+  }
+}
+
+TreeSet phybin::generateTreeSet(size_t NumTrees, size_t NumSpecies,
+                                size_t MutationsPerTree, uint64_t Seed) {
+  TreeSet Out;
+  Out.SpeciesNames.reserve(NumSpecies);
+  for (size_t S = 0; S < NumSpecies; ++S)
+    Out.SpeciesNames.push_back("sp" + std::to_string(S));
+  SplitMix64 Rng(Seed);
+  PhyloTree Base = randomBinaryTree(NumSpecies, Rng);
+  Out.Trees.reserve(NumTrees);
+  for (size_t T = 0; T < NumTrees; ++T) {
+    PhyloTree Tree = Base;
+    mutateNNI(Tree, MutationsPerTree, Rng);
+    Out.Trees.push_back(std::move(Tree));
+  }
+  return Out;
+}

@@ -1,0 +1,48 @@
+//===- TreeGen.h - Synthetic phylogenetic tree sets -------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generator for PhyBin workloads. The paper's evaluation used
+/// biological tree sets (e.g. 100 trees x 150 species, 1000 trees x 150
+/// species); those inputs are not redistributable, so - per this
+/// reproduction's substitution rule - we synthesize sets with the same
+/// statistical shape: a base random binary topology plus per-tree random
+/// NNI (nearest-neighbor-interchange) perturbations. Biologists' tree sets
+/// are exactly "many alternative hypotheses that are mostly similar",
+/// which NNI mutation models; the bipartition-table sizes and sharing
+/// profile (what drives HashRF's running time) behave like the real data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_PHYBIN_TREEGEN_H
+#define LVISH_PHYBIN_TREEGEN_H
+
+#include "src/phybin/PhyloTree.h"
+#include "src/support/SplitMix.h"
+
+namespace lvish {
+namespace phybin {
+
+/// Generates a uniformly random rooted binary tree over \p NumSpecies
+/// leaves (random sequential joins).
+PhyloTree randomBinaryTree(size_t NumSpecies, SplitMix64 &Rng);
+
+/// Applies \p Moves random nearest-neighbor interchanges in place.
+/// Each move swaps a random internal node's child with its sibling,
+/// changing one bipartition while keeping the tree binary.
+void mutateNNI(PhyloTree &Tree, size_t Moves, SplitMix64 &Rng);
+
+/// Builds a PhyBin workload: \p NumTrees trees over \p NumSpecies species;
+/// tree i is the shared base topology perturbed by \p MutationsPerTree NNI
+/// moves. Deterministic in \p Seed. Species are named "sp0".."spN-1".
+TreeSet generateTreeSet(size_t NumTrees, size_t NumSpecies,
+                        size_t MutationsPerTree, uint64_t Seed);
+
+} // namespace phybin
+} // namespace lvish
+
+#endif // LVISH_PHYBIN_TREEGEN_H

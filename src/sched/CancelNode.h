@@ -1,0 +1,99 @@
+//===- CancelNode.h - Transitive cancellation tree --------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The liveness tree behind the paper's \c CancelT transformer (Section
+/// 6.1). Each cancellable future allocates one node storing "whether the
+/// computation is still alive, and a list of the child CFutures, which must
+/// be cancelled if the current thread is cancelled". Regular forks share
+/// the parent's node; \c forkCancelable creates a child node. The scheduler
+/// polls a task's node at every scheduler action (fork, get, put), which the
+/// paper observes is sufficient because scheduler actions are frequent.
+///
+/// The node also tracks the read-vs-cancel conflict: "It is an error to both
+/// cancel and read such a future, even if the read happens first." Both
+/// orders deterministically raise the same error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_SCHED_CANCELNODE_H
+#define LVISH_SCHED_CANCELNODE_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace lvish {
+
+/// One node in the cancellation tree. Shared by all tasks forked (without a
+/// new cancellable boundary) under the same \c forkCancelable.
+class CancelNode {
+public:
+  CancelNode() = default;
+
+  CancelNode(const CancelNode &) = delete;
+  CancelNode &operator=(const CancelNode &) = delete;
+
+  /// True while this computation may still run.
+  bool isLive() const { return Live.load(std::memory_order_acquire); }
+
+  /// Cancels this node and, transitively, every registered child node.
+  /// Idempotent and safe to race with child registration.
+  void cancel() {
+    // Mark first so new work under this node observes death immediately.
+    if (Live.exchange(false, std::memory_order_acq_rel) == false)
+      return; // Already cancelled.
+    WasCancelled.store(true, std::memory_order_release);
+    std::vector<std::shared_ptr<CancelNode>> Snapshot;
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Snapshot = Children;
+    }
+    for (const auto &Child : Snapshot)
+      Child->cancel();
+  }
+
+  /// Registers \p Child so a later cancel of this node reaches it. If this
+  /// node is already dead the child is cancelled immediately.
+  void addChild(std::shared_ptr<CancelNode> Child) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Children.push_back(Child);
+    }
+    // Re-check after publication: a concurrent cancel either saw the child
+    // in its snapshot or we see Live == false here (or both; cancel is
+    // idempotent).
+    if (!isLive())
+      Child->cancel();
+  }
+
+  /// Records that the future guarded by this node was read. Returns true if
+  /// the node was also cancelled (a determinism error the caller must
+  /// report).
+  bool noteRead() {
+    WasRead.store(true, std::memory_order_release);
+    return WasCancelled.load(std::memory_order_acquire);
+  }
+
+  /// Records a cancel for conflict detection. Returns true if the future
+  /// was also read.
+  bool noteCancelConflict() const {
+    return WasRead.load(std::memory_order_acquire);
+  }
+
+private:
+  std::atomic<bool> Live{true};
+  std::atomic<bool> WasRead{false};
+  std::atomic<bool> WasCancelled{false};
+  std::mutex Mutex;
+  std::vector<std::shared_ptr<CancelNode>> Children;
+};
+
+} // namespace lvish
+
+#endif // LVISH_SCHED_CANCELNODE_H

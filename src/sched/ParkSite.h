@@ -1,0 +1,35 @@
+//===- ParkSite.h - Places a task can park on -------------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A \c ParkSite is anything that holds parked tasks: an LVar's waiter list
+/// or a TaskScope's drain list. When the scheduler reaps a permanently
+/// parked task at the end of a session, it first tells the park site to
+/// forget the task so no dangling waiter entry survives the task's frame.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_SCHED_PARKSITE_H
+#define LVISH_SCHED_PARKSITE_H
+
+namespace lvish {
+
+class Task;
+
+/// Interface for waiter-list owners; see file comment.
+class ParkSite {
+public:
+  virtual ~ParkSite();
+
+  /// Removes \p T from this site's waiter list if present. Idempotent, and
+  /// only called when \p T can no longer be concurrently woken.
+  virtual void removeParkedTask(Task *T) = 0;
+};
+
+} // namespace lvish
+
+#endif // LVISH_SCHED_PARKSITE_H

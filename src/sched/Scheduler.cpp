@@ -1,0 +1,322 @@
+//===- Scheduler.cpp - Work-stealing Par scheduler ------------------------===//
+
+#include "src/sched/Scheduler.h"
+
+#include "src/support/Assert.h"
+#include "src/support/Timer.h"
+
+#include <cassert>
+#include <cstdio>
+
+#ifdef LVISH_TRACE_DEBUG
+#define LVISH_TRACE3(...) std::fprintf(stderr, __VA_ARGS__)
+#else
+#define LVISH_TRACE3(...) (void)0
+#endif
+
+using namespace lvish;
+
+// Thread-local identity of the current worker. WorkerSched distinguishes
+// workers of different scheduler instances sharing a process.
+namespace {
+thread_local Task *CurrentTaskTL = nullptr;
+thread_local Scheduler *WorkerSchedTL = nullptr;
+thread_local unsigned WorkerIndexTL = ~0u;
+} // namespace
+
+Task *Scheduler::currentTask() { return CurrentTaskTL; }
+
+Scheduler::Scheduler(SchedulerConfig Config) : Tracing(Config.EnableTracing) {
+  unsigned N = Config.NumWorkers;
+  if (N == 0)
+    N = std::max(1u, std::thread::hardware_concurrency());
+  Workers.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    auto W = std::make_unique<Worker>();
+    W->StealRng = SplitMix64(Config.StealSeed + I * 0x9e37ULL);
+    Workers.push_back(std::move(W));
+  }
+  for (unsigned I = 0; I < N; ++I)
+    Workers[I]->Thread = std::thread([this, I] { workerLoop(I); });
+}
+
+Scheduler::~Scheduler() {
+  Shutdown.store(true, std::memory_order_release);
+  IdleCV.notify_all();
+  for (auto &W : Workers)
+    if (W->Thread.joinable())
+      W->Thread.join();
+  assert(RegistryHead == nullptr && "tasks leaked past their session");
+}
+
+Task *Scheduler::createTask(std::coroutine_handle<> Root, Task *Parent) {
+  Task *T = new Task();
+  LVISH_TRACE3("create task=%p root=%p parent=%p\n", (void *)T,
+               Root.address(), (void *)Parent);
+  T->Root = Root;
+  T->Resume = Root;
+  T->Sched = this;
+  if (Parent) {
+    assert(Parent->Sched == this && "cross-scheduler fork");
+    T->SessionId = Parent->SessionId;
+    T->Cancel = Parent->Cancel;
+    T->Scopes = Parent->Scopes;
+    T->Keepalives = Parent->Keepalives;
+    T->Layers.reserve(Parent->Layers.size());
+    for (auto &L : Parent->Layers)
+      T->Layers.push_back(L->splitForChild());
+  }
+  T->scopesOnCreate();
+  TasksCreated.fetch_add(1, std::memory_order_relaxed);
+  if (Tracing) {
+    // A fork cuts the parent's slice: the child depends on the fork point,
+    // not on the whole parent task.
+    uint32_t ParentSlice =
+        Parent ? sliceCut(Parent) : TraceRecorder::None;
+    T->TraceId = Recorder.onTaskCreated(ParentSlice);
+  }
+  registryAdd(T);
+  return T;
+}
+
+void Scheduler::schedule(Task *T) {
+  assert(T->DebugQueued.exchange(1, std::memory_order_acq_rel) == 0 &&
+         "task scheduled while already queued or running");
+  addPending();
+  if (WorkerSchedTL == this) {
+    Workers[WorkerIndexTL]->Deque.push(T);
+  } else {
+    std::lock_guard<std::mutex> Lock(InjectMutex);
+    Injected.push_back(T);
+  }
+  if (SleeperCount.load(std::memory_order_acquire) > 0)
+    IdleCV.notify_one();
+}
+
+void Scheduler::wake(Task *T, Task *Waker) {
+  T->scopesOnUnpark();
+  if (Tracing && Waker && Waker->TraceId != ~0u && T->TraceId != ~0u) {
+    // The put that satisfied T's threshold precedes T's next slice.
+    uint32_t WakerSlice = sliceCut(Waker);
+    if (WakerSlice != TraceRecorder::None)
+      Recorder.onWake(WakerSlice, T->TraceId);
+  }
+  schedule(T);
+}
+
+void Scheduler::wakeKeepPending(Task *T) {
+  assert(T->DebugQueued.exchange(1, std::memory_order_acq_rel) == 0 &&
+         "task requeued while already queued");
+  sliceEnd(T);
+  // Yields go to the back of the *global* queue, not the worker's own
+  // LIFO deque: re-pushing locally would pop the yielder right back and
+  // starve its freshly forked siblings (workers prefer their own deque).
+  {
+    std::lock_guard<std::mutex> Lock(InjectMutex);
+    Injected.push_back(T);
+  }
+  if (SleeperCount.load(std::memory_order_acquire) > 0)
+    IdleCV.notify_one();
+}
+
+void Scheduler::onTaskParked(Task *T) {
+  sliceEnd(T);
+  T->scopesOnPark();
+  removePending();
+}
+
+void Scheduler::onTaskFinished(Task *T) {
+  LVISH_TRACE3("finished task=%p\n", (void *)T);
+  retire(T);
+  removePending();
+}
+
+void Scheduler::deferRetire(Task *T) {
+  assert(WorkerSchedTL == this && "deferRetire off a worker thread");
+  Worker &W = *Workers[WorkerIndexTL];
+  assert(!W.PendingRetire && "one deferred retire per slice");
+  W.PendingRetire = T;
+}
+
+void Scheduler::retire(Task *T) {
+  sliceEnd(T);
+  T->scopesOnFinish();
+  registryRemove(T);
+  if (T->Root)
+    T->Root.destroy();
+  delete T;
+}
+
+void Scheduler::waitSessionQuiescent() {
+  std::unique_lock<std::mutex> Lock(SessionMutex);
+  SessionCV.wait(Lock, [this] {
+    return PendingWork.load(std::memory_order_acquire) == 0;
+  });
+}
+
+size_t Scheduler::finishSession() {
+  assert(PendingWork.load(std::memory_order_acquire) == 0 &&
+         "finishSession before quiescence");
+  // Phase 0: snapshot the registry.
+  std::vector<Task *> Leftover;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    for (Task *T = RegistryHead; T; T = T->RegNext)
+      Leftover.push_back(T);
+  }
+  // Phase 1: detach every leftover task from its park site while all task
+  // frames (and therefore all LVars) are still alive.
+  for (Task *T : Leftover) {
+    assert(T->ParkedOn && "finishSession found a non-parked leftover task "
+                          "(premature quiescence?)");
+    if (ParkSite *Site = T->ParkedOn)
+      Site->removeParkedTask(T);
+  }
+  // Phase 2: destroy the frames. Reaping can fire scope drains that try to
+  // wake other leftover waiters; phase 1 already detached them, so those
+  // wakes cannot reschedule anything (removeParkedTask emptied the lists).
+  for (Task *T : Leftover)
+    retire(T);
+  return Leftover.size();
+}
+
+void Scheduler::addPending() {
+  PendingWork.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Scheduler::removePending() {
+  if (PendingWork.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> Lock(SessionMutex);
+    SessionCV.notify_all();
+  }
+}
+
+void Scheduler::registryAdd(Task *T) {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  T->RegPrev = nullptr;
+  T->RegNext = RegistryHead;
+  if (RegistryHead)
+    RegistryHead->RegPrev = T;
+  RegistryHead = T;
+}
+
+void Scheduler::registryRemove(Task *T) {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  if (T->RegPrev)
+    T->RegPrev->RegNext = T->RegNext;
+  else
+    RegistryHead = T->RegNext;
+  if (T->RegNext)
+    T->RegNext->RegPrev = T->RegPrev;
+  T->RegPrev = T->RegNext = nullptr;
+}
+
+void Scheduler::sliceEnd(Task *T) {
+  if (!Tracing || T->CurSlice == TraceRecorder::None)
+    return;
+  Recorder.onSliceEnd(T->CurSlice, nowNanos() - T->SliceStart,
+                      T->SliceBytes);
+  T->CurSlice = TraceRecorder::None;
+  T->SliceBytes = 0;
+}
+
+void Scheduler::sliceBegin(Task *T) {
+  if (!Tracing || T->TraceId == ~0u)
+    return;
+  T->CurSlice = Recorder.onSliceStart(T->TraceId);
+  T->SliceStart = nowNanos();
+  T->SliceBytes = 0;
+}
+
+uint32_t Scheduler::sliceCut(Task *T) {
+  if (!Tracing || T->CurSlice == TraceRecorder::None)
+    return TraceRecorder::None;
+  uint32_t Ended = T->CurSlice;
+  sliceEnd(T);
+  sliceBegin(T);
+  return Ended;
+}
+
+Task *Scheduler::tryInjected() {
+  std::lock_guard<std::mutex> Lock(InjectMutex);
+  if (Injected.empty())
+    return nullptr;
+  Task *T = Injected.front();
+  Injected.pop_front();
+  return T;
+}
+
+Task *Scheduler::findWork(unsigned Index) {
+  Worker &Me = *Workers[Index];
+  if (Task *T = Me.Deque.pop())
+    return T;
+  if (Task *T = tryInjected())
+    return T;
+  unsigned N = numWorkers();
+  if (N > 1) {
+    for (unsigned Attempt = 0; Attempt < 2 * N; ++Attempt) {
+      unsigned Victim =
+          static_cast<unsigned>(Me.StealRng.nextBounded(N));
+      if (Victim == Index)
+        continue;
+      if (Task *T = Workers[Victim]->Deque.steal()) {
+        Steals.fetch_add(1, std::memory_order_relaxed);
+        return T;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::workerLoop(unsigned Index) {
+  WorkerSchedTL = this;
+  WorkerIndexTL = Index;
+  Worker &Me = *Workers[Index];
+  unsigned IdleSpins = 0;
+  while (!Shutdown.load(std::memory_order_acquire)) {
+    Task *T = findWork(Index);
+    if (!T) {
+      // Nothing found: spin briefly, then sleep with a timeout (the
+      // timeout makes lost wakeups impossible to wedge on).
+      if (++IdleSpins < 64) {
+        std::this_thread::yield();
+        continue;
+      }
+      SleeperCount.fetch_add(1, std::memory_order_acq_rel);
+      {
+        std::unique_lock<std::mutex> Lock(IdleMutex);
+        IdleCV.wait_for(Lock, std::chrono::microseconds(500));
+      }
+      SleeperCount.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    IdleSpins = 0;
+    assert(T->DebugQueued.exchange(0, std::memory_order_acq_rel) == 1 &&
+           "popped task was not queued");
+
+    if (T->isCancelled()) {
+      // A cancelled task is destroyed instead of resumed; the scheduler
+      // polls liveness at every action, as in Section 6.1 of the paper.
+      retire(T);
+      removePending();
+      continue;
+    }
+
+    CurrentTaskTL = T;
+    if (Tracing)
+      sliceBegin(T);
+    std::coroutine_handle<> H = T->Resume;
+    LVISH_TRACE3("worker resume task=%p h=%p\n", (void *)T, H.address());
+    assert(H && "scheduled task has no resume point");
+    H.resume();
+    // NOTE: T may already be freed or running on another worker here; the
+    // only safe cleanup is the thread-local reset and the deferred retire
+    // handoff below.
+    CurrentTaskTL = nullptr;
+    if (Task *R = Me.PendingRetire) {
+      Me.PendingRetire = nullptr;
+      retire(R);
+      removePending();
+    }
+  }
+}

@@ -1,0 +1,183 @@
+//===- Scheduler.h - Work-stealing Par scheduler ----------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The work-stealing scheduler that runs Par computations, mirroring the
+/// "lightweight, library-level threads ... scheduled by a custom
+/// work-stealing scheduler provided by LVish" (Section 2 of the paper).
+/// Tasks are C++20 coroutine chains (see src/sched/Task.h); a blocked
+/// threshold read parks its task on the LVar's waiter list and the worker
+/// moves on, so blocking never occupies an OS thread.
+///
+/// Session protocol (driven by runPar in src/core/RunPar.h):
+///   1. create a root task, assign a fresh session id, schedule it;
+///   2. waitSessionQuiescent() blocks until no task is runnable or running;
+///   3. finishSession() reaps permanently parked tasks. A task that is
+///      still parked at quiescence can never be woken (only tasks perform
+///      puts), so destroying it cannot change any observable outcome; this
+///      is how cancelled-and-forgotten or speculatively blocked tasks are
+///      collected, matching GC of blocked green threads in the Haskell
+///      original. If the *root* never produced a result, the program has a
+///      deterministic deadlock, which runPar reports as a fatal error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_SCHED_SCHEDULER_H
+#define LVISH_SCHED_SCHEDULER_H
+
+#include "src/sched/Task.h"
+#include "src/sched/Trace.h"
+#include "src/sched/WorkStealingDeque.h"
+#include "src/support/SplitMix.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lvish {
+
+/// Scheduler construction parameters.
+struct SchedulerConfig {
+  /// Number of worker threads. 0 means std::thread::hardware_concurrency().
+  unsigned NumWorkers = 0;
+  /// Record the task DAG for the parallelism simulator (src/sim).
+  bool EnableTracing = false;
+  /// Seed for the (non-semantic) steal-victim randomization.
+  uint64_t StealSeed = 0x6c76697368ULL; // "lvish"
+};
+
+/// Work-stealing scheduler; see file comment. One scheduler may run many
+/// sessions, but only one session at a time.
+class Scheduler {
+public:
+  explicit Scheduler(SchedulerConfig Config = SchedulerConfig());
+  ~Scheduler();
+
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Creates (but does not schedule) a task owning coroutine \p Root.
+  /// When \p Parent is non-null the child inherits session, cancellation
+  /// node, scopes, and a split of every transformer layer.
+  Task *createTask(std::coroutine_handle<> Root, Task *Parent);
+
+  /// Makes \p T runnable for the first time, or again after a park.
+  void schedule(Task *T);
+
+  /// Wakes a parked task; \p Waker (may be null) is recorded as the
+  /// dataflow edge source when tracing.
+  void wake(Task *T, Task *Waker);
+
+  /// Requeues a task that is yielding cooperatively: it never parked, so
+  /// the pending-work count and scope counts are untouched.
+  void wakeKeepPending(Task *T);
+
+  /// Bookkeeping for a task that just parked itself on a waiter list;
+  /// called by the parking awaiter under the park site's lock (see
+  /// LVarBase for the exact publication protocol).
+  void onTaskParked(Task *T);
+
+  /// Called from a root coroutine's final awaiter: retires the finished
+  /// task, destroying its frame.
+  void onTaskFinished(Task *T);
+
+  /// Defers destruction of the (currently suspended) cancelled task to the
+  /// worker loop, immediately after the current resume slice unwinds.
+  void deferRetire(Task *T);
+
+  /// Allocates a fresh session id.
+  uint64_t newSessionId() {
+    return NextSessionId.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Blocks the calling (non-worker) thread until no task is runnable or
+  /// running.
+  void waitSessionQuiescent();
+
+  /// Reaps every task still registered (all are permanently parked at this
+  /// point) and returns how many were reaped.
+  size_t finishSession();
+
+  /// The task currently executing on this thread (null on non-workers).
+  static Task *currentTask();
+
+  /// Trace recorder, or null when tracing is disabled.
+  TraceRecorder *trace() { return Tracing ? &Recorder : nullptr; }
+
+  /// Statistics (approximate, for tests and reporting).
+  uint64_t tasksCreatedStat() const {
+    return TasksCreated.load(std::memory_order_relaxed);
+  }
+  uint64_t stealsStat() const {
+    return Steals.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct alignas(64) Worker {
+    WorkStealingDeque<Task> Deque;
+    SplitMix64 StealRng;
+    Task *PendingRetire = nullptr;
+    std::thread Thread;
+  };
+
+  void workerLoop(unsigned Index);
+  Task *findWork(unsigned Index);
+  Task *tryInjected();
+  void addPending();
+  void removePending();
+  void retire(Task *T);
+  void registryAdd(Task *T);
+  void registryRemove(Task *T);
+  void sliceEnd(Task *T);
+  void sliceBegin(Task *T);
+  /// Ends the current slice and opens a new one (at fork and wake points);
+  /// returns the ended slice's id, or TraceRecorder::None.
+  uint32_t sliceCut(Task *T);
+
+  const bool Tracing;
+  TraceRecorder Recorder;
+
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::atomic<bool> Shutdown{false};
+
+  /// Tasks that are runnable or currently running. Zero means session
+  /// quiescence: nothing can ever create work again.
+  std::atomic<int64_t> PendingWork{0};
+
+  std::atomic<uint64_t> NextSessionId{1};
+  std::atomic<uint64_t> TasksCreated{0};
+  std::atomic<uint64_t> Steals{0};
+
+  // External submission queue (runPar roots; wakes from non-worker threads).
+  std::mutex InjectMutex;
+  std::deque<Task *> Injected;
+
+  // Idle workers sleep here.
+  std::mutex IdleMutex;
+  std::condition_variable IdleCV;
+  std::atomic<int> SleeperCount{0};
+
+  // Session-quiescence handoff to the runPar caller.
+  std::mutex SessionMutex;
+  std::condition_variable SessionCV;
+
+  // Registry of all live tasks (intrusive list through Task::RegPrev/Next).
+  std::mutex RegistryMutex;
+  Task *RegistryHead = nullptr;
+};
+
+} // namespace lvish
+
+#endif // LVISH_SCHED_SCHEDULER_H

@@ -1,0 +1,33 @@
+//===- Task.cpp - Scheduler task and per-task context --------------------===//
+
+#include "src/sched/Task.h"
+
+#include "src/sched/TaskScope.h"
+
+using namespace lvish;
+
+// Virtual-method anchors.
+ParkSite::~ParkSite() = default;
+LayerState::~LayerState() = default;
+
+void Task::scopesOnPark() {
+  for (TaskScope *S : Scopes)
+    if (S->mode() == TaskScope::Mode::Runnable)
+      S->exitOne();
+}
+
+void Task::scopesOnUnpark() {
+  for (TaskScope *S : Scopes)
+    if (S->mode() == TaskScope::Mode::Runnable)
+      S->enter();
+}
+
+void Task::scopesOnCreate() {
+  for (TaskScope *S : Scopes)
+    S->enter();
+}
+
+void Task::scopesOnFinish() {
+  for (TaskScope *S : Scopes)
+    S->exitOne();
+}

@@ -1,0 +1,134 @@
+//===- Task.h - Scheduler task and per-task context -------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A \c Task is the scheduler's unit of work: one forked Par computation,
+/// realized as a chain of C++20 coroutines. The task records where to
+/// resume, its cancellation-tree node, the scopes that count it, and its
+/// *layer stack* - the C++ rendition of the paper's Par-monad-transformer
+/// stack. Every layer (implicit state, pedigree, RNG, ParST view, ...)
+/// contributes one \c LayerState; at \c fork each layer splits its state
+/// between parent and child, exactly like the paper's \c SplittableState
+/// instance for \c StateT.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_SCHED_TASK_H
+#define LVISH_SCHED_TASK_H
+
+#include "src/sched/CancelNode.h"
+#include "src/sched/ParkSite.h"
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lvish {
+
+class Scheduler;
+class TaskScope;
+
+/// One splittable layer of per-task implicit state; the C++ analogue of a
+/// Par-monad transformer's per-computation payload. Layers nest: the stack
+/// in \c Task::Layers is searched topmost-first, matching the innermost-
+/// transformer-wins semantics of a Haskell transformer stack.
+class LayerState {
+public:
+  virtual ~LayerState();
+
+  /// Splits this layer's state for a fork: mutates the parent's copy (this)
+  /// and returns the child's. Mirrors `splitState :: a -> (a,a)` where the
+  /// parent keeps one half.
+  virtual std::unique_ptr<LayerState> splitForChild() = 0;
+
+  /// Identity key used to find a layer of a given kind on the stack. Each
+  /// concrete layer returns the address of a static tag.
+  virtual const void *typeKey() const = 0;
+};
+
+/// The scheduler's unit of work; see file comment. Tasks are heap-allocated
+/// and owned by the scheduler from creation to retirement.
+class alignas(64) Task {
+public:
+  Task() = default;
+  Task(const Task &) = delete;
+  Task &operator=(const Task &) = delete;
+
+  /// The outermost coroutine of this task; destroying it unwinds the whole
+  /// suspended chain (inner coroutines are owned by Par objects living in
+  /// their awaiters' frames).
+  std::coroutine_handle<> Root;
+
+  /// The innermost suspended coroutine - what a worker resumes next.
+  /// Updated by parking awaiters before the task becomes wakeable.
+  std::coroutine_handle<> Resume;
+
+  Scheduler *Sched = nullptr;
+
+  /// Session id of the enclosing runPar; LVar accesses assert that the
+  /// task's session matches the LVar's (the runtime check standing in for
+  /// the paper's `s` type parameter).
+  uint64_t SessionId = 0;
+
+  /// Cancellation-tree node (always non-null once attached to a scheduler;
+  /// the root task gets a fresh always-live node).
+  std::shared_ptr<CancelNode> Cancel;
+
+  /// Scopes counting this task (handler pools, deadlock scopes). Small in
+  /// practice; copied to children on fork.
+  std::vector<TaskScope *> Scopes;
+
+  /// Ownership anchors keeping the objects behind Scopes (and any other
+  /// borrowed infrastructure) alive at least as long as this task - a
+  /// parked task may be retired long after the scope's creator returned.
+  /// Copied to children on fork.
+  std::vector<std::shared_ptr<void>> Keepalives;
+
+  /// Transformer layer stack; split per-layer on fork.
+  std::vector<std::unique_ptr<LayerState>> Layers;
+
+  /// Where this task is parked, if parked. Written under the park site's
+  /// internal lock; read during quiescent reaping only.
+  ParkSite *ParkedOn = nullptr;
+
+  // -- Trace bookkeeping (only meaningful when tracing is enabled) --------
+  uint32_t TraceId = ~0u;   ///< Task id in the trace recorder.
+  uint32_t CurSlice = ~0u;  ///< Open slice id, ~0u when not in a slice.
+  uint64_t SliceStart = 0;  ///< Start timestamp of the open slice.
+  uint64_t SliceBytes = 0;  ///< noteBytes accumulated in the open slice.
+
+  // -- Intrusive registry list (guarded by the scheduler's registry lock) -
+  Task *RegPrev = nullptr;
+  Task *RegNext = nullptr;
+
+  /// Debug invariant: a task must never be enqueued twice concurrently.
+  std::atomic<uint8_t> DebugQueued{0};
+
+  /// True if the cancellation tree above this task has been cancelled.
+  bool isCancelled() const { return Cancel && !Cancel->isLive(); }
+
+  /// Finds the topmost layer whose typeKey is \p Key, or null.
+  LayerState *findLayer(const void *Key) {
+    for (auto It = Layers.rbegin(), E = Layers.rend(); It != E; ++It)
+      if ((*It)->typeKey() == Key)
+        return It->get();
+    return nullptr;
+  }
+
+  /// Scope notifications (bodies in Task.cpp to keep TaskScope out of this
+  /// header). Park/unpark only affect Runnable-mode scopes; create/finish
+  /// affect all scopes.
+  void scopesOnPark();
+  void scopesOnUnpark();
+  void scopesOnCreate();
+  void scopesOnFinish();
+};
+
+} // namespace lvish
+
+#endif // LVISH_SCHED_TASK_H

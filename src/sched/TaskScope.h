@@ -1,0 +1,82 @@
+//===- TaskScope.h - Counted task scopes with quiescence --------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A \c TaskScope counts a dynamic set of tasks and lets other tasks wait
+/// for the count to drain to zero. Two counting disciplines cover the two
+/// consumers in the paper:
+///
+///  * \c Mode::Live - a task counts from creation until it finishes. This is
+///    handler-pool quiescence (\c quiesce in LVish): a handler blocked on a
+///    \c get is still outstanding work.
+///  * \c Mode::Runnable - a task stops counting while it is parked on an
+///    LVar. This is \c DeadlockT (Section 6): the scope drains exactly when
+///    every task underneath "has either returned or blocked indefinitely".
+///
+/// A scope is itself a \c ParkSite: tasks blocked in \c quiesce are parked
+/// on the scope's drain list and woken at the zero transition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_SCHED_TASKSCOPE_H
+#define LVISH_SCHED_TASKSCOPE_H
+
+#include "src/sched/ParkSite.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace lvish {
+
+class Task;
+
+/// Counted scope over a set of tasks; see file comment.
+class TaskScope : public ParkSite {
+public:
+  enum class Mode : uint8_t { Live, Runnable };
+
+  explicit TaskScope(Mode M) : CountMode(M) {}
+
+  TaskScope(const TaskScope &) = delete;
+  TaskScope &operator=(const TaskScope &) = delete;
+
+  Mode mode() const { return CountMode; }
+
+  /// A task entered the scope (was created, or became runnable again under
+  /// Mode::Runnable).
+  void enter() { Active.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// A task left the scope (finished, or parked under Mode::Runnable).
+  /// Wakes all drain waiters if the count hits zero.
+  void exitOne();
+
+  /// Parks \p Waiter until the scope drains. Returns false (and does not
+  /// park) if the scope is already drained. The waiter must not itself be
+  /// counted by this scope, or it could never drain. The caller is the
+  /// quiesce awaiter, which has already prepared \p Waiter for suspension.
+  bool parkUntilDrained(Task *Waiter);
+
+  /// ParkSite: forget a reaped drain waiter.
+  void removeParkedTask(Task *T) override;
+
+  /// Current count (advisory; for assertions and stats).
+  int64_t activeCount() const {
+    return Active.load(std::memory_order_acquire);
+  }
+
+private:
+  const Mode CountMode;
+  std::atomic<int64_t> Active{0};
+  std::mutex Mutex;
+  std::vector<Task *> DrainWaiters;
+};
+
+} // namespace lvish
+
+#endif // LVISH_SCHED_TASKSCOPE_H

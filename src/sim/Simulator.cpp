@@ -1,0 +1,203 @@
+//===- Simulator.cpp - Multi-worker replay of recorded task DAGs -----------===//
+
+#include "src/sim/Simulator.h"
+
+#include "src/support/Assert.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+using namespace lvish;
+using namespace lvish::sim;
+
+TaskGraph TaskGraph::fromTrace(const TraceRecorder &Trace) {
+  TaskGraph G;
+  size_t N = Trace.slices().size();
+  G.DurationNs.resize(N);
+  G.BytesOf.resize(N);
+  G.Succ.assign(N, {});
+  G.Indegree.assign(N, 0);
+  for (size_t I = 0; I < N; ++I) {
+    G.DurationNs[I] = Trace.slices()[I].DurationNanos;
+    G.BytesOf[I] = Trace.slices()[I].Bytes;
+  }
+  for (const TraceEdge &E : Trace.edges()) {
+    if (E.Src >= N || E.Dst >= N)
+      fatalError("trace edge out of range (trace read before completion?)");
+    G.Succ[E.Src].push_back(E.Dst);
+  }
+  for (auto &S : G.Succ) {
+    std::sort(S.begin(), S.end());
+    S.erase(std::unique(S.begin(), S.end()), S.end());
+  }
+  for (const auto &S : G.Succ)
+    for (uint32_t D : S)
+      ++G.Indegree[D];
+  return G;
+}
+
+uint64_t TaskGraph::totalWorkNanos() const {
+  uint64_t Sum = 0;
+  for (uint64_t D : DurationNs)
+    Sum += D;
+  return Sum;
+}
+
+uint64_t TaskGraph::totalBytes() const {
+  uint64_t Sum = 0;
+  for (uint64_t B : BytesOf)
+    Sum += B;
+  return Sum;
+}
+
+uint64_t TaskGraph::criticalPathNanos() const {
+  // Longest path via topological (Kahn) order. Slice ids are NOT
+  // guaranteed topological (a child's first slice can have a lower id
+  // than a late parent slice), so compute the order explicitly.
+  size_t N = numSlices();
+  std::vector<uint32_t> Deg(Indegree);
+  std::vector<uint64_t> Dist(N, 0);
+  std::vector<uint32_t> Queue;
+  Queue.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    if (Deg[I] == 0) {
+      Queue.push_back(static_cast<uint32_t>(I));
+      Dist[I] = DurationNs[I];
+    }
+  uint64_t Longest = 0;
+  for (size_t Head = 0; Head < Queue.size(); ++Head) {
+    uint32_t U = Queue[Head];
+    Longest = std::max(Longest, Dist[U]);
+    for (uint32_t V : Succ[U]) {
+      Dist[V] = std::max(Dist[V], Dist[U] + DurationNs[V]);
+      if (--Deg[V] == 0)
+        Queue.push_back(V);
+    }
+  }
+  if (Queue.size() != N)
+    fatalError("cycle in recorded task graph");
+  return Longest;
+}
+
+namespace {
+
+/// One running slice's progress state, in seconds.
+struct Running {
+  uint32_t Id;
+  double ComputeLeft; ///< Compute-only seconds remaining.
+  double MemoryLeft;  ///< Memory seconds remaining at full stream speed.
+};
+
+} // namespace
+
+SimResult sim::simulate(const TaskGraph &Graph, unsigned Workers,
+                        const MachineModel &Model) {
+  assert(Workers > 0 && "need at least one worker");
+  size_t N = Graph.numSlices();
+  SimResult Result;
+  if (N == 0)
+    return Result;
+
+  // Min-heap of ready slices by id: deterministic greedy list scheduling.
+  std::priority_queue<uint32_t, std::vector<uint32_t>,
+                      std::greater<uint32_t>>
+      Ready;
+  std::vector<uint32_t> Deg(N);
+  for (size_t I = 0; I < N; ++I) {
+    Deg[I] = Graph.indegree(I);
+    if (Deg[I] == 0)
+      Ready.push(static_cast<uint32_t>(I));
+  }
+
+  std::vector<Running> Run;
+  Run.reserve(Workers);
+  double Now = 0;
+  size_t Finished = 0;
+
+  auto SplitWork = [&Model](uint32_t Id, const TaskGraph &G) {
+    double Total =
+        (static_cast<double>(G.duration(Id)) + Model.PerSliceOverheadNs) *
+        1e-9;
+    double Mem = static_cast<double>(G.bytes(Id)) / Model.StreamBandwidth;
+    // The measured duration already includes single-stream memory time;
+    // anything beyond it is pure compute.
+    Mem = std::min(Mem, Total);
+    return Running{Id, Total - Mem, Mem};
+  };
+
+  while (Finished < N) {
+    // Fill idle workers.
+    while (Run.size() < Workers && !Ready.empty()) {
+      uint32_t Id = Ready.top();
+      Ready.pop();
+      Run.push_back(SplitWork(Id, Graph));
+    }
+    if (Run.empty())
+      fatalError("simulator starved with unfinished slices (disconnected "
+                 "or cyclic graph)");
+
+    // Current memory-contention factor: streams with memory work left
+    // share the aggregate bandwidth.
+    size_t MemActive = 0;
+    for (const Running &R : Run)
+      if (R.MemoryLeft > 0)
+        ++MemActive;
+    double Rho =
+        MemActive == 0
+            ? 1.0
+            : std::min(1.0, Model.AggregateFactor /
+                                static_cast<double>(MemActive));
+
+    // Next event: a slice finishing, or a slice draining its memory part
+    // (which raises Rho for the others).
+    double Dt = std::numeric_limits<double>::infinity();
+    for (const Running &R : Run) {
+      double MemTime = R.MemoryLeft > 0 ? R.MemoryLeft / Rho : 0;
+      double FinishIn = std::max(R.ComputeLeft, MemTime);
+      Dt = std::min(Dt, FinishIn);
+      if (R.MemoryLeft > 0 && MemTime < FinishIn)
+        Dt = std::min(Dt, MemTime); // Memory drains first: rate change.
+    }
+    assert(Dt >= 0 && std::isfinite(Dt) && "bad event horizon");
+
+    // Advance all running slices by Dt.
+    Now += Dt;
+    Result.BusySeconds += Dt * static_cast<double>(Run.size());
+    constexpr double Eps = 1e-15;
+    for (size_t I = 0; I < Run.size();) {
+      Running &R = Run[I];
+      R.ComputeLeft = std::max(0.0, R.ComputeLeft - Dt);
+      R.MemoryLeft = std::max(0.0, R.MemoryLeft - Dt * Rho);
+      if (R.ComputeLeft <= Eps && R.MemoryLeft <= Eps) {
+        // Finished: release successors.
+        for (uint32_t V : Graph.successors(R.Id))
+          if (--Deg[V] == 0)
+            Ready.push(V);
+        ++Finished;
+        Run[I] = Run.back();
+        Run.pop_back();
+      } else {
+        ++I;
+      }
+    }
+  }
+  Result.MakespanSeconds = Now;
+  return Result;
+}
+
+std::vector<double>
+sim::speedupSeries(const TaskGraph &Graph,
+                   const std::vector<unsigned> &WorkerCounts,
+                   const MachineModel &Model) {
+  double Base = simulate(Graph, 1, Model).MakespanSeconds;
+  std::vector<double> Out;
+  Out.reserve(WorkerCounts.size());
+  for (unsigned W : WorkerCounts) {
+    double T = simulate(Graph, W, Model).MakespanSeconds;
+    Out.push_back(T > 0 ? Base / T : 0);
+  }
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- Assert.h - Assertions and fatal errors ------------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion helpers and deterministic fatal-error reporting. Library code
+/// never throws; invariant violations abort with a message, and
+/// user-triggerable determinism violations (e.g. put-after-freeze) report
+/// through \c fatalError so the failure itself is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_SUPPORT_ASSERT_H
+#define LVISH_SUPPORT_ASSERT_H
+
+#include <cassert>
+
+namespace lvish {
+
+/// Prints \p Msg to stderr and aborts. Used for unrecoverable violations of
+/// the deterministic-parallelism contract (conflicting freeze/put, reading a
+/// cancelled future, aliased ParST state). The message is printed exactly
+/// once even under concurrent failure.
+[[noreturn]] void fatalError(const char *Msg);
+
+/// Marks a point in the code that must be unreachable if the library's
+/// invariants hold.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace lvish
+
+#define LVISH_UNREACHABLE(msg)                                                 \
+  ::lvish::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // LVISH_SUPPORT_ASSERT_H

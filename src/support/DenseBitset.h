@@ -1,0 +1,162 @@
+//===- DenseBitset.h - Fixed-universe dynamic bitset ------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact bitset over a universe whose size is fixed at construction.
+/// This is the paper's \c DenseLabelSet: PhyBin encodes each tree
+/// bipartition as a bit vector over the leaf/species set. It also backs the
+/// tree-membership masks in the HashRF distance phase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_SUPPORT_DENSEBITSET_H
+#define LVISH_SUPPORT_DENSEBITSET_H
+
+#include "src/support/Assert.h"
+#include "src/support/Hashing.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lvish {
+
+/// Fixed-universe bitset with value semantics, deterministic hashing, and
+/// total ordering (lexicographic on words) so containers iterate
+/// deterministically.
+class DenseBitset {
+public:
+  DenseBitset() : NumBits(0) {}
+
+  /// Creates an all-zero set over a universe of \p N bits.
+  explicit DenseBitset(size_t N) : NumBits(N), Words((N + 63) / 64, 0) {}
+
+  size_t universeSize() const { return NumBits; }
+
+  void set(size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] |= (uint64_t(1) << (I % 64));
+  }
+
+  void reset(size_t I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+  }
+
+  bool test(size_t I) const {
+    assert(I < NumBits && "bit index out of range");
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t count() const {
+    size_t C = 0;
+    for (uint64_t W : Words)
+      C += static_cast<size_t>(__builtin_popcountll(W));
+    return C;
+  }
+
+  bool none() const {
+    for (uint64_t W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+
+  bool all() const { return count() == NumBits; }
+
+  /// In-place union with \p O (same universe required).
+  DenseBitset &operator|=(const DenseBitset &O) {
+    assert(NumBits == O.NumBits && "universe mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] |= O.Words[I];
+    return *this;
+  }
+
+  /// In-place intersection with \p O (same universe required).
+  DenseBitset &operator&=(const DenseBitset &O) {
+    assert(NumBits == O.NumBits && "universe mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= O.Words[I];
+    return *this;
+  }
+
+  /// Flips every bit in the universe. Used to canonicalize bipartitions
+  /// (a bipartition and its complement denote the same tree edge).
+  void flipAll() {
+    for (uint64_t &W : Words)
+      W = ~W;
+    clearPadding();
+  }
+
+  /// True iff this set and \p O share no elements.
+  bool disjointWith(const DenseBitset &O) const {
+    assert(NumBits == O.NumBits && "universe mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & O.Words[I])
+        return false;
+    return true;
+  }
+
+  /// True iff every element of this set is in \p O.
+  bool subsetOf(const DenseBitset &O) const {
+    assert(NumBits == O.NumBits && "universe mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & ~O.Words[I])
+        return false;
+    return true;
+  }
+
+  friend bool operator==(const DenseBitset &A, const DenseBitset &B) {
+    return A.NumBits == B.NumBits && A.Words == B.Words;
+  }
+
+  friend bool operator!=(const DenseBitset &A, const DenseBitset &B) {
+    return !(A == B);
+  }
+
+  /// Deterministic total order: first by universe size, then by words.
+  friend bool operator<(const DenseBitset &A, const DenseBitset &B) {
+    if (A.NumBits != B.NumBits)
+      return A.NumBits < B.NumBits;
+    return A.Words < B.Words;
+  }
+
+  /// Deterministic, platform-independent hash of the contents.
+  uint64_t hash() const {
+    uint64_t H = mix64(NumBits);
+    for (uint64_t W : Words)
+      H = hashCombine(H, W);
+    return H;
+  }
+
+  /// Renders as a 0/1 string, bit 0 first (for diagnostics and tests).
+  std::string toString() const {
+    std::string S;
+    S.reserve(NumBits);
+    for (size_t I = 0; I < NumBits; ++I)
+      S.push_back(test(I) ? '1' : '0');
+    return S;
+  }
+
+private:
+  void clearPadding() {
+    if (NumBits % 64 != 0 && !Words.empty())
+      Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+  }
+
+  size_t NumBits;
+  std::vector<uint64_t> Words;
+};
+
+template <> struct DefaultHash<DenseBitset> {
+  uint64_t operator()(const DenseBitset &B) const { return B.hash(); }
+};
+
+} // namespace lvish
+
+#endif // LVISH_SUPPORT_DENSEBITSET_H

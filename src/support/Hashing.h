@@ -1,0 +1,75 @@
+//===- Hashing.h - Hash mixing utilities ------------------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small, deterministic hash utilities shared by the concurrent hash tables
+/// (src/data) and the bipartition tables in the PhyBin substrate. Hashes are
+/// platform-independent so experiments are reproducible across machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_SUPPORT_HASHING_H
+#define LVISH_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace lvish {
+
+/// Finalizing 64-bit mixer (the SplitMix64 / Murmur3 fmix64 step). Maps
+/// correlated inputs to well-distributed outputs.
+constexpr uint64_t mix64(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ULL;
+  X ^= X >> 33;
+  return X;
+}
+
+/// Combines an existing hash with a new value, order-sensitively.
+constexpr uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return mix64(Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+                       (Seed >> 2)));
+}
+
+/// FNV-1a over a byte range; used for strings and bit vectors.
+constexpr uint64_t hashBytes(const void *Data, size_t Len,
+                             uint64_t Seed = 0xcbf29ce484222325ULL) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// Default hasher used by the monotone hash tables. Specialize or pass a
+/// custom functor for user types.
+template <typename T> struct DefaultHash {
+  uint64_t operator()(const T &V) const {
+    if constexpr (std::is_integral_v<T> || std::is_enum_v<T>)
+      return mix64(static_cast<uint64_t>(V));
+    else if constexpr (std::is_pointer_v<T>)
+      return mix64(reinterpret_cast<uint64_t>(V));
+    else
+      return std::hash<T>{}(V);
+  }
+};
+
+template <> struct DefaultHash<std::string> {
+  uint64_t operator()(const std::string &S) const {
+    return hashBytes(S.data(), S.size());
+  }
+};
+
+} // namespace lvish
+
+#endif // LVISH_SUPPORT_HASHING_H

@@ -1,0 +1,76 @@
+//===- SplitMix.h - Splittable pseudo-random numbers ------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A splittable PRNG in the SplitMix64 family. Section 4 of the paper builds
+/// deterministic parallel random-number generation (\c RngT) out of a
+/// splittable generator threaded through a state transformer: at every
+/// \c fork the generator state is split into two independent streams, so the
+/// numbers drawn by each task are a function of the fork tree (the task's
+/// pedigree), not of the scheduler's interleaving.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_SUPPORT_SPLITMIX_H
+#define LVISH_SUPPORT_SPLITMIX_H
+
+#include "src/support/Hashing.h"
+
+#include <cstdint>
+#include <utility>
+
+namespace lvish {
+
+/// Deterministic splittable PRNG. \c next() advances the stream; \c split()
+/// derives two statistically independent child generators. Splitting mixes a
+/// distinct "gamma"-style constant per branch so left and right children of a
+/// fork never collide.
+class SplitMix64 {
+public:
+  SplitMix64() : State(0x9e3779b97f4a7c15ULL) {}
+  explicit SplitMix64(uint64_t Seed) : State(mix64(Seed)) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    return mix64(State);
+  }
+
+  /// Uniform value in [0, Bound) (Bound > 0). Uses 128-bit multiply-shift
+  /// reduction; the slight modulo bias of the classic method is avoided.
+  uint64_t nextBounded(uint64_t Bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Splits this generator into two independent children, consuming it.
+  /// Deterministic: the pair depends only on the current state.
+  std::pair<SplitMix64, SplitMix64> split() const {
+    SplitMix64 L, R;
+    L.State = mix64(State ^ 0xa5a5a5a5a5a5a5a5ULL);
+    R.State = mix64(State ^ 0x5a5a5a5a5a5a5a5aULL);
+    return {L, R};
+  }
+
+  uint64_t rawState() const { return State; }
+
+  friend bool operator==(const SplitMix64 &A, const SplitMix64 &B) {
+    return A.State == B.State;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace lvish
+
+#endif // LVISH_SUPPORT_SPLITMIX_H

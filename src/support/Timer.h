@@ -1,0 +1,74 @@
+//===- Timer.h - Wall-clock timing for benchmarks ---------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timing helpers used by the benchmark harnesses and
+/// the scheduler's task-duration recorder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_SUPPORT_TIMER_H
+#define LVISH_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace lvish {
+
+/// Nanoseconds on the steady clock.
+inline uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Measures elapsed wall-clock time from construction (or the last
+/// \c restart()).
+class WallTimer {
+public:
+  WallTimer() : Start(nowNanos()) {}
+
+  void restart() { Start = nowNanos(); }
+
+  uint64_t elapsedNanos() const { return nowNanos() - Start; }
+
+  double elapsedSeconds() const {
+    return static_cast<double>(elapsedNanos()) * 1e-9;
+  }
+
+private:
+  uint64_t Start;
+};
+
+/// Runs \p F repeatedly and returns the median elapsed seconds over
+/// \p Reps runs. The paper reports medians of five runs; benchmark
+/// harnesses default to the same.
+template <typename F> double medianSeconds(F &&Fn, int Reps = 5) {
+  double Times[64];
+  if (Reps > 64)
+    Reps = 64;
+  if (Reps < 1)
+    Reps = 1;
+  for (int I = 0; I < Reps; ++I) {
+    WallTimer T;
+    Fn();
+    Times[I] = T.elapsedSeconds();
+  }
+  // Insertion sort; Reps is tiny.
+  for (int I = 1; I < Reps; ++I)
+    for (int J = I; J > 0 && Times[J] < Times[J - 1]; --J) {
+      double Tmp = Times[J];
+      Times[J] = Times[J - 1];
+      Times[J - 1] = Tmp;
+    }
+  return Times[Reps / 2];
+}
+
+} // namespace lvish
+
+#endif // LVISH_SUPPORT_TIMER_H

@@ -1,0 +1,107 @@
+//===- BulkRetry.h - Deterministic reservations (BulkRetryT) ----*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// \c BulkRetryT (Section 6, after Blelloch et al.'s deterministic
+/// reservations): "to efficiently execute a parallel for loop with a large
+/// iteration space, it is often better to cheaply mark the iterations that
+/// fail and retry them in bulk" instead of blocking each iteration on a
+/// get. \c forSpeculative runs rounds over the not-yet-done iterations
+/// until a round leaves nothing pending.
+///
+/// "The approach of aborting and retrying rather than blocking requires
+/// that each iteration of computation have only idempotent effects" - so
+/// the body's effect level must not contain Bump, which the requires
+/// clause enforces statically (fine-grained effect tracking earning its
+/// keep, as the paper's Section 6 closes by observing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_TRANS_BULKRETRY_H
+#define LVISH_TRANS_BULKRETRY_H
+
+#include "src/core/IVar.h"
+#include "src/core/Par.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace lvish {
+
+/// Result of one speculative iteration.
+enum class Spec : uint8_t {
+  Done,  ///< Iteration committed.
+  Retry, ///< Prerequisites missing; run again next round.
+};
+
+namespace detail {
+
+/// Runs one round over Indices[Begin, End), returning the failed indices.
+template <EffectSet E, typename F>
+Par<std::vector<size_t>> specRound(ParCtx<E> Ctx,
+                                   const std::vector<size_t> *Indices,
+                                   size_t Begin, size_t End, size_t Grain,
+                                   F Fn) {
+  if (End - Begin <= Grain) {
+    std::vector<size_t> Failed;
+    for (size_t I = Begin; I < End; ++I) {
+      size_t Idx = (*Indices)[I];
+      Spec R = co_await Fn(Ctx, Idx);
+      if (R == Spec::Retry)
+        Failed.push_back(Idx);
+    }
+    co_return Failed;
+  }
+  size_t Mid = Begin + (End - Begin) / 2;
+  auto Left = newIVar<std::vector<size_t>>(Ctx);
+  fork(Ctx, [Left, Indices, Begin, Mid, Grain, Fn](ParCtx<E> C) -> Par<void> {
+    std::vector<size_t> L =
+        co_await specRound(C, Indices, Begin, Mid, Grain, Fn);
+    put(C, *Left, L);
+  });
+  std::vector<size_t> Right =
+      co_await specRound(Ctx, Indices, Mid, End, Grain, Fn);
+  std::vector<size_t> L = co_await get(Ctx, *Left);
+  L.insert(L.end(), Right.begin(), Right.end());
+  co_return L;
+}
+
+} // namespace detail
+
+/// Speculative parallel for over [Begin, End): \p Fn returns Spec::Done or
+/// Spec::Retry; failed iterations are retried in bulk, round after round,
+/// until all commit. Returns the number of rounds executed. \p Fn must be
+/// idempotent (no Bump effects - statically enforced - and no
+/// non-monotonic external side effects). If an iteration can never commit
+/// the loop diverges, exactly like a blocked get would.
+template <EffectSet E, typename F>
+  requires(hasPut(E) && hasGet(E) && !hasBump(E))
+Par<size_t> forSpeculative(ParCtx<E> Ctx, size_t Begin, size_t End, F Fn,
+                           size_t Grain = 16) {
+  static_assert(std::is_invocable_r_v<Par<Spec>, F, ParCtx<E>, size_t> ||
+                    std::is_invocable_v<F, ParCtx<E>, size_t>,
+                "body must be Par<Spec>(ParCtx<E>, size_t)");
+  std::vector<size_t> Pending;
+  Pending.reserve(End - Begin);
+  for (size_t I = Begin; I < End; ++I)
+    Pending.push_back(I);
+  size_t Rounds = 0;
+  while (!Pending.empty()) {
+    ++Rounds;
+    std::vector<size_t> Failed = co_await detail::specRound(
+        Ctx, &Pending, 0, Pending.size(), Grain, Fn);
+    // Retry order is sorted for determinism of the round structure (the
+    // result is deterministic regardless; this stabilizes round counts).
+    std::sort(Failed.begin(), Failed.end());
+    Pending = std::move(Failed);
+  }
+  co_return Rounds;
+}
+
+} // namespace lvish
+
+#endif // LVISH_TRANS_BULKRETRY_H

@@ -1,0 +1,104 @@
+//===- Memo.h - Memo tables from Set and Map LVars --------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoization (Section 6.2): "A basic memo table has a direct encoding
+/// using only the public interface of Set and Map LVars. Specifically, we
+/// use one LVar for requests and a second for results":
+///
+///   type Memo e s k v = (ISet s k, IMap k s v)
+///
+/// A handler on the request set launches one compute job per unique key;
+/// the job stores (k, v) into the result map. "Doing a lookup on the memo
+/// table consists of simply inserting into the set, and then performing a
+/// blocking get on the map."
+///
+/// The synergy with cancellation: a lookup is a put (it writes the request
+/// set), so a plain \c getMemo cannot run inside a cancellable (ReadOnly)
+/// computation. But when the memoized function is itself ReadOnly, the
+/// request-put's only observable effect is that memoized calls get faster -
+/// so \c getMemoRO blesses it, and cancelled speculative branches can
+/// deposit reusable memo entries: "one can learn something from a
+/// computation that never happened - deterministically!"
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_TRANS_MEMO_H
+#define LVISH_TRANS_MEMO_H
+
+#include "src/core/HandlerPool.h"
+#include "src/data/IMap.h"
+#include "src/data/ISet.h"
+
+#include <memory>
+
+namespace lvish {
+
+/// A memo table for a function K -> V whose effect level is \p FE.
+template <typename K, typename V, EffectSet FE = Eff::ReadOnly> class Memo {
+public:
+  Memo(std::shared_ptr<ISet<K>> Req, std::shared_ptr<IMap<K, V>> Res,
+       std::shared_ptr<HandlerPool> P)
+      : Requests(std::move(Req)), Results(std::move(Res)),
+        Pool(std::move(P)) {}
+
+  std::shared_ptr<ISet<K>> Requests;
+  std::shared_ptr<IMap<K, V>> Results;
+  std::shared_ptr<HandlerPool> Pool;
+};
+
+/// Builds a memo table for \p Fn (signature `Par<V>(ParCtx<FE>, K)`).
+/// Jobs for distinct keys run in parallel; duplicate requests are
+/// deduplicated by the request set's lub semantics.
+template <typename K, EffectSet FE = Eff::ReadOnly, EffectSet E, typename F>
+auto makeMemo(ParCtx<E> Ctx, F Fn) {
+  using RetPar = std::invoke_result_t<F, ParCtx<FE>, K>;
+  using V = decltype(std::declval<RetPar>().await_resume());
+  auto Requests = newISet<K>(Ctx);
+  auto Results = newEmptyMap<K, V>(Ctx);
+  auto Pool = newPool(Ctx);
+  // The handler needs FE (to run Fn) plus Put/Get (to fill the results
+  // map); that wrapper is trusted code.
+  constexpr EffectSet HE = FE | Eff::Det;
+  ParCtx<HE> RegCtx = detail::CtxAccess::make<HE>(Ctx.task());
+  addHandler(RegCtx, Pool, *Requests,
+             [Results, Fn](ParCtx<HE> C, const K &Key) -> Par<void> {
+               ParCtx<FE> FnCtx = C; // Subsumption: restrict to FE.
+               V Val = co_await Fn(FnCtx, Key);
+               insert(C, *Results, Key, Val);
+             });
+  return std::make_shared<Memo<K, V, FE>>(Requests, Results, Pool);
+}
+
+/// Memoized call: insert the request (a put effect!), then block on the
+/// result. "Reading from a memo table has a put effect" - hence HasPut.
+template <EffectSet E, typename K, typename V, EffectSet FE>
+  requires(hasPut(E) && hasGet(E))
+Par<V> getMemo(ParCtx<E> Ctx, std::shared_ptr<Memo<K, V, FE>> M, K Key) {
+  insert(Ctx, *M->Requests, Key);
+  V Val = co_await getKey(Ctx, *M->Results, Key);
+  co_return Val;
+}
+
+/// `getMemoRO :: ReadOnly e => Memo e s k v -> k -> Par e s v` - callable
+/// from read-only (hence cancellable) computations, provided the memoized
+/// function is itself ReadOnly. The request-put is hidden ("blessed as
+/// safe/unobservable") because its only effect is accelerating other
+/// memoized calls.
+template <EffectSet E, typename K, typename V, EffectSet FE>
+  requires(hasGet(E) && readOnly(FE))
+Par<V> getMemoRO(ParCtx<E> Ctx, std::shared_ptr<Memo<K, V, FE>> M, K Key) {
+  constexpr EffectSet Blessed{true, true, false, false, false, false};
+  ParCtx<Blessed> Full = detail::CtxAccess::make<Blessed>(Ctx.task());
+  insert(Full, *M->Requests, Key);
+  V Val = co_await getKey(Ctx, *M->Results, Key);
+  co_return Val;
+}
+
+} // namespace lvish
+
+#endif // LVISH_TRANS_MEMO_H

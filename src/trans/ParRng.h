@@ -1,0 +1,65 @@
+//===- ParRng.h - Deterministic parallel random numbers ---------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// \c RngT (Section 4): deterministic pseudo-random number generation as an
+/// application of splittable state. "The idea is simple: either use the
+/// pedigree itself as a seed, or keep the random generator state itself
+/// with StateT." We keep a SplitMix64 generator in a state layer: at every
+/// fork it splits into two independent streams, so the numbers any task
+/// draws depend only on its position in the fork tree - never on the
+/// schedule. "In LVish, no such runtime system modification is necessary"
+/// (contrast with Intel's Cilk changes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_TRANS_PARRNG_H
+#define LVISH_TRANS_PARRNG_H
+
+#include "src/support/SplitMix.h"
+#include "src/trans/StateLayer.h"
+
+namespace lvish {
+
+/// Splittable-generator state; the SplittableState instance mirrors
+/// `instance RandomGen g => SplittableState g` in the paper.
+struct RngState {
+  SplitMix64 Gen;
+
+  RngState splitForChild() {
+    auto [L, R] = Gen.split();
+    Gen = R;
+    return RngState{L};
+  }
+};
+
+struct RngTag {};
+
+/// Runs \p Body with a deterministic parallel RNG seeded by \p Seed.
+template <EffectSet E, typename F>
+auto withRng(ParCtx<E> Ctx, uint64_t Seed, F Body) {
+  return withState<RngState, RngTag>(Ctx, RngState{SplitMix64(Seed)}, Body);
+}
+
+/// The nullary `rand` of the paper: callable on any task under withRng.
+template <EffectSet E> uint64_t rand(ParCtx<E> Ctx) {
+  return stateRef<RngState, RngTag>(Ctx).Gen.next();
+}
+
+/// Uniform value in [0, Bound).
+template <EffectSet E> uint64_t randBounded(ParCtx<E> Ctx, uint64_t Bound) {
+  return stateRef<RngState, RngTag>(Ctx).Gen.nextBounded(Bound);
+}
+
+/// Uniform double in [0, 1).
+template <EffectSet E> double randDouble(ParCtx<E> Ctx) {
+  return stateRef<RngState, RngTag>(Ctx).Gen.nextDouble();
+}
+
+} // namespace lvish
+
+#endif // LVISH_TRANS_PARRNG_H

@@ -1,0 +1,135 @@
+//===- StateLayer.h - Splittable per-task implicit state --------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The \c StateT Par-monad transformer of Section 4: "even if m is a Par
+/// monad, for StateT s m to also be a Par monad, the state s must be
+/// *splittable*; that is, it must be specified what is to be done with the
+/// state at fork points in the control flow."
+///
+/// In lvish-cpp a transformer is a *layer* on the task's layer stack (see
+/// src/sched/Task.h). \c withState pushes a layer holding a value of any
+/// \c SplittableState type for the dynamic extent of a computation; every
+/// \c fork inside that extent splits the value between parent and child,
+/// exactly like the paper's
+///
+///   instance (SplittableState s, ParMonad m) => ParMonad (StateT s m)
+///
+/// Layers compose: nesting two \c withState calls (even at the same type,
+/// with different tags) stacks two transformers, which the paper notes is
+/// impossible for capabilities baked into the scheduler.
+///
+/// Determinism: like StateT, this is "effectively syntactic sugar" - an
+/// implicit argument and return value - so it cannot break the determinism
+/// of the underlying Par computation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_TRANS_STATELAYER_H
+#define LVISH_TRANS_STATELAYER_H
+
+#include "src/core/Par.h"
+
+#include <concepts>
+#include <memory>
+#include <utility>
+
+namespace lvish {
+
+/// A state that knows how to split itself at a fork: the parent keeps the
+/// mutated *this, the child receives the returned value. This is
+/// `splitState :: a -> (a, a)` with the parent's half threaded in place.
+template <typename S>
+concept SplittableState = requires(S A) {
+  { A.splitForChild() } -> std::convertible_to<S>;
+};
+
+/// Default discriminator for \c withState layers; supply your own empty
+/// tag struct to stack two independent layers of the same state type.
+struct DefaultStateTag {};
+
+namespace detail {
+
+template <typename S, typename Tag>
+class StateLayerNode final : public LayerState {
+public:
+  explicit StateLayerNode(S V) : Value(std::move(V)) {}
+
+  std::unique_ptr<LayerState> splitForChild() override {
+    return std::make_unique<StateLayerNode>(Value.splitForChild());
+  }
+
+  const void *typeKey() const override { return key(); }
+
+  static const void *key() {
+    static const char Key = 0;
+    return &Key;
+  }
+
+  S Value;
+};
+
+} // namespace detail
+
+/// Returns a reference to the innermost state layer of type \p S (tag
+/// \p Tag) on the current task. Fatal if no such layer is in scope - the
+/// moral equivalent of using a StateT operation outside the transformer.
+template <typename S, typename Tag = DefaultStateTag, EffectSet E>
+  requires SplittableState<S>
+S &stateRef(ParCtx<E> Ctx) {
+  using Node = detail::StateLayerNode<S, Tag>;
+  LayerState *L = Ctx.task()->findLayer(Node::key());
+  if (!L)
+    fatalError("stateRef: no matching state layer in scope (withState "
+               "missing from the transformer stack)");
+  return static_cast<Node *>(L)->Value;
+}
+
+/// True if a state layer of type \p S / \p Tag is in scope.
+template <typename S, typename Tag = DefaultStateTag, EffectSet E>
+  requires SplittableState<S>
+bool hasStateLayer(ParCtx<E> Ctx) {
+  return Ctx.task()->findLayer(detail::StateLayerNode<S, Tag>::key()) !=
+         nullptr;
+}
+
+/// Runs \p Body with a state layer holding \p Init pushed for its dynamic
+/// extent; forks inside split the state. Returns Body's result. The layer
+/// is popped afterwards (already-forked children keep their split copies).
+template <typename S, typename Tag = DefaultStateTag, EffectSet E,
+          typename F>
+  requires SplittableState<S>
+auto withState(ParCtx<E> Ctx, S Init, F Body)
+    -> std::invoke_result_t<F, ParCtx<E>> {
+  using Node = detail::StateLayerNode<S, Tag>;
+  Task *T = Ctx.task();
+  T->Layers.push_back(std::make_unique<Node>(std::move(Init)));
+  // NOTE: the pop below runs when Body completes, on whatever the task's
+  // layer stack is then. Body must not leak un-popped layers.
+  if constexpr (std::is_void_v<
+                    decltype(std::declval<std::invoke_result_t<F, ParCtx<E>>>()
+                                 .await_resume())>) {
+    co_await Body(Ctx);
+    T->Layers.pop_back();
+    co_return;
+  } else {
+    auto R = co_await Body(Ctx);
+    T->Layers.pop_back();
+    co_return R;
+  }
+}
+
+/// Trivially splittable wrapper: both sides get copies (the "duplicated"
+/// split policy the paper mentions).
+template <typename S> struct Duplicated {
+  S Value;
+  Duplicated splitForChild() const { return Duplicated{Value}; }
+};
+
+} // namespace lvish
+
+#endif // LVISH_TRANS_STATELAYER_H

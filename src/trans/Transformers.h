@@ -1,0 +1,27 @@
+//===- Transformers.h - Umbrella for Par transformers ------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Umbrella for the "parallel effect zoo": state threading, pedigrees,
+/// deterministic RNG, cancellation, disjoint destructive state, deadlock
+/// detection, bulk retry, and memoization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_TRANS_TRANSFORMERS_H
+#define LVISH_TRANS_TRANSFORMERS_H
+
+#include "src/trans/BulkRetry.h"   // IWYU pragma: export
+#include "src/trans/Cancel.h"      // IWYU pragma: export
+#include "src/trans/Deadlock.h"    // IWYU pragma: export
+#include "src/trans/Memo.h"        // IWYU pragma: export
+#include "src/trans/ParRng.h"      // IWYU pragma: export
+#include "src/trans/ParST.h"       // IWYU pragma: export
+#include "src/trans/Pedigree.h"    // IWYU pragma: export
+#include "src/trans/StateLayer.h"  // IWYU pragma: export
+
+#endif // LVISH_TRANS_TRANSFORMERS_H

@@ -1,0 +1,155 @@
+//===- AndLVTest.cpp - Parallel-and lattice and asyncAnd -------------------===//
+//
+// Exhaustively verifies the Figure 1 lattice (join laws over all 10x10
+// state pairs), the threshold-read semantics, short-circuiting, and the
+// paper's 100-computation fold example.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/LVish.h"
+#include "src/data/AndLV.h"
+
+#include <gtest/gtest.h>
+
+using namespace lvish;
+
+namespace {
+
+constexpr EffectSet D = Eff::Det;
+using VT = AndLattice::ValueType;
+
+// "Because AndLV has a finite lattice, its join function can be trivially
+// and exhaustively verified to compute a lub" (Section 2).
+TEST(AndLattice, JoinIsCommutativeExhaustively) {
+  for (const VT &A : AndLattice::allStates())
+    for (const VT &B : AndLattice::allStates())
+      EXPECT_EQ(AndLattice::join(A, B), AndLattice::join(B, A));
+}
+
+TEST(AndLattice, JoinIsAssociativeExhaustively) {
+  auto All = AndLattice::allStates();
+  for (const VT &A : All)
+    for (const VT &B : All)
+      for (const VT &C : All)
+        EXPECT_EQ(AndLattice::join(A, AndLattice::join(B, C)),
+                  AndLattice::join(AndLattice::join(A, B), C));
+}
+
+TEST(AndLattice, JoinIsIdempotentExhaustively) {
+  for (const VT &A : AndLattice::allStates())
+    EXPECT_EQ(AndLattice::join(A, A), A);
+}
+
+TEST(AndLattice, BottomIsIdentityAndTopAbsorbs) {
+  for (const VT &A : AndLattice::allStates()) {
+    EXPECT_EQ(AndLattice::join(A, AndLattice::bottom()), A);
+    EXPECT_TRUE(AndLattice::isTop(AndLattice::join(A, std::nullopt)));
+  }
+}
+
+TEST(AndLattice, JoinIsInflationaryExhaustively) {
+  // a <= join(a, b) for all a, b (leq derived from join).
+  auto All = AndLattice::allStates();
+  for (const VT &A : All)
+    for (const VT &B : All) {
+      VT J = AndLattice::join(A, B);
+      EXPECT_EQ(AndLattice::join(A, J), J) << "not inflationary";
+    }
+}
+
+TEST(AndLattice, TriggerSetsArePairwiseIncompatible) {
+  // The getAndLV threshold sets, verified exhaustively against the lattice.
+  auto Pair = [](Inp X, Inp Y) { return VT(std::make_pair(X, Y)); };
+  std::vector<VT> BothTrue{Pair(Inp::T, Inp::T)};
+  std::vector<VT> AnyFalse{Pair(Inp::F, Inp::Bot), Pair(Inp::Bot, Inp::F),
+                           Pair(Inp::F, Inp::T), Pair(Inp::T, Inp::F),
+                           Pair(Inp::F, Inp::F)};
+  for (const VT &A : BothTrue)
+    for (const VT &B : AnyFalse)
+      EXPECT_TRUE(AndLattice::isTop(AndLattice::join(A, B)));
+}
+
+// -- Runtime behaviour ----------------------------------------------------
+
+TEST(AsyncAnd, TrueTrue) {
+  bool R = runPar<D>([](ParCtx<D> Ctx) -> Par<bool> {
+    co_return co_await asyncAnd<D>(
+        Ctx, [](ParCtx<D> C) -> Par<bool> { co_return true; },
+        [](ParCtx<D> C) -> Par<bool> { co_return true; });
+  });
+  EXPECT_TRUE(R);
+}
+
+TEST(AsyncAnd, TrueFalse) {
+  bool R = runPar<D>([](ParCtx<D> Ctx) -> Par<bool> {
+    co_return co_await asyncAnd<D>(
+        Ctx, [](ParCtx<D> C) -> Par<bool> { co_return true; },
+        [](ParCtx<D> C) -> Par<bool> { co_return false; });
+  });
+  EXPECT_FALSE(R);
+}
+
+TEST(AsyncAnd, ShortCircuitsOnFirstFalse) {
+  // The left branch never completes (blocks forever); the right branch is
+  // false. getAndLV must still return false - and the orphaned left branch
+  // is reaped at session end.
+  bool R = runPar<D>(
+      [](ParCtx<D> Ctx) -> Par<bool> {
+        auto Never = newIVar<int>(Ctx);
+        // Named: captures a shared_ptr (GCC 12 discipline, see Par.h).
+        auto Blocked = [Never](ParCtx<D> C) -> Par<bool> {
+          int V = co_await get(C, *Never); // Blocks forever.
+          co_return V != 0;
+        };
+        auto False = [](ParCtx<D> C) -> Par<bool> { co_return false; };
+        bool R = co_await asyncAnd<D>(Ctx, Blocked, False);
+        co_return R;
+      },
+      SchedulerConfig{2});
+  EXPECT_FALSE(R);
+}
+
+TEST(AsyncAnd, FoldOver100Computations) {
+  // The paper's main example: 100 replicated [true, false] computations.
+  bool R = runPar<D>(
+      [](ParCtx<D> Ctx) -> Par<bool> {
+        std::vector<std::function<Par<bool>(ParCtx<D>)>> Ms;
+        for (int I = 0; I < 100; ++I) {
+          Ms.push_back([](ParCtx<D> C) -> Par<bool> { co_return true; });
+          Ms.push_back([](ParCtx<D> C) -> Par<bool> { co_return false; });
+        }
+        co_return co_await asyncAndTree<D>(Ctx, Ms);
+      },
+      SchedulerConfig{4});
+  EXPECT_FALSE(R);
+}
+
+TEST(AsyncAnd, FoldOverAllTrue) {
+  bool R = runPar<D>(
+      [](ParCtx<D> Ctx) -> Par<bool> {
+        std::vector<std::function<Par<bool>(ParCtx<D>)>> Ms;
+        for (int I = 0; I < 64; ++I)
+          Ms.push_back([](ParCtx<D> C) -> Par<bool> { co_return true; });
+        co_return co_await asyncAndTree<D>(Ctx, Ms);
+      },
+      SchedulerConfig{4});
+  EXPECT_TRUE(R);
+}
+
+TEST(AsyncAnd, DeterministicAcrossSchedules) {
+  for (unsigned W : {1u, 2u, 4u}) {
+    bool R = runPar<D>(
+        [](ParCtx<D> Ctx) -> Par<bool> {
+          std::vector<std::function<Par<bool>(ParCtx<D>)>> Ms;
+          for (int I = 0; I < 30; ++I)
+            Ms.push_back([I](ParCtx<D> C) -> Par<bool> {
+              co_return I != 17; // Exactly one false.
+            });
+          co_return co_await asyncAndTree<D>(Ctx, Ms);
+        },
+        SchedulerConfig{W});
+    EXPECT_FALSE(R) << "workers=" << W;
+  }
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+//===- DequeTest.cpp - Chase-Lev deque tests -------------------------------===//
+
+#include "src/sched/WorkStealingDeque.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace lvish;
+
+namespace {
+
+struct Item {
+  int Value;
+};
+
+TEST(Deque, LifoOwnerSemantics) {
+  WorkStealingDeque<Item> D;
+  Item A{1}, B{2}, C{3};
+  D.push(&A);
+  D.push(&B);
+  D.push(&C);
+  EXPECT_EQ(D.pop(), &C);
+  EXPECT_EQ(D.pop(), &B);
+  EXPECT_EQ(D.pop(), &A);
+  EXPECT_EQ(D.pop(), nullptr);
+}
+
+TEST(Deque, FifoThiefSemantics) {
+  WorkStealingDeque<Item> D;
+  Item A{1}, B{2};
+  D.push(&A);
+  D.push(&B);
+  EXPECT_EQ(D.steal(), &A);
+  EXPECT_EQ(D.steal(), &B);
+  EXPECT_EQ(D.steal(), nullptr);
+}
+
+TEST(Deque, GrowsPastInitialCapacity) {
+  WorkStealingDeque<Item> D(2); // Capacity 4.
+  std::vector<Item> Items(100);
+  for (int I = 0; I < 100; ++I) {
+    Items[I].Value = I;
+    D.push(&Items[I]);
+  }
+  for (int I = 99; I >= 0; --I) {
+    Item *P = D.pop();
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(P->Value, I);
+  }
+}
+
+// Stress: one owner pushing/popping, several thieves stealing. Every item
+// must be consumed exactly once.
+TEST(Deque, StressExactlyOnceDelivery) {
+  constexpr int NumItems = 20000;
+  constexpr int NumThieves = 3;
+  WorkStealingDeque<Item> D;
+  std::vector<Item> Items(NumItems);
+  std::vector<std::atomic<int>> Taken(NumItems);
+  for (auto &T : Taken)
+    T.store(0);
+  std::atomic<bool> Done{false};
+  std::atomic<int> Consumed{0};
+
+  auto Consume = [&](Item *P) {
+    Taken[P->Value].fetch_add(1);
+    Consumed.fetch_add(1);
+  };
+
+  std::vector<std::thread> Thieves;
+  for (int T = 0; T < NumThieves; ++T)
+    Thieves.emplace_back([&] {
+      while (!Done.load(std::memory_order_acquire) ||
+             Consumed.load() < NumItems) {
+        if (Item *P = D.steal())
+          Consume(P);
+        else
+          std::this_thread::yield();
+        if (Consumed.load() >= NumItems)
+          break;
+      }
+    });
+
+  // Owner: push all items, popping occasionally to mix in LIFO traffic.
+  for (int I = 0; I < NumItems; ++I) {
+    Items[I].Value = I;
+    D.push(&Items[I]);
+    if (I % 7 == 0)
+      if (Item *P = D.pop())
+        Consume(P);
+  }
+  Done.store(true, std::memory_order_release);
+  while (Consumed.load() < NumItems)
+    if (Item *P = D.pop())
+      Consume(P);
+    else
+      std::this_thread::yield();
+
+  for (auto &T : Thieves)
+    T.join();
+
+  for (int I = 0; I < NumItems; ++I)
+    EXPECT_EQ(Taken[I].load(), 1) << "item " << I;
+}
+
+} // namespace

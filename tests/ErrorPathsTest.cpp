@@ -1,0 +1,193 @@
+//===- ErrorPathsTest.cpp - Deterministic-error death tests ----------------===//
+//
+// The paper's determinism violations must fail loudly and deterministically
+// rather than return wrong answers: conflicting IVar puts (lattice top),
+// conflicting IMap bindings, put-after-freeze, cancel+read conflicts, and
+// ParST discipline violations (poisoned views, bad split points). These
+// are gtest death tests: each erroneous program must abort with the
+// documented message.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/LVish.h"
+#include "src/data/IMap.h"
+#include "src/trans/Cancel.h"
+#include "src/trans/ParST.h"
+
+#include <gtest/gtest.h>
+
+using namespace lvish;
+
+namespace {
+
+constexpr EffectSet D = Eff::Det;
+
+using ErrorPathsDeathTest = ::testing::Test;
+
+TEST(ErrorPathsDeathTest, ConflictingIVarPutsReachTop) {
+  EXPECT_DEATH(
+      runPar<D>([](ParCtx<D> Ctx) -> Par<void> {
+        auto IV = newIVar<int>(Ctx);
+        put(Ctx, *IV, 1);
+        put(Ctx, *IV, 2); // Different value: lattice top.
+        co_return;
+      }),
+      "multiple put to an IVar");
+}
+
+TEST(ErrorPathsDeathTest, ConflictingMapBindingsReachTop) {
+  EXPECT_DEATH(
+      runPar<D>([](ParCtx<D> Ctx) -> Par<void> {
+        auto M = newEmptyMap<int, int>(Ctx);
+        insert(Ctx, *M, 1, 10);
+        insert(Ctx, *M, 1, 11); // Same key, different value.
+        co_return;
+      }),
+      "conflicting insert");
+}
+
+TEST(ErrorPathsDeathTest, PutAfterFreezeAborts) {
+  EXPECT_DEATH(
+      runParIO<Eff::QuasiDet>([](ParCtx<Eff::QuasiDet> Ctx) -> Par<void> {
+        auto IV = newIVar<int>(Ctx);
+        freezeIVar(Ctx, *IV); // Freeze while empty...
+        put(Ctx, *IV, 3);     // ...then change the state.
+        co_return;
+      }),
+      "frozen LVar");
+}
+
+TEST(ErrorPathsDeathTest, CancelThenReadConflicts) {
+  EXPECT_DEATH(
+      runParIO<Eff::FullIO>([](ParCtx<Eff::FullIO> Ctx) -> Par<void> {
+        auto Fut =
+            forkCancelable(Ctx, [](ParCtx<Eff::ReadOnly> C) -> Par<int> {
+              for (;;)
+                co_await yield(C);
+            });
+        cancel(Ctx, Fut);
+        int V = co_await readCFuture(Ctx, Fut); // Error: both ops.
+        (void)V;
+        co_return;
+      }),
+      "cancelled and read");
+}
+
+TEST(ErrorPathsDeathTest, ReadThenCancelConflictsToo) {
+  // "Even if the read happens first" - the same deterministic error.
+  EXPECT_DEATH(
+      runParIO<Eff::FullIO>([](ParCtx<Eff::FullIO> Ctx) -> Par<void> {
+        auto Fut =
+            forkCancelable(Ctx, [](ParCtx<Eff::ReadOnly> C) -> Par<int> {
+              co_return 1;
+            });
+        int V = co_await readCFuture(Ctx, Fut);
+        (void)V;
+        cancel(Ctx, Fut);
+        co_return;
+      }),
+      "cancelled and read");
+}
+
+TEST(ErrorPathsDeathTest, MainDeadlockIsReported) {
+  EXPECT_DEATH(
+      runPar<D>([](ParCtx<D> Ctx) -> Par<int> {
+        auto Never = newIVar<int>(Ctx);
+        int V = co_await get(Ctx, *Never); // Root blocks forever.
+        co_return V;
+      }),
+      "deterministic deadlock");
+}
+
+TEST(ErrorPathsDeathTest, PoisonedViewAccessAborts) {
+  EXPECT_DEATH(
+      runPar<D>([](ParCtx<D> Ctx) -> Par<void> {
+        co_await runParVec(
+            Ctx, 8, 0,
+            [](ParCtx<Eff::DetST> C, VecView<int> V) -> Par<void> {
+              auto LeftB = [V](ParCtx<Eff::DetST> C2,
+                               VecView<int> L) -> Par<void> {
+                V[0] = 1; // Captured parent view: poisoned in here.
+                co_return;
+              };
+              auto RightB = [](ParCtx<Eff::DetST> C2,
+                               VecView<int> R) -> Par<void> { co_return; };
+              co_await forkSTSplit(C, V, 4, LeftB, RightB);
+              co_return;
+            });
+        co_return;
+      }),
+      "poisoned VecView");
+}
+
+TEST(ErrorPathsDeathTest, EscapedViewAfterScopeAborts) {
+  EXPECT_DEATH(
+      runPar<D>([](ParCtx<D> Ctx) -> Par<void> {
+        VecView<int> Escapee;
+        co_await runParVec(
+            Ctx, 4, 0,
+            [&Escapee](ParCtx<Eff::DetST> C, VecView<int> V) -> Par<void> {
+              Escapee = V;
+              co_return;
+            });
+        Escapee.writeChecked(0, 1); // Scope over: poisoned.
+        co_return;
+      }),
+      "poisoned VecView");
+}
+
+TEST(ErrorPathsDeathTest, SplitPointOutOfRangeAborts) {
+  EXPECT_DEATH(
+      runPar<D>([](ParCtx<D> Ctx) -> Par<void> {
+        co_await runParVec(
+            Ctx, 4, 0,
+            [](ParCtx<Eff::DetST> C, VecView<int> V) -> Par<void> {
+              auto Nop = [](ParCtx<Eff::DetST> C2,
+                            VecView<int>) -> Par<void> { co_return; };
+              co_await forkSTSplit(C, V, 99, Nop, Nop);
+              co_return;
+            });
+        co_return;
+      }),
+      "split point out of range");
+}
+
+TEST(ErrorPathsDeathTest, ViewBoundsCheckedAccessAborts) {
+  EXPECT_DEATH(
+      runPar<D>([](ParCtx<D> Ctx) -> Par<void> {
+        co_await runParVec(
+            Ctx, 4, 0,
+            [](ParCtx<Eff::DetST> C, VecView<int> V) -> Par<void> {
+              V.writeChecked(4, 1); // One past the end.
+              co_return;
+            });
+        co_return;
+      }),
+      "out of range");
+}
+
+} // namespace
+
+/// AndLattice-style two-writer conflict lattice: 0 = bot, 1 = a, 2 = b,
+/// 3 = top (namespace scope so PureLVar's template machinery can name it).
+struct AndLatticeForDeath {
+  using ValueType = int;
+  static ValueType bottom() { return 0; }
+  static ValueType join(ValueType A, ValueType B) { return A | B; }
+  static bool isTop(ValueType A) { return A == 3; }
+};
+
+namespace {
+
+TEST(ErrorPathsDeathTest, ConflictingPureWritesReachTop) {
+  EXPECT_DEATH(
+      runPar<D>([](ParCtx<D> Ctx) -> Par<void> {
+        auto LV = newPureLVar<AndLatticeForDeath>(Ctx);
+        putPureLVar(Ctx, *LV, 1);
+        putPureLVar(Ctx, *LV, 2); // join = 3 = top.
+        co_return;
+      }),
+      "lattice top");
+}
+
+} // namespace

@@ -1,0 +1,166 @@
+//===- KernelsTest.cpp - Benchmark kernels vs. sequential oracles ----------===//
+
+#include "src/kernels/Harness.h"
+#include "src/kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+using namespace lvish;
+using namespace lvish::kernels;
+
+namespace {
+
+TEST(BlackScholes, ParMatchesSeq) {
+  auto Opts = makeOptions(5000, 7);
+  auto Seq = blackScholesSeq(Opts);
+  Scheduler Sched(SchedulerConfig{3});
+  auto Par = blackScholesPar(Sched, Opts, 256);
+  ASSERT_EQ(Seq.size(), Par.size());
+  for (size_t I = 0; I < Seq.size(); ++I)
+    EXPECT_DOUBLE_EQ(Seq[I], Par[I]);
+}
+
+TEST(BlackScholes, PutCallSanity) {
+  // A deep in-the-money call is worth about S - K*exp(-rT).
+  Option O{100, 50, 1.0, 0.05, 0.2, true};
+  double Price = blackScholesSeq({O})[0];
+  EXPECT_NEAR(Price, 100 - 50 * std::exp(-0.05), 0.5);
+  // Put-call parity: C - P = S - K*exp(-rT).
+  Option P = O;
+  P.IsCall = false;
+  double PutPrice = blackScholesSeq({P})[0];
+  EXPECT_NEAR(Price - PutPrice, 100 - 50 * std::exp(-0.05), 1e-6);
+}
+
+TEST(SumEuler, ParMatchesSeqAndKnownValues) {
+  // Known: sum of phi(i) for i=1..10 is 32; for 1..100 is 3044.
+  EXPECT_EQ(sumEulerSeq(10), 32u);
+  EXPECT_EQ(sumEulerSeq(100), 3044u);
+  Scheduler Sched(SchedulerConfig{3});
+  EXPECT_EQ(sumEulerPar(Sched, 100, 8), 3044u);
+  EXPECT_EQ(sumEulerPar(Sched, 1000, 32), sumEulerSeq(1000));
+}
+
+TEST(MatMult, ParMatchesSeq) {
+  constexpr size_t N = 48;
+  auto A = makeMatrix(N, 1);
+  auto B = makeMatrix(N, 2);
+  auto Seq = matMultSeq(A, B, N);
+  Scheduler Sched(SchedulerConfig{3});
+  auto Par = matMultPar(Sched, A, B, N, 4);
+  ASSERT_EQ(Seq.size(), Par.size());
+  for (size_t I = 0; I < Seq.size(); ++I)
+    EXPECT_DOUBLE_EQ(Seq[I], Par[I]);
+}
+
+TEST(MatMult, IdentityIsNeutral) {
+  constexpr size_t N = 16;
+  auto A = makeMatrix(N, 3);
+  std::vector<double> I(N * N, 0);
+  for (size_t K = 0; K < N; ++K)
+    I[K * N + K] = 1;
+  auto C = matMultSeq(A, I, N);
+  for (size_t K = 0; K < A.size(); ++K)
+    EXPECT_NEAR(C[K], A[K], 1e-12);
+}
+
+TEST(NBody, ParMatchesSeqBitForBit) {
+  auto B1 = makeBodies(64, 11);
+  auto B2 = B1;
+  nBodySeq(B1, 3);
+  Scheduler Sched(SchedulerConfig{3});
+  nBodyPar(Sched, B2, 3);
+  for (size_t I = 0; I < B1.size(); ++I) {
+    EXPECT_DOUBLE_EQ(B1[I].X, B2[I].X);
+    EXPECT_DOUBLE_EQ(B1[I].VX, B2[I].VX);
+    EXPECT_DOUBLE_EQ(B1[I].Z, B2[I].Z);
+  }
+}
+
+TEST(NBody, MomentumRoughlyConserved) {
+  auto Bodies = makeBodies(32, 5);
+  auto P0 = [&] {
+    double PX = 0;
+    for (const Body &B : Bodies)
+      PX += B.Mass * B.VX;
+    return PX;
+  }();
+  nBodySeq(Bodies, 10);
+  double PX = 0;
+  for (const Body &B : Bodies)
+    PX += B.Mass * B.VX;
+  // Forces are not exactly pairwise-symmetric numerically, so allow slack.
+  EXPECT_NEAR(PX, P0, 1e-2);
+}
+
+TEST(MergeSort, SeqOracleSorts) {
+  auto Keys = makeKeys(10000, 13);
+  auto Ref = Keys;
+  std::sort(Ref.begin(), Ref.end());
+  mergeSortSeq(Keys);
+  EXPECT_EQ(Keys, Ref);
+}
+
+TEST(MergeSort, FunctionalCopyingSorts) {
+  auto Keys = makeKeys(50000, 17);
+  auto Ref = Keys;
+  std::sort(Ref.begin(), Ref.end());
+  Scheduler Sched(SchedulerConfig{3});
+  auto Sorted = mergeSortFP(Sched, std::move(Keys), 1024);
+  EXPECT_EQ(Sorted, Ref);
+}
+
+TEST(MergeSort, ParSTInPlaceSorts) {
+  for (size_t N : {16u, 1000u, 50000u}) {
+    auto Keys = makeKeys(N, 19);
+    auto Ref = Keys;
+    std::sort(Ref.begin(), Ref.end());
+    Scheduler Sched(SchedulerConfig{3});
+    mergeSortParST(Sched, Keys, 512, /*UseStdSortLeaf=*/false);
+    EXPECT_EQ(Keys, Ref) << "N=" << N;
+  }
+}
+
+TEST(MergeSort, ParSTWithStdSortLeaf) {
+  auto Keys = makeKeys(30000, 23);
+  auto Ref = Keys;
+  std::sort(Ref.begin(), Ref.end());
+  Scheduler Sched(SchedulerConfig{2});
+  mergeSortParST(Sched, Keys, 512, /*UseStdSortLeaf=*/true);
+  EXPECT_EQ(Keys, Ref);
+}
+
+TEST(MergeSort, AlreadySortedAndReversedInputs) {
+  std::vector<int64_t> Up(4096), Down(4096);
+  for (size_t I = 0; I < Up.size(); ++I) {
+    Up[I] = static_cast<int64_t>(I);
+    Down[I] = static_cast<int64_t>(Up.size() - I);
+  }
+  Scheduler Sched(SchedulerConfig{2});
+  auto UpRef = Up;
+  mergeSortParST(Sched, Up, 128);
+  EXPECT_EQ(Up, UpRef);
+  mergeSortParST(Sched, Down, 128);
+  EXPECT_TRUE(std::is_sorted(Down.begin(), Down.end()));
+}
+
+// -- Harness capture ------------------------------------------------------
+
+TEST(Harness, CaptureProducesUsableGraph) {
+  auto Fn = [](Scheduler &Sched) {
+    auto Keys = makeKeys(20000, 3);
+    mergeSortParST(Sched, Keys, 1024);
+  };
+  KernelCapture Cap = captureKernel("sort", Fn, 1, 1);
+  EXPECT_GT(Cap.RealSeconds, 0);
+  EXPECT_GT(Cap.Graph.numSlices(), 10u);
+  EXPECT_GT(Cap.Graph.totalWorkNanos(), 0u);
+  // Span cannot exceed work; both positive.
+  EXPECT_LE(Cap.Graph.criticalPathNanos(), Cap.Graph.totalWorkNanos());
+  EXPECT_GT(Cap.Graph.totalBytes(), 0u);
+}
+
+} // namespace

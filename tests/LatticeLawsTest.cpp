@@ -1,0 +1,144 @@
+//===- LatticeLawsTest.cpp - Lattice and bump laws, property style ---------===//
+//
+// The paper's proof obligations for data-structure authors, checked as
+// executable properties: joins must be associative, commutative,
+// idempotent, and inflationary, with bottom as identity; bump families
+// must commute and be inflationary; threshold trigger sets must be
+// pairwise incompatible. Parameterized (TEST_P) across random seeds so
+// each law is exercised on many generated states.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/Lattice.h"
+#include "src/data/AndLV.h"
+#include "src/support/DenseBitset.h"
+#include "src/support/SplitMix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace lvish;
+
+namespace {
+
+// -- Generic law checkers --------------------------------------------------
+
+template <typename L>
+void checkJoinLaws(const std::vector<typename L::ValueType> &States) {
+  for (const auto &A : States) {
+    EXPECT_EQ(L::join(A, L::bottom()), A) << "bottom not an identity";
+    EXPECT_EQ(L::join(A, A), A) << "join not idempotent";
+    for (const auto &B : States) {
+      EXPECT_EQ(L::join(A, B), L::join(B, A)) << "join not commutative";
+      auto J = L::join(A, B);
+      EXPECT_EQ(L::join(A, J), J) << "join not inflationary";
+      for (const auto &C : States)
+        EXPECT_EQ(L::join(A, L::join(B, C)), L::join(L::join(A, B), C))
+            << "join not associative";
+    }
+  }
+}
+
+// A set-union lattice over DenseBitset, used by ISet semantically; here
+// we check the laws on the value type directly.
+struct BitsetUnionLattice {
+  using ValueType = DenseBitset;
+  static constexpr size_t Universe = 48;
+  static ValueType bottom() { return DenseBitset(Universe); }
+  static ValueType join(const ValueType &A, const ValueType &B) {
+    ValueType R = A;
+    R |= B;
+    return R;
+  }
+};
+
+class LatticeLawsP : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LatticeLawsP, MaxUint64JoinLaws) {
+  SplitMix64 Rng(GetParam());
+  std::vector<unsigned long long> States{0, 1,
+                                         ~0ULL}; // Edge states always in.
+  for (int I = 0; I < 6; ++I)
+    States.push_back(Rng.next() >> (Rng.nextBounded(40)));
+  checkJoinLaws<MaxUint64Lattice>(States);
+}
+
+TEST_P(LatticeLawsP, BitsetUnionJoinLaws) {
+  SplitMix64 Rng(GetParam());
+  std::vector<DenseBitset> States{BitsetUnionLattice::bottom()};
+  for (int I = 0; I < 6; ++I) {
+    DenseBitset B(BitsetUnionLattice::Universe);
+    for (int K = 0; K < 10; ++K)
+      B.set(Rng.nextBounded(BitsetUnionLattice::Universe));
+    States.push_back(B);
+  }
+  checkJoinLaws<BitsetUnionLattice>(States);
+}
+
+TEST_P(LatticeLawsP, BoolOrJoinLaws) {
+  checkJoinLaws<BoolOrLattice>({false, true});
+  (void)GetParam();
+}
+
+TEST_P(LatticeLawsP, AndLatticeJoinLawsExhaustive) {
+  checkJoinLaws<AndLattice>(AndLattice::allStates());
+  (void)GetParam();
+}
+
+// -- Bump laws (Section 3) -------------------------------------------------
+//
+//   forall a, i:      a <= bump_i(a)
+//   forall a, i, j:   bump_i(bump_j(a)) == bump_j(bump_i(a))
+
+TEST_P(LatticeLawsP, CounterBumpFamilyCommutesAndInflates) {
+  SplitMix64 Rng(GetParam());
+  std::vector<uint64_t> Amounts{1, 2, 3, Rng.nextBounded(1000) + 1,
+                                Rng.nextBounded(1000000) + 1};
+  std::vector<uint64_t> States{0, 1, Rng.next() >> 20};
+  auto Leq = [](uint64_t A, uint64_t B) { return A <= B; };
+  for (uint64_t A : States)
+    for (uint64_t I : Amounts) {
+      EXPECT_TRUE(Leq(A, A + I)) << "bump not inflationary";
+      for (uint64_t J : Amounts) {
+        EXPECT_EQ((A + I) + J, (A + J) + I) << "bump family not commuting";
+      }
+    }
+}
+
+// The paper's cautionary example: put and bump do NOT commute, which is
+// exactly why the library forbids mixing them on one LVar.
+TEST_P(LatticeLawsP, PutAndBumpDoNotCommute) {
+  // max(0, 4) then +1 gives 5; +1 then max(1, 4) gives 4 (Section 3).
+  uint64_t PutFirst = MaxUint64Lattice::join(0, 4) + 1;
+  uint64_t BumpFirst = MaxUint64Lattice::join(0 + 1, 4);
+  EXPECT_NE(PutFirst, BumpFirst);
+  (void)GetParam();
+}
+
+// -- Threshold-set incompatibility -------------------------------------
+
+TEST_P(LatticeLawsP, RandomCompatibleTriggersAreRejectedByCheck) {
+  // For MaxUint64, any two distinct thresholds are COMPATIBLE (their join
+  // is just the max, never a designated top) - so a lattice without a top
+  // cannot verify incompatibility and the check must be vacuous; whereas
+  // AndLattice's designated top lets the check bite (verified in
+  // AndLVTest). Here: derived leq is a partial order on random states.
+  SplitMix64 Rng(GetParam());
+  for (int I = 0; I < 8; ++I) {
+    uint64_t A = Rng.next(), B = Rng.next();
+    bool AB = latticeLeq<MaxUint64Lattice>(A, B);
+    bool BA = latticeLeq<MaxUint64Lattice>(B, A);
+    EXPECT_TRUE(AB || BA) << "max lattice is a total order";
+    if (AB && BA)
+      EXPECT_EQ(A, B) << "antisymmetry";
+    EXPECT_TRUE(latticeLeq<MaxUint64Lattice>(A, A)) << "reflexivity";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticeLawsP,
+                         ::testing::Values(1ull, 7ull, 42ull, 1234ull,
+                                           99991ull, 31337ull, 2026ull,
+                                           777ull));
+
+} // namespace

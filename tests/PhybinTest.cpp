@@ -1,0 +1,279 @@
+//===- PhybinTest.cpp - PhyBin substrate tests ------------------------------===//
+//
+// Newick round-trips, bipartition extraction, the three RF-distance
+// implementations (cross-checked against each other and against hand
+// calculations), determinism of the parallel version across schedules,
+// tree generation, and clustering.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/phybin/Bipartition.h"
+#include "src/phybin/Cluster.h"
+#include "src/phybin/Newick.h"
+#include "src/phybin/RFDistance.h"
+#include "src/phybin/TreeGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace lvish;
+using namespace lvish::phybin;
+
+namespace {
+
+TreeSet parseForest(const char *Text) {
+  TreeSet TS;
+  NewickError E = parseNewickForest(Text, TS);
+  EXPECT_TRUE(E.ok()) << E.Message << " at offset " << E.Offset;
+  return TS;
+}
+
+// -- Newick -----------------------------------------------------------------
+
+TEST(Newick, ParsesSimpleTree) {
+  std::vector<std::string> Species;
+  PhyloTree T;
+  NewickError E = parseNewick("(A,(B,C));", T, Species);
+  ASSERT_TRUE(E.ok()) << E.Message;
+  EXPECT_TRUE(T.validate());
+  EXPECT_EQ(Species.size(), 3u);
+  EXPECT_EQ(T.countLeaves(), 3u);
+}
+
+TEST(Newick, ParsesBranchLengthsAndQuotedLabels) {
+  std::vector<std::string> Species;
+  PhyloTree T;
+  NewickError E =
+      parseNewick("('species one':0.5,(B:1e-3,C):2.25)Root;", T, Species);
+  ASSERT_TRUE(E.ok()) << E.Message;
+  EXPECT_TRUE(T.validate());
+  EXPECT_EQ(Species[0], "species one");
+}
+
+TEST(Newick, RoundTripPreservesTopology) {
+  std::vector<std::string> Species;
+  PhyloTree T;
+  ASSERT_TRUE(parseNewick("((A,B),(C,(D,E)));", T, Species).ok());
+  std::string Printed = printNewick(T, Species);
+  PhyloTree T2;
+  std::vector<std::string> Species2;
+  ASSERT_TRUE(parseNewick(Printed, T2, Species2).ok());
+  // Topology equality via canonical bipartition sets.
+  EXPECT_EQ(extractBipartitions(T, Species.size()),
+            extractBipartitions(T2, Species2.size()));
+}
+
+TEST(Newick, ReportsErrorsWithOffset) {
+  std::vector<std::string> Species;
+  PhyloTree T;
+  NewickError E = parseNewick("(A,(B,C)", T, Species);
+  EXPECT_FALSE(E.ok());
+  EXPECT_NE(E.Offset, std::string::npos);
+}
+
+TEST(Newick, ForestSharesSpeciesTable) {
+  TreeSet TS = parseForest("(A,(B,C));((A,B),C);");
+  EXPECT_EQ(TS.numTrees(), 2u);
+  EXPECT_EQ(TS.numSpecies(), 3u);
+  EXPECT_TRUE(TS.validate());
+}
+
+// -- Bipartitions ---------------------------------------------------------
+
+TEST(Bipartition, CanonicalizationMergesComplements) {
+  DenseLabelSet A(5), B(5);
+  A.set(0);
+  A.set(1); // {0,1} -> complement {2,3,4} after canonicalization.
+  B.set(2);
+  B.set(3);
+  B.set(4);
+  canonicalizeBipartition(A);
+  canonicalizeBipartition(B);
+  EXPECT_EQ(A, B);
+}
+
+TEST(Bipartition, FiveLeafCaterpillarHasTwoNontrivialSplits) {
+  // ((A,B),(C,(D,E))) over 5 species: internal edges {A,B} and {D,E}.
+  TreeSet TS = parseForest("((A,B),(C,(D,E)));");
+  auto Bips = extractBipartitions(TS.Trees[0], 5);
+  EXPECT_EQ(Bips.size(), 2u);
+}
+
+TEST(Bipartition, IdenticalTreesGiveIdenticalSets) {
+  // Same unrooted topology written with different rootings/orders.
+  TreeSet TS = parseForest("((A,B),(C,D));((B,A),(D,C));");
+  auto B0 = extractBipartitions(TS.Trees[0], TS.numSpecies());
+  auto B1 = extractBipartitions(TS.Trees[1], TS.numSpecies());
+  EXPECT_EQ(B0, B1);
+}
+
+TEST(Bipartition, SymmetricDifferenceHandCheck) {
+  // ((A,B),(C,D)) vs ((A,C),(B,D)): each has one nontrivial split and
+  // they differ -> RF distance 2.
+  TreeSet TS = parseForest("((A,B),(C,D));((A,C),(B,D));");
+  auto B0 = extractBipartitions(TS.Trees[0], 4);
+  auto B1 = extractBipartitions(TS.Trees[1], 4);
+  EXPECT_EQ(symmetricDifferenceSize(B0, B1), 2u);
+  EXPECT_EQ(symmetricDifferenceSize(B0, B0), 0u);
+}
+
+// -- RF distance ------------------------------------------------------------
+
+TEST(RFDistance, HandComputedMatrix) {
+  TreeSet TS =
+      parseForest("((A,B),(C,D));((A,C),(B,D));((A,B),(C,D));");
+  DistanceMatrix D = rfNaivePairwise(TS);
+  EXPECT_EQ(D.at(0, 1), 2u);
+  EXPECT_EQ(D.at(0, 2), 0u); // Identical topologies.
+  EXPECT_EQ(D.at(1, 2), 2u);
+  EXPECT_EQ(D.at(1, 0), 2u); // Symmetric.
+}
+
+TEST(RFDistance, ThreeImplementationsAgreeOnRandomSets) {
+  for (uint64_t Seed : {1ull, 42ull, 777ull}) {
+    TreeSet TS = generateTreeSet(/*NumTrees=*/12, /*NumSpecies=*/16,
+                                 /*MutationsPerTree=*/3, Seed);
+    ASSERT_TRUE(TS.validate());
+    DistanceMatrix Naive = rfNaivePairwise(TS);
+    DistanceMatrix Hash = rfHashRFSequential(TS);
+    DistanceMatrix Par = rfHashRFParallel(TS, SchedulerConfig{2});
+    EXPECT_EQ(Naive, Hash) << "seed " << Seed;
+    EXPECT_EQ(Naive, Par) << "seed " << Seed;
+  }
+}
+
+TEST(RFDistance, MetricAxiomsOnRandomSet) {
+  TreeSet TS = generateTreeSet(10, 12, 4, 99);
+  DistanceMatrix D = rfNaivePairwise(TS);
+  size_t N = TS.numTrees();
+  for (size_t I = 0; I < N; ++I) {
+    EXPECT_EQ(D.at(I, I), 0u);
+    for (size_t J = 0; J < N; ++J) {
+      EXPECT_EQ(D.at(I, J), D.at(J, I));
+      for (size_t K = 0; K < N; ++K)
+        EXPECT_LE(D.at(I, K), D.at(I, J) + D.at(J, K)) << "triangle";
+    }
+  }
+}
+
+TEST(RFDistance, ParallelIsDeterministicAcrossSchedules) {
+  TreeSet TS = generateTreeSet(15, 20, 5, 2024);
+  DistanceMatrix Ref = rfHashRFParallel(TS, SchedulerConfig{1});
+  for (unsigned W : {2u, 3u, 4u}) {
+    SchedulerConfig Cfg;
+    Cfg.NumWorkers = W;
+    Cfg.StealSeed = W * 7919;
+    EXPECT_EQ(rfHashRFParallel(TS, Cfg), Ref) << "workers " << W;
+  }
+}
+
+TEST(RFDistance, MutationsIncreaseDistanceFromBase) {
+  // Trees with more NNI mutations should (on average) be farther from
+  // each other than near-identical ones.
+  TreeSet Light = generateTreeSet(8, 24, 1, 5);
+  TreeSet Heavy = generateTreeSet(8, 24, 24, 5);
+  auto AvgDist = [](const TreeSet &TS) {
+    DistanceMatrix D = rfNaivePairwise(TS);
+    double Sum = 0;
+    size_t N = TS.numTrees(), Count = 0;
+    for (size_t I = 0; I < N; ++I)
+      for (size_t J = I + 1; J < N; ++J) {
+        Sum += D.at(I, J);
+        ++Count;
+      }
+    return Sum / static_cast<double>(Count);
+  };
+  EXPECT_LT(AvgDist(Light), AvgDist(Heavy));
+}
+
+// -- Tree generation --------------------------------------------------------
+
+TEST(TreeGen, GeneratedSetsAreValidAndDeterministic) {
+  TreeSet A = generateTreeSet(6, 10, 2, 123);
+  TreeSet B = generateTreeSet(6, 10, 2, 123);
+  ASSERT_TRUE(A.validate());
+  EXPECT_EQ(rfNaivePairwise(A), rfNaivePairwise(B)); // Same seed, same set.
+  TreeSet C = generateTreeSet(6, 10, 2, 124);
+  EXPECT_FALSE(rfNaivePairwise(A) == rfNaivePairwise(C));
+}
+
+TEST(TreeGen, NNIPreservesValidity) {
+  SplitMix64 Rng(7);
+  PhyloTree T = randomBinaryTree(20, Rng);
+  ASSERT_TRUE(T.validate());
+  mutateNNI(T, 50, Rng);
+  std::string Err;
+  EXPECT_TRUE(T.validate(&Err)) << Err;
+  EXPECT_EQ(T.countLeaves(), 20u);
+}
+
+TEST(TreeGen, NNIChangesTopology) {
+  SplitMix64 Rng(11);
+  PhyloTree Base = randomBinaryTree(16, Rng);
+  PhyloTree Mut = Base;
+  mutateNNI(Mut, 8, Rng);
+  auto B0 = extractBipartitions(Base, 16);
+  auto B1 = extractBipartitions(Mut, 16);
+  EXPECT_NE(symmetricDifferenceSize(B0, B1), 0u);
+}
+
+// -- Clustering ---------------------------------------------------------
+
+TEST(Cluster, PerfectlySeparatedBins) {
+  // Two groups of identical trees, far apart: the cut must find exactly
+  // the two bins.
+  TreeSet TS = parseForest("((A,B),((C,D),(E,F)));"
+                           "((A,B),((C,D),(E,F)));"
+                           "(((A,C),(B,E)),(D,F));"
+                           "(((A,C),(B,E)),(D,F));");
+  DistanceMatrix D = rfNaivePairwise(TS);
+  Dendrogram Dend = clusterSingleLinkage(D);
+  std::vector<size_t> Bins = cutClusters(Dend, 0.0);
+  EXPECT_EQ(Bins[0], Bins[1]);
+  EXPECT_EQ(Bins[2], Bins[3]);
+  EXPECT_NE(Bins[0], Bins[2]);
+}
+
+TEST(Cluster, CutAtInfinityIsOneBin) {
+  TreeSet TS = generateTreeSet(10, 12, 3, 3);
+  DistanceMatrix D = rfNaivePairwise(TS);
+  Dendrogram Dend = clusterSingleLinkage(D);
+  std::vector<size_t> Bins = cutClusters(Dend, 1e9);
+  for (size_t B : Bins)
+    EXPECT_EQ(B, 0u);
+}
+
+TEST(Cluster, CutAtNegativeIsAllSingletons) {
+  TreeSet TS = generateTreeSet(7, 12, 6, 8);
+  DistanceMatrix D = rfNaivePairwise(TS);
+  Dendrogram Dend = clusterSingleLinkage(D);
+  std::vector<size_t> Bins = cutClusters(Dend, -1.0);
+  std::set<size_t> Uniq(Bins.begin(), Bins.end());
+  // Distinct topologies => distinct singleton bins (identical trees may
+  // merge at height 0, which -1 excludes entirely).
+  EXPECT_EQ(Uniq.size(), Bins.size());
+}
+
+TEST(Cluster, SingleLinkageMergesAtMinimumDistance) {
+  // Three trees where 0 and 1 are close, 2 is far: the dendrogram must
+  // merge 0-1 below the height it merges 2.
+  TreeSet TS = parseForest("((A,B),((C,D),(E,F)));"
+                           "((A,B),((C,E),(D,F)));"
+                           "(((A,E),(C,F)),(B,D));");
+  DistanceMatrix D = rfNaivePairwise(TS);
+  // Precondition for the single-linkage claim: tree 2 is strictly farther
+  // from BOTH others than they are from each other (no chaining).
+  ASSERT_LT(D.at(0, 1), D.at(0, 2));
+  ASSERT_LT(D.at(0, 1), D.at(1, 2));
+  Dendrogram Dend = clusterSingleLinkage(D);
+  std::vector<size_t> Close = cutClusters(Dend, D.at(0, 1));
+  EXPECT_EQ(Close[0], Close[1]);
+  EXPECT_NE(Close[0], Close[2]);
+}
+
+TEST(Cluster, FormatIsStable) {
+  std::vector<size_t> Assign{0, 0, 1, 0, 1};
+  EXPECT_EQ(formatClusters(Assign),
+            "bin 0 (3 trees): 0 1 3\nbin 1 (2 trees): 2 4\n");
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+//===- PureMapTest.cpp - PureMap and general threshold functions -----------===//
+
+#include "src/core/LVish.h"
+#include "src/data/PureMap.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace lvish;
+
+namespace {
+
+constexpr EffectSet D = Eff::Det;
+
+TEST(PureMap, AppendixQuickstartShape) {
+  // The appendix program on the PureMap variant: prints 2.
+  int R = runPar<D>(
+      [](ParCtx<D> Ctx) -> Par<int> {
+        auto Cart = newEmptyPureMap<std::string, int>(Ctx);
+        fork(Ctx, [Cart](ParCtx<D> C) -> Par<void> {
+          insertPure(C, *Cart, std::string("Book"), 2);
+          co_return;
+        });
+        fork(Ctx, [Cart](ParCtx<D> C) -> Par<void> {
+          insertPure(C, *Cart, std::string("Shoes"), 1);
+          co_return;
+        });
+        int N = co_await getKeyPure(Ctx, *Cart, std::string("Book"));
+        co_return N;
+      },
+      SchedulerConfig{2});
+  EXPECT_EQ(R, 2);
+}
+
+TEST(PureMap, EqualRebindIsIdempotent) {
+  runPar<D>([](ParCtx<D> Ctx) -> Par<void> {
+    auto M = newEmptyPureMap<int, int>(Ctx);
+    insertPure(Ctx, *M, 1, 10);
+    insertPure(Ctx, *M, 1, 10);
+    int V = co_await getKeyPure(Ctx, *M, 1);
+    EXPECT_EQ(V, 10);
+    co_return;
+  });
+}
+
+TEST(PureMapDeathTest, ConflictingRebindHitsTop) {
+  EXPECT_DEATH(
+      runPar<D>([](ParCtx<D> Ctx) -> Par<void> {
+        auto M = newEmptyPureMap<int, int>(Ctx);
+        insertPure(Ctx, *M, 1, 10);
+        insertPure(Ctx, *M, 1, 11);
+        co_return;
+      }),
+      "lattice top");
+}
+
+TEST(PureMap, WaitSizeThreshold) {
+  size_t N = runPar<D>(
+      [](ParCtx<D> Ctx) -> Par<size_t> {
+        auto M = newEmptyPureMap<int, int>(Ctx);
+        for (int I = 0; I < 6; ++I)
+          fork(Ctx, [M, I](ParCtx<D> C) -> Par<void> {
+            insertPure(C, *M, I, I * I);
+            co_return;
+          });
+        size_t Seen = co_await waitPureMapSize(Ctx, *M, 6);
+        co_return Seen;
+      },
+      SchedulerConfig{3});
+  EXPECT_EQ(N, 6u);
+}
+
+TEST(PureMap, FreezeAfterQuiescenceReadsExactContents) {
+  auto M = runParThenFreeze<D>(
+      [](ParCtx<D> Ctx) -> Par<std::shared_ptr<PureMap<int, int>>> {
+        auto Map = newEmptyPureMap<int, int>(Ctx);
+        for (int I = 0; I < 5; ++I)
+          fork(Ctx, [Map, I](ParCtx<D> C) -> Par<void> {
+            insertPure(C, *Map, I, 2 * I);
+            co_return;
+          });
+        co_return Map;
+      },
+      SchedulerConfig{2});
+  auto State = M->peek();
+  ASSERT_TRUE(State.has_value());
+  EXPECT_EQ(State->size(), 5u);
+  EXPECT_EQ(State->at(3), 6);
+}
+
+TEST(PureMap, MapUnionLatticeLaws) {
+  using L = MapUnionLattice<int, int>;
+  std::vector<L::ValueType> States{
+      L::bottom(),
+      L::ValueType(std::map<int, int>{{1, 10}}),
+      L::ValueType(std::map<int, int>{{2, 20}}),
+      L::ValueType(std::map<int, int>{{1, 10}, {2, 20}}),
+      L::ValueType(std::map<int, int>{{1, 99}}), // Conflicts with {1,10}.
+      std::nullopt,
+  };
+  for (const auto &A : States) {
+    EXPECT_EQ(L::join(A, L::bottom()), A);
+    EXPECT_EQ(L::join(A, A), A);
+    for (const auto &B : States) {
+      EXPECT_EQ(L::join(A, B), L::join(B, A));
+      auto J = L::join(A, B);
+      EXPECT_EQ(L::join(A, J), J) << "inflationary";
+      for (const auto &C : States)
+        EXPECT_EQ(L::join(A, L::join(B, C)), L::join(L::join(A, B), C));
+    }
+  }
+  EXPECT_TRUE(L::isTop(L::join(States[1], States[4])));
+}
+
+TEST(GeneralThreshold, MonotoneFunctionOnMaxLattice) {
+  // A footnote-5 read that cannot be written as a finite trigger set:
+  // "the first power of ten the counter reaches".
+  unsigned long long R = runPar<D>(
+      [](ParCtx<D> Ctx) -> Par<unsigned long long> {
+        auto LV = newPureLVar<MaxUint64Lattice>(Ctx);
+        fork(Ctx, [LV](ParCtx<D> C) -> Par<void> {
+          for (unsigned long long V : {3ULL, 40ULL, 999ULL, 1500ULL})
+            putPureLVar(C, *LV, V);
+          co_return;
+        });
+        std::function<std::optional<unsigned long long>(
+            const unsigned long long &)>
+            Fn = [](const unsigned long long &S)
+            -> std::optional<unsigned long long> {
+          if (S >= 1000)
+            return 1000ULL; // Stable above the activation point.
+          return std::nullopt;
+        };
+        unsigned long long V = co_await getPureLVarWith<unsigned long long>(
+            Ctx, *LV, Fn);
+        co_return V;
+      },
+      SchedulerConfig{2});
+  EXPECT_EQ(R, 1000u);
+}
+
+} // namespace

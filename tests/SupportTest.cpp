@@ -1,0 +1,185 @@
+//===- SupportTest.cpp - Support utilities tests ---------------------------===//
+
+#include "src/support/AsymmetricGate.h"
+#include "src/support/DenseBitset.h"
+#include "src/support/Hashing.h"
+#include "src/support/SplitMix.h"
+#include "src/support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace lvish;
+
+namespace {
+
+TEST(Hashing, Mix64IsInjectiveOnSmallRange) {
+  std::set<uint64_t> Seen;
+  for (uint64_t I = 0; I < 10000; ++I)
+    Seen.insert(mix64(I));
+  EXPECT_EQ(Seen.size(), 10000u);
+}
+
+TEST(Hashing, BytesHashIsStable) {
+  EXPECT_EQ(hashBytes("abc", 3), hashBytes("abc", 3));
+  EXPECT_NE(hashBytes("abc", 3), hashBytes("abd", 3));
+}
+
+TEST(DenseBitset, SetTestCount) {
+  DenseBitset B(130);
+  EXPECT_TRUE(B.none());
+  B.set(0);
+  B.set(64);
+  B.set(129);
+  EXPECT_EQ(B.count(), 3u);
+  EXPECT_TRUE(B.test(0));
+  EXPECT_TRUE(B.test(64));
+  EXPECT_TRUE(B.test(129));
+  EXPECT_FALSE(B.test(1));
+  B.reset(64);
+  EXPECT_EQ(B.count(), 2u);
+}
+
+TEST(DenseBitset, FlipAllRespectsPadding) {
+  DenseBitset B(70);
+  B.set(3);
+  B.flipAll();
+  EXPECT_EQ(B.count(), 69u);
+  EXPECT_FALSE(B.test(3));
+  // Padding bits above 70 must stay clear so equality/hash are canonical.
+  B.flipAll();
+  DenseBitset C(70);
+  C.set(3);
+  EXPECT_EQ(B, C);
+  EXPECT_EQ(B.hash(), C.hash());
+}
+
+TEST(DenseBitset, SubsetAndDisjoint) {
+  DenseBitset A(100), B(100);
+  A.set(1);
+  A.set(50);
+  B.set(1);
+  B.set(50);
+  B.set(99);
+  EXPECT_TRUE(A.subsetOf(B));
+  EXPECT_FALSE(B.subsetOf(A));
+  DenseBitset C(100);
+  C.set(2);
+  EXPECT_TRUE(A.disjointWith(C));
+  EXPECT_FALSE(A.disjointWith(B));
+}
+
+TEST(DenseBitset, OrderingIsTotalAndDeterministic) {
+  DenseBitset A(64), B(64);
+  A.set(0);
+  B.set(1);
+  EXPECT_TRUE((A < B) != (B < A));
+  EXPECT_FALSE(A < A);
+}
+
+TEST(SplitMix, DeterministicStreams) {
+  SplitMix64 A(7), B(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix, SplitIndependence) {
+  SplitMix64 G(123);
+  auto [L, R] = G.split();
+  EXPECT_NE(L.rawState(), R.rawState());
+  // Streams should diverge immediately.
+  SplitMix64 L2 = L, R2 = R;
+  EXPECT_NE(L2.next(), R2.next());
+}
+
+TEST(SplitMix, SplitIsAFunctionOfState) {
+  SplitMix64 G1(5), G2(5);
+  auto [A1, B1] = G1.split();
+  auto [A2, B2] = G2.split();
+  EXPECT_EQ(A1, A2);
+  EXPECT_EQ(B1, B2);
+}
+
+TEST(SplitMix, BoundedIsInRange) {
+  SplitMix64 G(99);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(G.nextBounded(17), 17u);
+}
+
+TEST(SplitMix, DoubleIsInUnitInterval) {
+  SplitMix64 G(3);
+  for (int I = 0; I < 1000; ++I) {
+    double D = G.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Timer, MedianOfConstantIsConstantish) {
+  double T = medianSeconds([] {}, 5);
+  EXPECT_GE(T, 0.0);
+  EXPECT_LT(T, 0.5);
+}
+
+// -- AsymmetricGate -----------------------------------------------------
+
+TEST(AsymmetricGate, FastSectionsAreConcurrent) {
+  AsymmetricGate G;
+  std::atomic<int> Inside{0};
+  std::atomic<int> MaxInside{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 200; ++I) {
+        AsymmetricGate::FastGuard Guard(G);
+        int Now = Inside.fetch_add(1) + 1;
+        int Max = MaxInside.load();
+        while (Max < Now && !MaxInside.compare_exchange_weak(Max, Now)) {
+        }
+        Inside.fetch_sub(1);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Inside.load(), 0);
+}
+
+TEST(AsymmetricGate, SlowSideExcludesFastSide) {
+  AsymmetricGate G;
+  std::atomic<bool> SlowActive{false};
+  std::atomic<bool> Violation{false};
+  std::atomic<bool> Stop{false};
+  std::thread Fast([&] {
+    while (!Stop.load(std::memory_order_acquire)) {
+      AsymmetricGate::FastGuard Guard(G);
+      if (SlowActive.load(std::memory_order_acquire))
+        Violation.store(true);
+    }
+  });
+  for (int I = 0; I < 100; ++I) {
+    AsymmetricGate::SlowGuard Guard(G);
+    SlowActive.store(true, std::memory_order_release);
+    // Dwell briefly; any fast-section overlap would observe SlowActive.
+    for (int Spin = 0; Spin < 50; ++Spin)
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+    SlowActive.store(false, std::memory_order_release);
+  }
+  Stop.store(true, std::memory_order_release);
+  Fast.join();
+  EXPECT_FALSE(Violation.load());
+}
+
+TEST(AsymmetricGate, NestedFastSectionsDoNotSelfDeadlock) {
+  AsymmetricGate G;
+  AsymmetricGate::FastGuard Outer(G);
+  {
+    AsymmetricGate::FastGuard Inner(G);
+  }
+  SUCCEED();
+}
+
+} // namespace
