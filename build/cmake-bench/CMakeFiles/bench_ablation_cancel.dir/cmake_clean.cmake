@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cancel"
+  "../bench/bench_ablation_cancel.pdb"
+  "CMakeFiles/bench_ablation_cancel.dir/bench_ablation_cancel.cpp.o"
+  "CMakeFiles/bench_ablation_cancel.dir/bench_ablation_cancel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cancel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_transformers"
+  "../bench/bench_fig2_transformers.pdb"
+  "CMakeFiles/bench_fig2_transformers.dir/bench_fig2_transformers.cpp.o"
+  "CMakeFiles/bench_fig2_transformers.dir/bench_fig2_transformers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_transformers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_mergesort"
+  "../bench/bench_fig5_mergesort.pdb"
+  "CMakeFiles/bench_fig5_mergesort.dir/bench_fig5_mergesort.cpp.o"
+  "CMakeFiles/bench_fig5_mergesort.dir/bench_fig5_mergesort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mergesort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

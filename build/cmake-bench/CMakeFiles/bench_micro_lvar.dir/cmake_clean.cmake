@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_lvar"
+  "../bench/bench_micro_lvar.pdb"
+  "CMakeFiles/bench_micro_lvar.dir/bench_micro_lvar.cpp.o"
+  "CMakeFiles/bench_micro_lvar.dir/bench_micro_lvar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lvar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

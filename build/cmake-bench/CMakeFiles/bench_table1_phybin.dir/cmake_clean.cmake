@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_phybin"
+  "../bench/bench_table1_phybin.pdb"
+  "CMakeFiles/bench_table1_phybin.dir/bench_table1_phybin.cpp.o"
+  "CMakeFiles/bench_table1_phybin.dir/bench_table1_phybin.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_phybin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

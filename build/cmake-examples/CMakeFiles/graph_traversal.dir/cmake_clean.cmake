@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/graph_traversal"
+  "../examples/graph_traversal.pdb"
+  "CMakeFiles/graph_traversal.dir/graph_traversal.cpp.o"
+  "CMakeFiles/graph_traversal.dir/graph_traversal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

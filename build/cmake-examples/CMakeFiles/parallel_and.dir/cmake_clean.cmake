@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/parallel_and"
+  "../examples/parallel_and.pdb"
+  "CMakeFiles/parallel_and.dir/parallel_and.cpp.o"
+  "CMakeFiles/parallel_and.dir/parallel_and.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_and.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

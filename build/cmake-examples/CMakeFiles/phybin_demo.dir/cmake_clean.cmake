@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/phybin_demo"
+  "../examples/phybin_demo.pdb"
+  "CMakeFiles/phybin_demo.dir/phybin_demo.cpp.o"
+  "CMakeFiles/phybin_demo.dir/phybin_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phybin_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvish_kernels.dir/Harness.cpp.o"
+  "CMakeFiles/lvish_kernels.dir/Harness.cpp.o.d"
+  "CMakeFiles/lvish_kernels.dir/Kernels.cpp.o"
+  "CMakeFiles/lvish_kernels.dir/Kernels.cpp.o.d"
+  "liblvish_kernels.a"
+  "liblvish_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvish_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

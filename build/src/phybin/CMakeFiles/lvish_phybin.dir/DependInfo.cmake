@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phybin/Bipartition.cpp" "src/phybin/CMakeFiles/lvish_phybin.dir/Bipartition.cpp.o" "gcc" "src/phybin/CMakeFiles/lvish_phybin.dir/Bipartition.cpp.o.d"
+  "/root/repo/src/phybin/Cluster.cpp" "src/phybin/CMakeFiles/lvish_phybin.dir/Cluster.cpp.o" "gcc" "src/phybin/CMakeFiles/lvish_phybin.dir/Cluster.cpp.o.d"
+  "/root/repo/src/phybin/Newick.cpp" "src/phybin/CMakeFiles/lvish_phybin.dir/Newick.cpp.o" "gcc" "src/phybin/CMakeFiles/lvish_phybin.dir/Newick.cpp.o.d"
+  "/root/repo/src/phybin/PhyloTree.cpp" "src/phybin/CMakeFiles/lvish_phybin.dir/PhyloTree.cpp.o" "gcc" "src/phybin/CMakeFiles/lvish_phybin.dir/PhyloTree.cpp.o.d"
+  "/root/repo/src/phybin/RFDistance.cpp" "src/phybin/CMakeFiles/lvish_phybin.dir/RFDistance.cpp.o" "gcc" "src/phybin/CMakeFiles/lvish_phybin.dir/RFDistance.cpp.o.d"
+  "/root/repo/src/phybin/TreeGen.cpp" "src/phybin/CMakeFiles/lvish_phybin.dir/TreeGen.cpp.o" "gcc" "src/phybin/CMakeFiles/lvish_phybin.dir/TreeGen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lvish_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lvish_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

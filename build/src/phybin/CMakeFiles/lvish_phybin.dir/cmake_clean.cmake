@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvish_phybin.dir/Bipartition.cpp.o"
+  "CMakeFiles/lvish_phybin.dir/Bipartition.cpp.o.d"
+  "CMakeFiles/lvish_phybin.dir/Cluster.cpp.o"
+  "CMakeFiles/lvish_phybin.dir/Cluster.cpp.o.d"
+  "CMakeFiles/lvish_phybin.dir/Newick.cpp.o"
+  "CMakeFiles/lvish_phybin.dir/Newick.cpp.o.d"
+  "CMakeFiles/lvish_phybin.dir/PhyloTree.cpp.o"
+  "CMakeFiles/lvish_phybin.dir/PhyloTree.cpp.o.d"
+  "CMakeFiles/lvish_phybin.dir/RFDistance.cpp.o"
+  "CMakeFiles/lvish_phybin.dir/RFDistance.cpp.o.d"
+  "CMakeFiles/lvish_phybin.dir/TreeGen.cpp.o"
+  "CMakeFiles/lvish_phybin.dir/TreeGen.cpp.o.d"
+  "liblvish_phybin.a"
+  "liblvish_phybin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvish_phybin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lvish_phybin.
+# This may be replaced when dependencies are built.

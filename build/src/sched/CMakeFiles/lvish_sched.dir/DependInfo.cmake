@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/Scheduler.cpp" "src/sched/CMakeFiles/lvish_sched.dir/Scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/lvish_sched.dir/Scheduler.cpp.o.d"
+  "/root/repo/src/sched/Task.cpp" "src/sched/CMakeFiles/lvish_sched.dir/Task.cpp.o" "gcc" "src/sched/CMakeFiles/lvish_sched.dir/Task.cpp.o.d"
+  "/root/repo/src/sched/TaskScope.cpp" "src/sched/CMakeFiles/lvish_sched.dir/TaskScope.cpp.o" "gcc" "src/sched/CMakeFiles/lvish_sched.dir/TaskScope.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lvish_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvish_sched.dir/Scheduler.cpp.o"
+  "CMakeFiles/lvish_sched.dir/Scheduler.cpp.o.d"
+  "CMakeFiles/lvish_sched.dir/Task.cpp.o"
+  "CMakeFiles/lvish_sched.dir/Task.cpp.o.d"
+  "CMakeFiles/lvish_sched.dir/TaskScope.cpp.o"
+  "CMakeFiles/lvish_sched.dir/TaskScope.cpp.o.d"
+  "liblvish_sched.a"
+  "liblvish_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvish_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvish_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/lvish_sim.dir/Simulator.cpp.o.d"
+  "liblvish_sim.a"
+  "liblvish_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvish_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblvish_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvish_support.dir/Assert.cpp.o"
+  "CMakeFiles/lvish_support.dir/Assert.cpp.o.d"
+  "CMakeFiles/lvish_support.dir/AsymmetricGate.cpp.o"
+  "CMakeFiles/lvish_support.dir/AsymmetricGate.cpp.o.d"
+  "liblvish_support.a"
+  "liblvish_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvish_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

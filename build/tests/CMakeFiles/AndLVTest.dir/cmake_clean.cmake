@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "AndLVTest"
+  "AndLVTest.pdb"
+  "CMakeFiles/AndLVTest.dir/AndLVTest.cpp.o"
+  "CMakeFiles/AndLVTest.dir/AndLVTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AndLVTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CoreParTest.dir/CoreParTest.cpp.o"
+  "CMakeFiles/CoreParTest.dir/CoreParTest.cpp.o.d"
+  "CoreParTest"
+  "CoreParTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CoreParTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for CoreParTest.
+# This may be replaced when dependencies are built.

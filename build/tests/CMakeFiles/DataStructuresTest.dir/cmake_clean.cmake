@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DataStructuresTest.dir/DataStructuresTest.cpp.o"
+  "CMakeFiles/DataStructuresTest.dir/DataStructuresTest.cpp.o.d"
+  "DataStructuresTest"
+  "DataStructuresTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DataStructuresTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DequeTest.dir/DequeTest.cpp.o"
+  "CMakeFiles/DequeTest.dir/DequeTest.cpp.o.d"
+  "DequeTest"
+  "DequeTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DequeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

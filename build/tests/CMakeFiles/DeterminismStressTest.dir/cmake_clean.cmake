@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DeterminismStressTest.dir/DeterminismStressTest.cpp.o"
+  "CMakeFiles/DeterminismStressTest.dir/DeterminismStressTest.cpp.o.d"
+  "DeterminismStressTest"
+  "DeterminismStressTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DeterminismStressTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ErrorPathsTest.dir/ErrorPathsTest.cpp.o"
+  "CMakeFiles/ErrorPathsTest.dir/ErrorPathsTest.cpp.o.d"
+  "ErrorPathsTest"
+  "ErrorPathsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ErrorPathsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

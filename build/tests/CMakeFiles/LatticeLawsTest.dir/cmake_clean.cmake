@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LatticeLawsTest.dir/LatticeLawsTest.cpp.o"
+  "CMakeFiles/LatticeLawsTest.dir/LatticeLawsTest.cpp.o.d"
+  "LatticeLawsTest"
+  "LatticeLawsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LatticeLawsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

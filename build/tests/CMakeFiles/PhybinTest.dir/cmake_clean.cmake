@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PhybinTest.dir/PhybinTest.cpp.o"
+  "CMakeFiles/PhybinTest.dir/PhybinTest.cpp.o.d"
+  "PhybinTest"
+  "PhybinTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PhybinTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PureMapTest.dir/PureMapTest.cpp.o"
+  "CMakeFiles/PureMapTest.dir/PureMapTest.cpp.o.d"
+  "PureMapTest"
+  "PureMapTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PureMapTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StressTest.dir/StressTest.cpp.o"
+  "CMakeFiles/StressTest.dir/StressTest.cpp.o.d"
+  "StressTest"
+  "StressTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StressTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TransformersTest.dir/TransformersTest.cpp.o"
+  "CMakeFiles/TransformersTest.dir/TransformersTest.cpp.o.d"
+  "TransformersTest"
+  "TransformersTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TransformersTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
