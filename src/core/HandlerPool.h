@@ -75,6 +75,7 @@ void addHandler(ParCtx<E> Ctx, std::shared_ptr<HandlerPool> Pool, LVarT &LV,
               co_await Callback(C, D);
             });
         Task *T = detail::installTaskRoot(*Sched, std::move(Body), Spawner);
+        check::declareTaskEffects(T, check::effectMask(E));
         T->Scopes.push_back(&Pool->Scope);
         T->Keepalives.push_back(Pool); // Scope must outlive the task.
         Pool->Scope.enter();

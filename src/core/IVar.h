@@ -35,6 +35,7 @@ public:
   /// conflicting value is a deterministic error (lattice top).
   void putValue(const T &V, Task *Writer) {
     checkSession(Writer);
+    check::auditEffect(Writer, check::FxPut, "IVar put");
     {
       std::lock_guard<std::mutex> Lock(WaitMutex);
       if (Full) {
@@ -121,6 +122,7 @@ template <EffectSet E, typename T>
   requires(hasFreeze(E))
 std::optional<T> freezeIVar(ParCtx<E> Ctx, IVar<T> &IV) {
   IV.checkSession(Ctx.task());
+  check::auditEffect(Ctx.task(), check::FxFreeze, "IVar freeze");
   IV.markFrozen();
   return IV.peek();
 }

@@ -28,6 +28,7 @@
 #ifndef LVISH_CORE_LVARBASE_H
 #define LVISH_CORE_LVARBASE_H
 
+#include "src/check/EffectAuditor.h"
 #include "src/sched/Scheduler.h"
 #include "src/sched/Task.h"
 #include "src/support/AsymmetricGate.h"
@@ -107,6 +108,7 @@ protected:
   template <typename AwaiterT>
   bool parkGet(Task *T, std::coroutine_handle<> H, AwaiterT *A) {
     checkSession(T);
+    check::auditEffect(T, check::FxGet, "blocking threshold read");
     if (T->isCancelled()) {
       T->Sched->deferRetire(T);
       return true; // Suspend; the worker destroys the frame right after.

@@ -58,6 +58,7 @@
 #ifndef LVISH_CORE_PAR_H
 #define LVISH_CORE_PAR_H
 
+#include "src/check/EffectAuditor.h"
 #include "src/core/Effects.h"
 #include "src/sched/Scheduler.h"
 #include "src/support/Assert.h"
@@ -318,7 +319,9 @@ template <EffectSet E, typename F> void fork(ParCtx<E> Ctx, F Body) {
   static_assert(std::is_invocable_r_v<Par<void>, F, ParCtx<E>>,
                 "fork body must be callable as Par<void>(ParCtx<E>)");
   Par<void> P = detail::forkBody<E>(std::move(Body));
-  detail::spawnTaskRoot(*Ctx.sched(), std::move(P), Ctx.task());
+  Task *T = detail::installTaskRoot(*Ctx.sched(), std::move(P), Ctx.task());
+  check::declareTaskEffects(T, check::effectMask(E));
+  Ctx.sched()->schedule(T);
 }
 
 /// Cooperative yield: reschedules the current task, letting siblings run.

@@ -24,6 +24,7 @@
 #ifndef LVISH_CORE_PURELVAR_H
 #define LVISH_CORE_PURELVAR_H
 
+#include "src/check/LatticeChecker.h"
 #include "src/core/LVarBase.h"
 #include "src/core/Lattice.h"
 #include "src/core/Par.h"
@@ -65,11 +66,17 @@ public:
   /// lattice designates a top; state changes on a frozen LVar likewise.
   void putValue(const D &V, Task *Writer) {
     checkSession(Writer);
+    check::auditEffect(Writer, check::FxPut, "PureLVar put");
     AsymmetricGate::FastGuard Gate(HandlerGate);
     bool Changed = false;
     D NewState{L::bottom()};
     {
       std::lock_guard<std::mutex> Lock(WaitMutex);
+#if LVISH_CHECK
+      // Spot-check the author's join-law obligations on the live pair.
+      if (check::sampleHit())
+        check::checkJoinLaws<L>(State, V);
+#endif
       D Joined = L::join(State, V);
       if (!(Joined == State)) {
         if (isFrozen())
@@ -123,8 +130,14 @@ public:
 
   /// Debug verification that trigger sets are pairwise incompatible
   /// (requires a designated top). Cheap for the finite lattices where it is
-  /// exhaustive, e.g. the parallel-and lattice of Figure 1.
+  /// exhaustive, e.g. the parallel-and lattice of Figure 1. Routed through
+  /// the LatticeChecker when the dynamic checkers are compiled in, so
+  /// violations report with the checker diagnostics (and tests can observe
+  /// them); falls back to a direct fatal check otherwise.
   static void checkPairwiseIncompatible(const ThresholdSets<D> &Sets) {
+#if LVISH_CHECK
+    check::checkThresholdSets<L>(Sets);
+#else
     if constexpr (LatticeWithTop<L>) {
       for (size_t I = 0; I < Sets.size(); ++I)
         for (size_t J = I + 1; J < Sets.size(); ++J)
@@ -134,6 +147,7 @@ public:
                 fatalError("threshold trigger sets are not pairwise "
                            "incompatible; reads would be nondeterministic");
     }
+#endif
   }
 
   /// Blocking read against a *general monotone threshold function*
@@ -261,6 +275,7 @@ template <EffectSet E, typename L>
   requires(hasFreeze(E) && Lattice<L>)
 typename L::ValueType freezePureLVar(ParCtx<E> Ctx, PureLVar<L> &LV) {
   LV.checkSession(Ctx.task());
+  check::auditEffect(Ctx.task(), check::FxFreeze, "PureLVar freeze");
   LV.markFrozen();
   return LV.peek();
 }

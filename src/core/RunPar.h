@@ -66,6 +66,7 @@ auto runParOnImpl(Scheduler &Sched, F Body) {
     Task *Root = installTaskRoot(Sched, std::move(RootPar), nullptr);
     Root->SessionId = Sched.newSessionId();
     Root->Cancel = std::make_shared<CancelNode>();
+    check::declareTaskEffects(Root, check::effectMask(E));
     Sched.schedule(Root);
     Sched.waitSessionQuiescent();
     Sched.finishSession();

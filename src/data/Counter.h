@@ -33,6 +33,7 @@
 #ifndef LVISH_DATA_COUNTER_H
 #define LVISH_DATA_COUNTER_H
 
+#include "src/check/LatticeChecker.h"
 #include "src/core/LVarBase.h"
 #include "src/core/Par.h"
 
@@ -50,11 +51,18 @@ public:
   /// Inflationary, commutative, non-idempotent update (exactly-once RMW).
   void bump(uint64_t Amount, Task *Writer) {
     checkSession(Writer);
+    check::auditEffect(Writer, check::FxBump, "Counter bump");
     if (Amount == 0)
       return;
     if (isFrozen())
       putAfterFreezeError();
+#if LVISH_CHECK
+    uint64_t Old = Value.fetch_add(Amount, std::memory_order_acq_rel);
+    if (check::sampleHit())
+      check::checkBumpInflates(Old, Amount, "Counter");
+#else
     Value.fetch_add(Amount, std::memory_order_acq_rel);
+#endif
     notifyWaiters(Writer);
   }
 
@@ -113,6 +121,7 @@ template <EffectSet E>
   requires(hasFreeze(E))
 uint64_t freezeCounter(ParCtx<E> Ctx, Counter &C) {
   C.checkSession(Ctx.task());
+  check::auditEffect(Ctx.task(), check::FxFreeze, "Counter freeze");
   C.markFrozen();
   return C.peek();
 }
@@ -134,12 +143,19 @@ public:
 
   void bumpAt(size_t I, uint64_t Amount, Task *Writer) {
     checkSession(Writer);
+    check::auditEffect(Writer, check::FxBump, "CounterVec bump");
     assert(I < Cells.size() && "CounterVec index out of range");
     if (Amount == 0)
       return;
     if (isFrozen())
       putAfterFreezeError();
+#if LVISH_CHECK
+    uint64_t Old = Cells[I].V.fetch_add(Amount, std::memory_order_acq_rel);
+    if (check::sampleHit())
+      check::checkBumpInflates(Old, Amount, "CounterVec");
+#else
     Cells[I].V.fetch_add(Amount, std::memory_order_acq_rel);
+#endif
     // Threshold waiters on CounterVec are rare (the PhyBin pattern is
     // bump-then-freeze); skip the waiter scan when nobody waits.
     notifyWaiters(Writer);
@@ -179,6 +195,7 @@ template <EffectSet E>
   requires(hasFreeze(E))
 std::vector<uint64_t> freezeCounterVec(ParCtx<E> Ctx, CounterVec &C) {
   C.checkSession(Ctx.task());
+  check::auditEffect(Ctx.task(), check::FxFreeze, "CounterVec freeze");
   C.markFrozen();
   return C.snapshot();
 }

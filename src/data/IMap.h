@@ -50,6 +50,7 @@ public:
   /// error.
   void insertKV(const K &Key, const V &Val, Task *Writer) {
     checkSession(Writer);
+    check::auditEffect(Writer, check::FxPut, "IMap insert");
     AsymmetricGate::FastGuard Gate(HandlerGate);
     auto [Stored, Inserted] = Table.insert(Key, Val);
     if (!Inserted) {
@@ -83,6 +84,7 @@ public:
   template <typename FactoryT>
   const V &modifyKey(const K &Key, FactoryT Factory, Task *Writer) {
     checkSession(Writer);
+    check::auditEffect(Writer, check::FxPut, "IMap modifyKey");
     if (const V *Existing = Table.find(Key))
       return *Existing;
     AsymmetricGate::FastGuard Gate(HandlerGate);
@@ -219,6 +221,7 @@ template <EffectSet E, typename K, typename V, typename HashT>
 std::vector<std::pair<K, V>> freezeMap(ParCtx<E> Ctx,
                                        IMap<K, V, HashT> &Map) {
   Map.checkSession(Ctx.task());
+  check::auditEffect(Ctx.task(), check::FxFreeze, "IMap freeze");
   Map.markFrozen();
   return Map.toSortedVector();
 }

@@ -54,6 +54,7 @@ public:
   /// Lub write: adds \p Elem. No-op if already present (idempotent).
   void insertElem(const T &Elem, Task *Writer) {
     checkSession(Writer);
+    check::auditEffect(Writer, check::FxPut, "ISet insert");
     AsymmetricGate::FastGuard Gate(HandlerGate);
     auto [Ptr, Inserted] = Table.insert(Elem, Unit{});
     (void)Ptr;
@@ -180,6 +181,7 @@ template <EffectSet E, typename T, typename HashT>
   requires(hasFreeze(E))
 std::vector<T> freezeSet(ParCtx<E> Ctx, ISet<T, HashT> &Set) {
   Set.checkSession(Ctx.task());
+  check::auditEffect(Ctx.task(), check::FxFreeze, "ISet freeze");
   Set.markFrozen();
   return Set.toSortedVector();
 }

@@ -543,8 +543,16 @@ void kernels::mergeSortParST(Scheduler &Sched, std::vector<int64_t> &Keys,
       (void)Dummy;
       co_await msST(C, Data, Buf, LeafSize, UseStdSortLeaf);
     };
+    // lvish-lint: allow(ctx-forge) - trusted in-place runParVec analogue.
     ParCtx<SortEff> STCtx = detail::CtxAccess::make<SortEff>(Ctx.task());
+    // In-place grant of the ST capability over caller-owned storage: widen
+    // the declared mask and register the root extent, as runParVec would.
+    check::RaiseDeclaredScope Raise(Ctx.task(),
+                                    check::effectMask(SortEff));
+    auto &DC = check::DisjointnessChecker::instance();
+    DC.registerExtent(Raw, Raw + N, Gen.get(), 0, "mergeSortParST root");
     co_await withTempBuffer(STCtx, Data, N, Body);
+    DC.releaseExtent(Raw, Gen.get());
     Gen->fetch_add(1, std::memory_order_acq_rel);
     co_return;
   });

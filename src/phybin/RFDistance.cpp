@@ -98,6 +98,8 @@ Par<DistanceMatrix> rfParallelBody(ParCtx<PhyBinEff> Ctx,
     auto Bips = extractBipartitions(Trees->Trees[T], S);
     (*BipCount)[T] = static_cast<uint32_t>(Bips.size());
     for (const DenseLabelSet &B : Bips) {
+      // Heterogeneous call the generic modifyKey wrapper cannot express
+      // (the factory returns a nested LVar). lvish-lint: allow(state-bypass)
       const std::shared_ptr<TreeSetLV> &Set = BipTable->modifyKey(
           B, [Session] { return std::make_shared<TreeSetLV>(Session); },
           C.task());
@@ -109,6 +111,7 @@ Par<DistanceMatrix> rfParallelBody(ParCtx<PhyBinEff> Ctx,
 
   // Phase boundary: the join above guarantees quiescence of all inserts,
   // so freezing here is deterministic.
+  // lvish-lint: allow(state-bypass) - post-join quiescent freeze.
   BipTable->markFrozen();
   std::vector<std::shared_ptr<TreeSetLV>> Entries;
   BipTable->forEachFrozen(
@@ -123,7 +126,8 @@ Par<DistanceMatrix> rfParallelBody(ParCtx<PhyBinEff> Ctx,
   auto Phase2 = [SharedCounts, EntriesPtr,
                  N](ParCtx<PhyBinEff> C, size_t EI) -> Par<void> {
     TreeSetLV &Members = *(*EntriesPtr)[EI];
-    Members.markFrozen(); // Quiescent since phase 1's join.
+    // Quiescent since phase 1's join. lvish-lint: allow(state-bypass)
+    Members.markFrozen();
     std::vector<uint32_t> List;
     Members.forEachFrozen(
         [&List](const uint32_t &T) { List.push_back(T); });

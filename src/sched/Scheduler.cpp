@@ -60,6 +60,10 @@ Task *Scheduler::createTask(std::coroutine_handle<> Root, Task *Parent) {
     assert(Parent->Sched == this && "cross-scheduler fork");
     T->SessionId = Parent->SessionId;
     T->Cancel = Parent->Cancel;
+    // Effect-audit default: inherit the parent's declared level; spawn
+    // wrappers that know their body's exact effect level overwrite this
+    // before scheduling (see src/check/EffectAuditor.h).
+    T->DeclaredFx = Parent->DeclaredFx;
     T->Scopes = Parent->Scopes;
     T->Keepalives = Parent->Keepalives;
     T->Layers.reserve(Parent->Layers.size());

@@ -109,6 +109,15 @@ public:
   /// Debug invariant: a task must never be enqueued twice concurrently.
   std::atomic<uint8_t> DebugQueued{0};
 
+  // -- Effect-audit bookkeeping (see src/check/EffectAuditor.h) -----------
+  // Plain bytes so this header needs no core/check types; only the task's
+  // own (sequenced) execution mutates them. Meaningful only when the
+  // LVISH_CHECK build flag is on; always present so toggling the flag
+  // cannot change Task's ABI between TUs.
+  uint8_t DeclaredFx = 63; ///< Effects the task's body was forked at.
+  uint8_t BlessedFx = 0;   ///< Temporarily blessed trusted escapes.
+  uint8_t PerformedFx = 0; ///< Effects actually observed at runtime.
+
   /// True if the cancellation tree above this task has been cancelled.
   bool isCancelled() const { return Cancel && !Cancel->isLive(); }
 

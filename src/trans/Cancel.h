@@ -33,6 +33,7 @@
 #ifndef LVISH_TRANS_CANCEL_H
 #define LVISH_TRANS_CANCEL_H
 
+#include "src/check/EffectAuditor.h"
 #include "src/core/IVar.h"
 #include "src/core/Par.h"
 
@@ -74,10 +75,12 @@ CFuture<T> forkCancelableImpl(ParCtx<E> Ctx, F Body) {
         // result"; this is that result.
         constexpr EffectSet Blessed{true, true, false, false, false, false};
         ParCtx<Blessed> Full = CtxAccess::make<Blessed>(C.task());
+        check::BlessScope Bless(C.task(), check::FxPut);
         put(Full, *Result, V);
       });
   Task *T_ = installTaskRoot(*Ctx.sched(), std::move(Wrapper), Ctx.task());
   T_->Cancel = Node; // Override the inherited node: new cancellable scope.
+  check::declareTaskEffects(T_, check::effectMask(ChildE));
   Ctx.sched()->schedule(T_);
   return CFuture<T>(std::move(Result), std::move(Node));
 }

@@ -32,6 +32,7 @@
 #ifndef LVISH_TRANS_DEADLOCK_H
 #define LVISH_TRANS_DEADLOCK_H
 
+#include "src/check/EffectAuditor.h"
 #include "src/core/Par.h"
 #include "src/sched/TaskScope.h"
 
@@ -91,6 +92,7 @@ Par<DeadlockReport> forkWithDeadlockDetection(ParCtx<E> Ctx, F Body) {
   Par<void> Wrapper = detail::forkBody<E>(std::move(Body));
   Task *Child = detail::installTaskRoot(*Ctx.sched(), std::move(Wrapper),
                                         Ctx.task());
+  check::declareTaskEffects(Child, check::effectMask(E));
   Child->Scopes.push_back(Runnable.get());
   Child->Scopes.push_back(Live.get());
   // Blocked descendants may be retired long after this frame returns;

@@ -94,7 +94,10 @@ template <EffectSet E, typename K, typename V, EffectSet FE>
 Par<V> getMemoRO(ParCtx<E> Ctx, std::shared_ptr<Memo<K, V, FE>> M, K Key) {
   constexpr EffectSet Blessed{true, true, false, false, false, false};
   ParCtx<Blessed> Full = detail::CtxAccess::make<Blessed>(Ctx.task());
-  insert(Full, *M->Requests, Key);
+  {
+    check::BlessScope Bless(Ctx.task(), check::FxPut);
+    insert(Full, *M->Requests, Key);
+  }
   V Val = co_await getKey(Ctx, *M->Results, Key);
   co_return Val;
 }

@@ -42,10 +42,13 @@
 #ifndef LVISH_TRANS_PARST_H
 #define LVISH_TRANS_PARST_H
 
+#include "src/check/DisjointnessChecker.h"
+#include "src/check/EffectAuditor.h"
 #include "src/core/IVar.h"
 #include "src/core/Par.h"
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -68,12 +71,14 @@ public:
   /// "a pointer ... that can be passed to any standard library procedures".
   /// Checks validity once; the pointer must not outlive the view's scope.
   T *raw() const {
+    shadowCheck(Data, Len);
     checkLive();
     return Data;
   }
 
   T &operator[](size_t I) const {
 #ifndef NDEBUG
+    shadowCheck(Data + I, 1);
     checkLive();
     assert(I < Len && "VecView index out of range");
 #endif
@@ -82,12 +87,14 @@ public:
 
   /// Reads/writes with always-on checking (tests and non-hot paths).
   T readChecked(size_t I) const {
+    shadowCheck(Data + I, 1);
     checkLive();
     if (I >= Len)
       fatalError("VecView access out of range");
     return Data[I];
   }
   void writeChecked(size_t I, const T &V) const {
+    shadowCheck(Data + I, 1);
     checkLive();
     if (I >= Len)
       fatalError("VecView write out of range");
@@ -96,6 +103,7 @@ public:
 
   /// Fills the whole view with \p V (the paper's \c set).
   void fill(const T &V) const {
+    shadowCheck(Data, Len);
     checkLive();
     for (size_t I = 0; I < Len; ++I)
       Data[I] = V;
@@ -108,10 +116,25 @@ public:
   /// Aborts unless the view is live. Public so the split/zoom combinators
   /// (trusted code) can check before taking ownership.
   void checkLive() const {
-    if (!live())
-      fatalError("access through a poisoned VecView (the region is "
-                 "currently owned by forkSTSplit children, or its scope "
-                 "ended)");
+    if (live())
+      return;
+#if LVISH_CHECK
+    // Upgrade the generic generation-mismatch abort with what the shadow
+    // interval map knows about the region's current owner.
+    char Desc[160];
+    check::DisjointnessChecker::instance().describeAddress(Data, Desc,
+                                                           sizeof(Desc));
+    char Msg[288];
+    std::snprintf(Msg, sizeof(Msg),
+                  "access through a poisoned VecView (view generation "
+                  "%llu); %s",
+                  static_cast<unsigned long long>(MyGen), Desc);
+    fatalError(Msg);
+#else
+    fatalError("access through a poisoned VecView (the region is "
+               "currently owned by forkSTSplit children, or its scope "
+               "ended)");
+#endif
   }
 
   /// Sub-view sharing this view's ownership scope. The two views alias;
@@ -127,9 +150,27 @@ public:
     return Gen;
   }
 
+  /// The generation this view expects its cell to hold while it is live
+  /// (trusted combinators and the disjointness checker only).
+  uint64_t expectedGen() const { return MyGen; }
+
 private:
   VecView offsetUnsafe(size_t Begin, size_t End) const {
     return VecView(Data + Begin, End - Begin, Gen, MyGen);
+  }
+
+  /// Sampled classification of the byte access [P, P+Count) against the
+  /// shadow interval map; reports Stale/ForeignOwner before the coarse
+  /// generation abort fires, so the diagnostic names the actual owner.
+  void shadowCheck(const T *P, size_t Count) const {
+#if LVISH_CHECK
+    if (check::sampleHit())
+      check::DisjointnessChecker::instance().checkAccess(P, P + Count,
+                                                         Gen.get(), MyGen);
+#else
+    (void)P;
+    (void)Count;
+#endif
   }
 
   T *Data;
@@ -170,13 +211,21 @@ auto runParVec(ParCtx<E> Ctx, size_t N, T Init, F Body) {
     auto Gen = detail::newGenCell();
     VecView<T> Root(Storage.data(), Storage.size(), Gen, 0);
     ParCtx<Wanted> STCtx = detail::CtxAccess::make<Wanted>(Ctx2.task());
+    // The grant is legitimate (one-shot switch, statically checked above):
+    // widen the running task's declared mask so the audit agrees.
+    check::RaiseDeclaredScope Raise(Ctx2.task(), check::effectMask(Wanted));
+    auto &DC = check::DisjointnessChecker::instance();
+    DC.registerExtent(Storage.data(), Storage.data() + Storage.size(),
+                      Gen.get(), 0, "runParVec root");
     if constexpr (std::is_void_v<decltype(std::declval<Ret>()
                                               .await_resume())>) {
       co_await Body2(STCtx, Root);
+      DC.releaseExtent(Storage.data(), Gen.get());
       Gen->fetch_add(1, std::memory_order_acq_rel); // Poison escapees.
       co_return;
     } else {
       auto R = co_await Body2(STCtx, Root);
+      DC.releaseExtent(Storage.data(), Gen.get());
       Gen->fetch_add(1, std::memory_order_acq_rel);
       co_return R;
     }
@@ -195,6 +244,7 @@ Par<void> forkSTSplit(ParCtx<E> Ctx, VecView<T> View, size_t Mid, L Left,
                       R Right) {
   if (Mid > View.size())
     fatalError("forkSTSplit: split point out of range");
+  check::auditEffect(Ctx.task(), check::FxST, "forkSTSplit");
   T *Base = View.raw();
   // Poison the parent view; each child gets its OWN ownership scope (a
   // shared cell would let one child's nested split poison its sibling).
@@ -203,6 +253,14 @@ Par<void> forkSTSplit(ParCtx<E> Ctx, VecView<T> View, size_t Mid, L Left,
   auto RGen = detail::newGenCell();
   VecView<T> LView(Base, Mid, LGen, 0);
   VecView<T> RView(Base + Mid, View.size() - Mid, RGen, 0);
+  // Hand the region over in the shadow map: the parent's extent steps
+  // aside while the children's halves are live, and returns at the join.
+  auto &DC = check::DisjointnessChecker::instance();
+  check::ExtentInfo ParentExtent =
+      DC.detachExtentContaining(Base, View.ownerGenCell().get());
+  DC.registerExtent(Base, Base + Mid, LGen.get(), 0, "forkSTSplit left");
+  DC.registerExtent(Base + Mid, Base + View.size(), RGen.get(), 0,
+                    "forkSTSplit right");
 
   auto Done = newIVar<bool>(Ctx);
   fork(Ctx, [Done, LView, Left](ParCtx<E> C) -> Par<void> {
@@ -213,6 +271,9 @@ Par<void> forkSTSplit(ParCtx<E> Ctx, VecView<T> View, size_t Mid, L Left,
   co_await get(Ctx, *Done);
 
   // Join: retire the child views, then un-poison the parent.
+  DC.releaseExtent(Base, LGen.get());
+  DC.releaseExtent(Base + Mid, RGen.get());
+  DC.restoreExtent(ParentExtent, View.ownerGenCell().get());
   LGen->fetch_add(1, std::memory_order_acq_rel);
   RGen->fetch_add(1, std::memory_order_acq_rel);
   View.ownerGenCell()->fetch_sub(1, std::memory_order_acq_rel);
@@ -229,6 +290,7 @@ Par<void> forkSTSplit2(ParCtx<E> Ctx, VecView<T> A, size_t MidA,
                        VecView<T2> B, size_t MidB, L Left, R Right) {
   if (MidA > A.size() || MidB > B.size())
     fatalError("forkSTSplit2: split point out of range");
+  check::auditEffect(Ctx.task(), check::FxST, "forkSTSplit2");
   T *BaseA = A.raw();
   T2 *BaseB = B.raw();
   A.ownerGenCell()->fetch_add(1, std::memory_order_acq_rel);
@@ -242,6 +304,17 @@ Par<void> forkSTSplit2(ParCtx<E> Ctx, VecView<T> A, size_t MidA,
   VecView<T> RA(BaseA + MidA, A.size() - MidA, RGen, 0);
   VecView<T2> LB(BaseB, MidB, LGen, 0);
   VecView<T2> RB(BaseB + MidB, B.size() - MidB, RGen, 0);
+  auto &DC = check::DisjointnessChecker::instance();
+  check::ExtentInfo ExtA =
+      DC.detachExtentContaining(BaseA, A.ownerGenCell().get());
+  check::ExtentInfo ExtB =
+      DC.detachExtentContaining(BaseB, B.ownerGenCell().get());
+  DC.registerExtent(BaseA, BaseA + MidA, LGen.get(), 0, "forkSTSplit2 left");
+  DC.registerExtent(BaseB, BaseB + MidB, LGen.get(), 0, "forkSTSplit2 left");
+  DC.registerExtent(BaseA + MidA, BaseA + A.size(), RGen.get(), 0,
+                    "forkSTSplit2 right");
+  DC.registerExtent(BaseB + MidB, BaseB + B.size(), RGen.get(), 0,
+                    "forkSTSplit2 right");
 
   auto Done = newIVar<bool>(Ctx);
   fork(Ctx, [Done, LA, LB, Left](ParCtx<E> C) -> Par<void> {
@@ -251,6 +324,12 @@ Par<void> forkSTSplit2(ParCtx<E> Ctx, VecView<T> A, size_t MidA,
   co_await Right(Ctx, RA, RB);
   co_await get(Ctx, *Done);
 
+  DC.releaseExtent(BaseA, LGen.get());
+  DC.releaseExtent(BaseB, LGen.get());
+  DC.releaseExtent(BaseA + MidA, RGen.get());
+  DC.releaseExtent(BaseB + MidB, RGen.get());
+  DC.restoreExtent(ExtA, A.ownerGenCell().get());
+  DC.restoreExtent(ExtB, B.ownerGenCell().get());
   LGen->fetch_add(1, std::memory_order_acq_rel);
   RGen->fetch_add(1, std::memory_order_acq_rel);
   A.ownerGenCell()->fetch_sub(1, std::memory_order_acq_rel);
@@ -271,18 +350,27 @@ auto zoomIn(ParCtx<E> Ctx, VecView<T> View, size_t Begin, size_t End,
             F Body2) -> Ret {
     if (B2 > E2 || E2 > V.size())
       fatalError("zoomIn: bad sub-range");
+    check::auditEffect(C.task(), check::FxST, "zoomIn");
     T *Base = V.raw();
     V.ownerGenCell()->fetch_add(1, std::memory_order_acq_rel);
     auto SubGen = detail::newGenCell();
     VecView<T> Sub(Base + B2, E2 - B2, SubGen, 0);
+    auto &DC = check::DisjointnessChecker::instance();
+    check::ExtentInfo ParentExtent =
+        DC.detachExtentContaining(Base, V.ownerGenCell().get());
+    DC.registerExtent(Base + B2, Base + E2, SubGen.get(), 0, "zoomIn");
     if constexpr (std::is_void_v<decltype(std::declval<Ret>()
                                               .await_resume())>) {
       co_await Body2(C, Sub);
+      DC.releaseExtent(Base + B2, SubGen.get());
+      DC.restoreExtent(ParentExtent, V.ownerGenCell().get());
       SubGen->fetch_add(1, std::memory_order_acq_rel);
       V.ownerGenCell()->fetch_sub(1, std::memory_order_acq_rel);
       co_return;
     } else {
       auto R = co_await Body2(C, Sub);
+      DC.releaseExtent(Base + B2, SubGen.get());
+      DC.restoreExtent(ParentExtent, V.ownerGenCell().get());
       SubGen->fetch_add(1, std::memory_order_acq_rel);
       V.ownerGenCell()->fetch_sub(1, std::memory_order_acq_rel);
       co_return R;
@@ -301,16 +389,22 @@ auto withTempBuffer(ParCtx<E> Ctx, VecView<T> View, size_t TempLen, F Body) {
   using Ret = std::invoke_result_t<F, ParCtx<E>, VecView<T>, VecView<T>>;
   return [](ParCtx<E> C, VecView<T> V, size_t N, F Body2) -> Ret {
     V.checkLive();
+    check::auditEffect(C.task(), check::FxST, "withTempBuffer");
     std::vector<T> Scratch(N);
     auto TmpGen = detail::newGenCell();
     VecView<T> Tmp(Scratch.data(), Scratch.size(), TmpGen, 0);
+    auto &DC = check::DisjointnessChecker::instance();
+    DC.registerExtent(Scratch.data(), Scratch.data() + Scratch.size(),
+                      TmpGen.get(), 0, "withTempBuffer scratch");
     if constexpr (std::is_void_v<decltype(std::declval<Ret>()
                                               .await_resume())>) {
       co_await Body2(C, V, Tmp);
+      DC.releaseExtent(Scratch.data(), TmpGen.get());
       TmpGen->fetch_add(1, std::memory_order_acq_rel);
       co_return;
     } else {
       auto R = co_await Body2(C, V, Tmp);
+      DC.releaseExtent(Scratch.data(), TmpGen.get());
       TmpGen->fetch_add(1, std::memory_order_acq_rel);
       co_return R;
     }

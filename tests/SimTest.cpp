@@ -43,6 +43,22 @@ void burn(uint64_t Iters) {
   BurnSink = X;
 }
 
+/// Sanitizer instrumentation slows every traced sync operation by ~10x,
+/// which distorts the recorded work/span ratios the scaling tests assert
+/// on. Conservation laws (Brent, monotonicity) still hold and stay enabled.
+constexpr bool SanitizerSkewsTiming =
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+    true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+    true;
+#else
+    false;
+#endif
+#else
+    false;
+#endif
+
 TaskGraph fanOutGraph(int Tasks, uint64_t Iters) {
   return record([Tasks, Iters](ParCtx<D> Ctx) -> Par<void> {
     auto Body = [Iters](size_t) { burn(Iters); };
@@ -81,6 +97,8 @@ TEST(Sim, MoreWorkersNeverSlower) {
 }
 
 TEST(Sim, EmbarrassinglyParallelScalesNearLinearly) {
+  if (SanitizerSkewsTiming)
+    GTEST_SKIP() << "sanitizer overhead distorts recorded work/span ratios";
   TaskGraph G = fanOutGraph(64, 30000);
   auto S = speedupSeries(G, {1, 2, 4, 8});
   EXPECT_NEAR(S[0], 1.0, 1e-9);
@@ -90,6 +108,8 @@ TEST(Sim, EmbarrassinglyParallelScalesNearLinearly) {
 }
 
 TEST(Sim, SequentialChainDoesNotScale) {
+  if (SanitizerSkewsTiming)
+    GTEST_SKIP() << "sanitizer overhead distorts recorded work/span ratios";
   // A dependency chain via IVars: span == work, speedup pinned at 1.
   TaskGraph G = record([](ParCtx<D> Ctx) -> Par<void> {
     auto Prev = newIVar<int>(Ctx);

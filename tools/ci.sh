@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+#===- tools/ci.sh - full verification entry point -------------------------===#
+#
+# Builds and tests the repository in the three configurations that together
+# cover the determinism disciplines:
+#
+#   debug    - Debug with the dynamic checkers (LVISH_CHECK=1): lattice
+#              laws, ParST disjointness shadow map, effect audit, plus the
+#              lvish-lint source scan, all as ctest cases.
+#   release  - the tier-1 configuration (RelWithDebInfo, checkers
+#              compiled out): what ROADMAP.md's verify command runs.
+#   tsan     - ThreadSanitizer (auto-selects the locked deque).
+#
+# Usage: tools/ci.sh [debug|release|tsan]...   (default: all three)
+#
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+STAGES=("$@")
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(debug release tsan)
+
+run_stage() {
+  local name=$1; shift
+  local dir="build-ci-$name"
+  echo "==== [$name] configure ===="
+  cmake -B "$dir" -S . "$@" > "$dir.cfg.log" 2>&1 || {
+    cat "$dir.cfg.log"; return 1; }
+  echo "==== [$name] build ===="
+  cmake --build "$dir" -j "$JOBS"
+  echo "==== [$name] ctest ===="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    debug)
+      run_stage debug -DCMAKE_BUILD_TYPE=Debug
+      echo "==== [debug] lvish-lint over src/ ===="
+      ./build-ci-debug/tools/lvish-lint src
+      ;;
+    release)
+      run_stage release -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      ;;
+    tsan)
+      run_stage tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLVISH_SANITIZE=thread
+      ;;
+    *)
+      echo "unknown stage '$stage' (expected debug, release, or tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "ci.sh: all stages passed (${STAGES[*]})"

@@ -1,0 +1,337 @@
+//===- lvish-lint.cpp - Source-level discipline linter ----------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small static companion to the dynamic checkers in src/check/: scans
+/// the library sources for constructs that bypass the determinism
+/// disciplines the original Haskell enforced with types.
+///
+/// Rules (each can be silenced with a `lvish-lint: allow(<rule>)` comment
+/// on the offending line or the line directly above it):
+///
+///  * raw-sync     - raw std::thread/std::mutex/condition_variable outside
+///                   the scheduler, core, support, and checker layers. All
+///                   parallelism must flow through fork/Par so the effect
+///                   audit and cancellation polling see it.
+///  * no-throw     - `throw` or `dynamic_cast` in library code. The
+///                   library's error model is the deterministic fatalError
+///                   abort; exceptions unwinding through coroutine frames
+///                   on scheduler threads would be nondeterministic.
+///  * ctx-forge    - detail::CtxAccess::make outside src/core and
+///                   src/trans. Forging a stronger ParCtx is how trusted
+///                   transformer internals bless effects; user-level code
+///                   must obtain capabilities from runPar/runParVec.
+///  * state-bypass - calling LVar state mutators (putValue, insertElem,
+///                   insertKV, bump, bumpAt, modifyKey, markFrozen,
+///                   addHandlerRaw) outside src/core and src/data. Library
+///                   consumers must go through the ParCtx-taking wrappers
+///                   so effect requirements and session checks apply.
+///
+/// Usage: lvish-lint [--self-test] <file-or-dir>...
+/// Exits 1 if any violation is found.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Rule {
+  const char *Name;
+  /// Tokens searched with identifier-boundary checks.
+  std::vector<const char *> Tokens;
+  /// Path substrings where the construct is legitimate (trusted layers).
+  std::vector<const char *> AllowedDirs;
+  const char *Why;
+};
+
+const std::vector<Rule> &rules() {
+  static const std::vector<Rule> Rules = {
+      {"raw-sync",
+       {"std::thread", "std::jthread", "std::mutex", "std::shared_mutex",
+        "std::recursive_mutex", "std::condition_variable"},
+       {"/sched/", "/core/", "/support/", "/check/"},
+       "parallelism and blocking must flow through the scheduler so the "
+       "effect audit and cancellation polling see it"},
+      {"no-throw",
+       {"throw", "dynamic_cast"},
+       {},
+       "library errors are deterministic fatalError aborts; exceptions "
+       "unwinding coroutine frames on scheduler threads are not"},
+      {"ctx-forge",
+       {"CtxAccess::make"},
+       {"/core/", "/trans/"},
+       "forging a stronger ParCtx bypasses the static effect discipline; "
+       "only trusted transformer internals may bless effects"},
+      {"state-bypass",
+       {".putValue", "->putValue", ".insertElem", "->insertElem",
+        ".insertKV", "->insertKV", ".bump", "->bump", ".bumpAt", "->bumpAt",
+        ".modifyKey", "->modifyKey", ".markFrozen", "->markFrozen",
+        ".addHandlerRaw", "->addHandlerRaw"},
+       {"/core/", "/data/"},
+       "direct LVar state access skips the ParCtx effect requirements and "
+       "session checks"},
+  };
+  return Rules;
+}
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// True if \p Token occurs in \p Line delimited by non-identifier
+/// characters (tokens may themselves start with '.', '-', or ':').
+bool hasToken(const std::string &Line, const char *Token) {
+  size_t TokLen = std::strlen(Token);
+  size_t Pos = 0;
+  while ((Pos = Line.find(Token, Pos)) != std::string::npos) {
+    bool LeftOk =
+        Pos == 0 || !isIdentChar(Line[Pos - 1]) || !isIdentChar(Token[0]);
+    // `.bump` must not match `.bumpAt`: require a non-identifier (and
+    // non-'(' is wrong - calls are exactly what we want) boundary only
+    // against longer identifiers.
+    bool RightOk = Pos + TokLen >= Line.size() ||
+                   !isIdentChar(Line[Pos + TokLen]) ||
+                   !isIdentChar(Token[TokLen - 1]);
+    if (LeftOk && RightOk)
+      return true;
+    Pos += 1;
+  }
+  return false;
+}
+
+/// Blanks comments and string/character literals, preserving newlines and
+/// column positions, so rule tokens inside them never match. Suppression
+/// markers are read from the *original* text (they live in comments).
+std::string stripCommentsAndStrings(const std::string &In) {
+  std::string Out = In;
+  enum class St { Code, Line, Block, Str, Chr } S = St::Code;
+  for (size_t I = 0; I < In.size(); ++I) {
+    char C = In[I];
+    char N = I + 1 < In.size() ? In[I + 1] : '\0';
+    switch (S) {
+    case St::Code:
+      if (C == '/' && N == '/') {
+        S = St::Line;
+        Out[I] = ' ';
+      } else if (C == '/' && N == '*') {
+        S = St::Block;
+        Out[I] = ' ';
+      } else if (C == '"') {
+        S = St::Str;
+        Out[I] = ' ';
+      } else if (C == '\'') {
+        S = St::Chr;
+        Out[I] = ' ';
+      }
+      break;
+    case St::Line:
+      if (C == '\n')
+        S = St::Code;
+      else
+        Out[I] = ' ';
+      break;
+    case St::Block:
+      if (C == '*' && N == '/') {
+        Out[I] = ' ';
+        Out[I + 1] = ' ';
+        ++I;
+        S = St::Code;
+      } else if (C != '\n')
+        Out[I] = ' ';
+      break;
+    case St::Str:
+      if (C == '\\' && I + 1 < In.size()) {
+        Out[I] = ' ';
+        if (N != '\n')
+          Out[I + 1] = ' ';
+        ++I;
+      } else if (C == '"')
+        S = St::Code;
+      else if (C != '\n')
+        Out[I] = ' ';
+      break;
+    case St::Chr:
+      if (C == '\\' && I + 1 < In.size()) {
+        Out[I] = ' ';
+        if (N != '\n')
+          Out[I + 1] = ' ';
+        ++I;
+      } else if (C == '\'')
+        S = St::Code;
+      else if (C != '\n')
+        Out[I] = ' ';
+      break;
+    }
+  }
+  return Out;
+}
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  std::istringstream Is(S);
+  std::string L;
+  while (std::getline(Is, L))
+    Lines.push_back(L);
+  return Lines;
+}
+
+bool pathAllowed(const std::string &Path, const Rule &R) {
+  for (const char *Dir : R.AllowedDirs)
+    if (Path.find(Dir) != std::string::npos)
+      return true;
+  return false;
+}
+
+bool lineSuppresses(const std::string &OrigLine, const Rule &R) {
+  std::string Marker = std::string("lvish-lint: allow(") + R.Name + ")";
+  return OrigLine.find(Marker) != std::string::npos;
+}
+
+/// Lints one file's contents; returns the number of violations.
+int lintContents(const std::string &Path, const std::string &Contents,
+                 bool Quiet = false) {
+  int Violations = 0;
+  std::vector<std::string> Orig = splitLines(Contents);
+  std::vector<std::string> Code =
+      splitLines(stripCommentsAndStrings(Contents));
+  for (const Rule &R : rules()) {
+    if (pathAllowed(Path, R))
+      continue;
+    for (size_t I = 0; I < Code.size(); ++I) {
+      bool Hit = false;
+      const char *HitTok = nullptr;
+      for (const char *Tok : R.Tokens)
+        if (hasToken(Code[I], Tok)) {
+          Hit = true;
+          HitTok = Tok;
+          break;
+        }
+      if (!Hit)
+        continue;
+      if (I < Orig.size() && lineSuppresses(Orig[I], R))
+        continue;
+      if (I > 0 && I - 1 < Orig.size() && lineSuppresses(Orig[I - 1], R))
+        continue;
+      ++Violations;
+      if (!Quiet)
+        std::fprintf(stderr, "%s:%zu: [%s] `%s`: %s\n", Path.c_str(), I + 1,
+                     R.Name, HitTok, R.Why);
+    }
+  }
+  return Violations;
+}
+
+int lintFile(const fs::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "lvish-lint: cannot read %s\n", P.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return lintContents(P.generic_string(), Buf.str());
+}
+
+bool isSourceFile(const fs::path &P) {
+  auto Ext = P.extension().string();
+  return Ext == ".h" || Ext == ".cpp" || Ext == ".cc" || Ext == ".hpp";
+}
+
+/// Built-in checks that the scanner itself works (run by CTest).
+int selfTest() {
+  int Failures = 0;
+  auto Expect = [&](int Got, int Want, const char *What) {
+    if (Got != Want) {
+      std::fprintf(stderr, "self-test FAILED: %s (got %d, want %d)\n", What,
+                   Got, Want);
+      ++Failures;
+    }
+  };
+  Expect(lintContents("src/sim/X.cpp", "std::mutex M;\n", true), 1,
+         "raw-sync fires outside trusted dirs");
+  Expect(lintContents("src/sched/X.cpp", "std::mutex M;\n", true), 0,
+         "raw-sync allows the scheduler");
+  Expect(lintContents("src/sim/X.cpp", "// std::mutex in a comment\n", true),
+         0, "comments are stripped");
+  Expect(lintContents("src/sim/X.cpp", "auto S = \"std::mutex\";\n", true),
+         0, "string literals are stripped");
+  Expect(lintContents("src/sim/X.cpp",
+                      "std::mutex M; // lvish-lint: allow(raw-sync)\n", true),
+         0, "suppression comment silences the rule");
+  Expect(lintContents("src/sim/X.cpp",
+                      "// lvish-lint: allow(raw-sync)\nstd::mutex M;\n",
+                      true),
+         0, "previous-line suppression silences the rule");
+  Expect(lintContents("src/sim/X.cpp",
+                      "// lvish-lint: allow(no-throw)\nstd::mutex M;\n",
+                      true),
+         1, "suppression is rule-specific");
+  Expect(lintContents("src/sim/X.cpp", "throw Foo();\n", true), 1,
+         "no-throw fires on throw");
+  Expect(lintContents("src/sim/X.cpp", "int throwaway = 0;\n", true), 0,
+         "identifier boundaries respected");
+  Expect(lintContents("src/sim/X.cpp",
+                      "auto C = detail::CtxAccess::make<Full>(T);\n", true),
+         1, "ctx-forge fires outside core/trans");
+  Expect(lintContents("src/trans/X.h",
+                      "auto C = detail::CtxAccess::make<Full>(T);\n", true),
+         0, "ctx-forge allows transformers");
+  Expect(lintContents("src/sim/X.cpp", "IV.putValue(1, T);\n", true), 1,
+         "state-bypass fires on direct putValue");
+  Expect(lintContents("src/sim/X.cpp", "put(Ctx, IV, 1);\n", true), 0,
+         "ParCtx wrapper put is clean");
+  Expect(lintContents("src/sim/X.cpp", "C.bumper();\n", true), 0,
+         ".bump does not match longer identifiers");
+  if (Failures == 0)
+    std::printf("lvish-lint self-test: all checks passed\n");
+  return Failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<fs::path> Roots;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--self-test") == 0)
+      return selfTest();
+    Roots.push_back(Argv[I]);
+  }
+  if (Roots.empty()) {
+    std::fprintf(stderr, "usage: lvish-lint [--self-test] <file-or-dir>...\n");
+    return 2;
+  }
+  int Violations = 0;
+  for (const fs::path &Root : Roots) {
+    std::error_code EC;
+    if (fs::is_directory(Root, EC)) {
+      for (auto It = fs::recursive_directory_iterator(Root, EC);
+           It != fs::recursive_directory_iterator(); ++It)
+        if (It->is_regular_file(EC) && isSourceFile(It->path()))
+          Violations += lintFile(It->path());
+    } else if (fs::exists(Root, EC)) {
+      Violations += lintFile(Root);
+    } else {
+      std::fprintf(stderr, "lvish-lint: no such path: %s\n", Root.c_str());
+      return 2;
+    }
+  }
+  if (Violations > 0) {
+    std::fprintf(stderr, "lvish-lint: %d violation(s)\n", Violations);
+    return 1;
+  }
+  return 0;
+}
