@@ -11,8 +11,12 @@
 //     against a memo table evaluate each unique key once, even when the
 //     requesting branches are cancelled.
 //
+// Every session runs with RunOptions::CollectStats, so the emitted JSON
+// carries the scheduler counters of the measured work.
+//
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchHarness.h"
 #include "src/core/LVish.h"
 #include "src/data/Counter.h"
 #include "src/trans/Cancel.h"
@@ -40,9 +44,13 @@ Par<int> slowWorker(ParCtx<Eff::ReadOnly> C, int Chunks) {
 }
 
 /// Runs the race: a fast branch finishes immediately; the slow branch
-/// would process \p SlowChunks units. Returns units actually executed.
-long raceOnce(bool UseCancel, int SlowChunks) {
+/// would process \p SlowChunks units. Returns units actually executed and
+/// accumulates the session's scheduler counters into \p Total.
+long raceOnce(bool UseCancel, int SlowChunks, SchedulerStats &Total) {
   WorkDone.store(0);
+  SchedulerStats Stats;
+  RunOptions Opts = RunOptions::CollectStats(Stats);
+  Opts.Config = SchedulerConfig{2};
   runParIO<Eff::FullIO>(
       [&](ParCtx<Eff::FullIO> Ctx) -> Par<void> {
         auto Slow = forkCancelable(
@@ -58,29 +66,18 @@ long raceOnce(bool UseCancel, int SlowChunks) {
           cancel(Ctx, Slow);
         co_return;
       },
-      SchedulerConfig{2});
+      Opts);
+  Total += Stats;
   return WorkDone.load();
 }
 
-} // namespace
-
-int main() {
-  constexpr int SlowChunks = 200;
-
-  std::printf("== Ablation: transitive cancellation (Section 6.1) ==\n");
-  long Without = raceOnce(/*UseCancel=*/false, SlowChunks);
-  long With = raceOnce(/*UseCancel=*/true, SlowChunks);
-  std::printf("speculative units executed: without cancel = %ld / %d, "
-              "with cancel = %ld / %d\n",
-              Without, SlowChunks, With, SlowChunks);
-  std::printf("work saved by cancellation: %.1f%%  (paper: the loser "
-              "branch 'needlessly uses up cycles' without it)\n",
-              100.0 * (Without - With) / static_cast<double>(Without));
-
-  std::printf("\n== Ablation: memo tables under cancellation "
-              "(Section 6.2) ==\n");
+/// The memo-under-cancellation experiment; returns evaluations performed
+/// (should be exactly the number of unique keys).
+int memoOnce(int Queries, SchedulerStats &Total) {
   std::atomic<int> Evaluations{0};
-  int Queries = 64;
+  SchedulerStats Stats;
+  RunOptions Opts = RunOptions::CollectStats(Stats);
+  Opts.Config = SchedulerConfig{2};
   runParIO<Eff::FullIO>(
       [&](ParCtx<Eff::FullIO> Ctx) -> Par<void> {
         auto M = makeMemo<int>(
@@ -107,10 +104,54 @@ int main() {
           cancel(Ctx, F);
         co_return;
       },
-      SchedulerConfig{2});
+      Opts);
+  Total += Stats;
+  return Evaluations.load();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bench::BenchHarness H("ablation_cancel",
+                        bench::BenchConfig::fromArgs(argc, argv));
+  const int SlowChunks = H.config().pick(200, 30);
+  const int Queries = H.config().pick(64, 16);
+  H.noteConfig("slow_chunks", static_cast<uint64_t>(SlowChunks));
+  H.noteConfig("memo_queries", static_cast<uint64_t>(Queries));
+
+  SchedulerStats Total;
+
+  std::printf("== Ablation: transitive cancellation (Section 6.1) ==\n");
+  long Without = 0, With = 0;
+  bench::Series &SNo = H.measure("race_no_cancel", [&] {
+    Without = raceOnce(/*UseCancel=*/false, SlowChunks, Total);
+  });
+  SNo.metric("speculative_units", static_cast<double>(Without));
+  bench::Series &SYes = H.measure("race_with_cancel", [&] {
+    With = raceOnce(/*UseCancel=*/true, SlowChunks, Total);
+  });
+  SYes.metric("speculative_units", static_cast<double>(With));
+  std::printf("speculative units executed: without cancel = %ld / %d, "
+              "with cancel = %ld / %d\n",
+              Without, SlowChunks, With, SlowChunks);
+  if (Without > 0)
+    std::printf("work saved by cancellation: %.1f%%  (paper: the loser "
+                "branch 'needlessly uses up cycles' without it)\n",
+                100.0 * (Without - With) / static_cast<double>(Without));
+
+  std::printf("\n== Ablation: memo tables under cancellation "
+              "(Section 6.2) ==\n");
+  int Evals = 0;
+  bool AllExact = true;
+  bench::Series &SMemo = H.measure("memo_under_cancel", [&] {
+    Evals = memoOnce(Queries, Total);
+    AllExact = AllExact && Evals == 8;
+  });
+  SMemo.metric("evaluations", static_cast<double>(Evals));
   std::printf("%d queries over 8 unique keys from cancellable branches -> "
               "%d evaluations (paper: 'learn something from a computation "
               "that never happened')\n",
-              Queries, Evaluations.load());
-  return Evaluations.load() == 8 ? 0 : 1;
+              Queries, Evals);
+  H.recordStats(Total);
+  return H.finish(AllExact ? 0 : 1);
 }

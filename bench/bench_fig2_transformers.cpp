@@ -8,15 +8,17 @@
 // These are real measurements (transformer overhead is per-fork
 // book-keeping, not parallel scaling, so one CPU suffices; the paper
 // itself reports "we do not see a trend with more or less overhead at
-// larger numbers of threads"). Times are medians of five runs, as in the
-// paper.
+// larger numbers of threads"). The three variants are measured
+// INTERLEAVED and compared by minimum: on a shared single-CPU container,
+// medians are dominated by preemption noise, while minima compare the
+// undisturbed code paths - which is what transformer overhead is.
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchHarness.h"
 #include "src/kernels/Kernels.h"
 #include "src/support/Timer.h"
 
-#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <functional>
@@ -35,63 +37,92 @@ struct BenchRow {
   double WithST;
 };
 
-BenchRow measure(const std::string &Name,
-                 const std::function<void(Scheduler &, Layering)> &Fn,
-                 int Reps = 7) {
+BenchRow measure(bench::BenchHarness &H, SchedulerStats &Total,
+                 const std::string &Name,
+                 const std::function<void(Scheduler &, Layering)> &Fn) {
   Scheduler Sched(SchedulerConfig{1});
   BenchRow Row;
   Row.Name = Name;
   // Warm up every configuration (first-touch page faults, allocator
-  // growth), then measure the three variants INTERLEAVED and take the
-  // minimum: on a shared single-CPU container, medians are dominated by
-  // preemption noise, while minima compare the undisturbed code paths -
-  // which is what transformer overhead is.
-  Fn(Sched, Layering::None);
-  Fn(Sched, Layering::UnusedState);
-  Fn(Sched, Layering::UnusedST);
+  // growth), then measure interleaved.
+  for (int W = 0; W < std::max(1, H.config().Warmup); ++W) {
+    Fn(Sched, Layering::None);
+    Fn(Sched, Layering::UnusedState);
+    Fn(Sched, Layering::UnusedST);
+  }
   auto Time = [&](Layering L) {
     WallTimer T;
     Fn(Sched, L);
     return T.elapsedSeconds();
   };
-  Row.Baseline = Row.WithState = Row.WithST = 1e99;
-  for (int R = 0; R < Reps; ++R) {
-    Row.Baseline = std::min(Row.Baseline, Time(Layering::None));
-    Row.WithState = std::min(Row.WithState, Time(Layering::UnusedState));
-    Row.WithST = std::min(Row.WithST, Time(Layering::UnusedST));
+  std::vector<double> Base, State, ST;
+  for (int R = 0; R < H.config().Reps; ++R) {
+    Base.push_back(Time(Layering::None));
+    State.push_back(Time(Layering::UnusedState));
+    ST.push_back(Time(Layering::UnusedST));
   }
+  bench::Series &SB = H.addSeries(Name + "/base", Base);
+  bench::Series &SS = H.addSeries(Name + "/unused_state", State);
+  bench::Series &SP = H.addSeries(Name + "/unused_parst", ST);
+  Row.Baseline = SB.minSec();
+  Row.WithState = SS.minSec();
+  Row.WithST = SP.minSec();
+  SS.metric("factor_vs_base", Row.WithState > 0
+                                  ? Row.Baseline / Row.WithState
+                                  : 0.0);
+  SP.metric("factor_vs_base",
+            Row.WithST > 0 ? Row.Baseline / Row.WithST : 0.0);
+  Total += Sched.stats();
   return Row;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchHarness H("fig2_transformers",
+                        bench::BenchConfig::fromArgs(argc, argv));
+  const bench::BenchConfig &Cfg = H.config();
+  const size_t BsOpts = Cfg.pick<size_t>(1'000'000, 10'000);
+  const size_t SortN = Cfg.pick<size_t>(1 << 20, 1 << 14);
+  const size_t MatN = Cfg.pick<size_t>(320, 48);
+  const unsigned EulerN = Cfg.pick<unsigned>(6000, 300);
+  const size_t Bodies = Cfg.pick<size_t>(1536, 128);
+  H.noteConfig("blackscholes_options", static_cast<uint64_t>(BsOpts));
+  H.noteConfig("mergesort_keys", static_cast<uint64_t>(SortN));
+  H.noteConfig("matmult_n", static_cast<uint64_t>(MatN));
+  H.noteConfig("sumeuler_n", static_cast<uint64_t>(EulerN));
+  H.noteConfig("nbody_bodies", static_cast<uint64_t>(Bodies));
+
   std::vector<BenchRow> Rows;
+  SchedulerStats Total;
 
-  auto Opts = makeOptions(1'000'000, 1);
-  Rows.push_back(measure("blackscholes", [&](Scheduler &S, Layering L) {
-    blackScholesPar(S, Opts, 4096, L);
-  }));
+  auto Opts = makeOptions(BsOpts, 1);
+  Rows.push_back(
+      measure(H, Total, "blackscholes", [&](Scheduler &S, Layering L) {
+        blackScholesPar(S, Opts, 4096, L);
+      }));
 
-  auto Keys = makeKeys(1 << 20, 2);
-  Rows.push_back(measure("mergesortFP", [&](Scheduler &S, Layering L) {
-    mergeSortFP(S, Keys, 16384, L);
-  }));
+  auto Keys = makeKeys(SortN, 2);
+  Rows.push_back(
+      measure(H, Total, "mergesortFP", [&](Scheduler &S, Layering L) {
+        mergeSortFP(S, Keys, 16384, L);
+      }));
 
-  constexpr size_t MatN = 320;
   auto A = makeMatrix(MatN, 3);
   auto B = makeMatrix(MatN, 4);
-  Rows.push_back(measure("matmult", [&](Scheduler &S, Layering L) {
-    matMultPar(S, A, B, MatN, 8, L);
-  }));
+  Rows.push_back(
+      measure(H, Total, "matmult", [&](Scheduler &S, Layering L) {
+        matMultPar(S, A, B, MatN, 8, L);
+      }));
 
-  Rows.push_back(measure("sumeuler", [&](Scheduler &S, Layering L) {
-    sumEulerPar(S, 6000, 64, L);
-  }));
+  Rows.push_back(
+      measure(H, Total, "sumeuler", [&](Scheduler &S, Layering L) {
+        sumEulerPar(S, EulerN, 64, L);
+      }));
 
-  auto Bodies = makeBodies(1536, 5);
-  Rows.push_back(measure("nbody", [&](Scheduler &S, Layering L) {
-    auto Copy = Bodies;
+  auto Bods = makeBodies(Bodies, 5);
+  Rows.push_back(measure(H, Total, "nbody", [&](Scheduler &S, Layering L) {
+    auto Copy = Bods;
     nBodyPar(S, Copy, 2, 1e-3, 32, L);
   }));
 
@@ -115,5 +146,6 @@ int main() {
               "1.02 (2%% speedup / noise).\n");
   std::printf("Measured: StateT geomean %.3f; ParST geomean %.3f.\n",
               GeoState, GeoST);
-  return 0;
+  H.recordStats(Total);
+  return H.finish();
 }

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchHarness.h"
 #include "src/kernels/Harness.h"
 #include "src/kernels/Kernels.h"
 
@@ -21,42 +22,59 @@
 using namespace lvish;
 using namespace lvish::kernels;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchHarness H("fig4_kernels",
+                        bench::BenchConfig::fromArgs(argc, argv));
+  const bench::BenchConfig &Cfg = H.config();
+  const int Reps = Cfg.Reps;
+
+  const size_t BsOpts = Cfg.pick<size_t>(2'000'000, 20'000);
+  const size_t SortN = Cfg.pick<size_t>(1 << 21, 1 << 14);
+  const size_t MatN = Cfg.pick<size_t>(384, 48);
+  const unsigned EulerN = Cfg.pick<unsigned>(9000, 400);
+  const size_t Bodies = Cfg.pick<size_t>(2048, 128);
+  H.noteConfig("blackscholes_options", static_cast<uint64_t>(BsOpts));
+  H.noteConfig("mergesort_keys", static_cast<uint64_t>(SortN));
+  H.noteConfig("matmult_n", static_cast<uint64_t>(MatN));
+  H.noteConfig("sumeuler_n", static_cast<uint64_t>(EulerN));
+  H.noteConfig("nbody_bodies", static_cast<uint64_t>(Bodies));
+
   std::vector<KernelCapture> Caps;
 
   {
-    auto Opts = makeOptions(2'000'000, 1);
+    auto Opts = makeOptions(BsOpts, 1);
     Caps.push_back(captureKernel(
         "blackscholes",
-        [Opts](Scheduler &S) { blackScholesPar(S, Opts, 4096); }, 1, 3));
+        [Opts](Scheduler &S) { blackScholesPar(S, Opts, 4096); }, 1, Reps));
   }
   {
-    auto Keys = makeKeys(1 << 21, 2);
+    auto Keys = makeKeys(SortN, 2);
     Caps.push_back(captureKernel(
         "mergesortFP",
-        [Keys](Scheduler &S) { mergeSortFP(S, Keys, 16384); }, 1, 3));
+        [Keys](Scheduler &S) { mergeSortFP(S, Keys, 16384); }, 1, Reps));
   }
   {
-    constexpr size_t N = 384;
-    auto A = makeMatrix(N, 3);
-    auto B = makeMatrix(N, 4);
+    auto A = makeMatrix(MatN, 3);
+    auto B = makeMatrix(MatN, 4);
     Caps.push_back(captureKernel(
-        "matmult", [A, B](Scheduler &S) { matMultPar(S, A, B, N, 8); }, 1,
-        3));
+        "matmult",
+        [A, B, MatN](Scheduler &S) { matMultPar(S, A, B, MatN, 8); }, 1,
+        Reps));
   }
   {
     Caps.push_back(captureKernel(
-        "sumeuler", [](Scheduler &S) { sumEulerPar(S, 9000, 64); }, 1, 3));
+        "sumeuler", [EulerN](Scheduler &S) { sumEulerPar(S, EulerN, 64); },
+        1, Reps));
   }
   {
-    auto Bodies = makeBodies(2048, 5);
+    auto Bods = makeBodies(Bodies, 5);
     Caps.push_back(captureKernel(
         "nbody",
-        [Bodies](Scheduler &S) {
-          auto Copy = Bodies;
+        [Bods](Scheduler &S) {
+          auto Copy = Bods;
           nBodyPar(S, Copy, 2, 1e-3, 32);
         },
-        1, 3));
+        1, Reps));
   }
 
   std::vector<unsigned> Threads{1, 2, 4, 6, 8, 10, 12, 16, 20, 24};
@@ -68,15 +86,25 @@ int main() {
   // The paper's headline shape: mergesortFP saturates lowest.
   double WorstAt12 = 1e9;
   std::string Worst;
+  SchedulerStats Total;
   for (const KernelCapture &K : Caps) {
     double S12 = sim::speedupSeries(K.Graph, {12}, Model)[0];
     if (S12 < WorstAt12) {
       WorstAt12 = S12;
       Worst = K.Name;
     }
+    bench::Series &S = H.addSeries(K.Name, K.RepSeconds);
+    S.metric("speedup_at_12_sim", S12);
+    S.metric("work_span_ratio",
+             K.Graph.criticalPathNanos() > 0
+                 ? static_cast<double>(K.Graph.totalWorkNanos()) /
+                       static_cast<double>(K.Graph.criticalPathNanos())
+                 : 0.0);
+    Total += K.Stats;
   }
+  H.recordStats(Total);
   std::printf("\nShape check - lowest speedup at P=12: %s (%.2fx); paper: "
               "mergesortFP stops scaling first\n",
               Worst.c_str(), WorstAt12);
-  return 0;
+  return H.finish();
 }

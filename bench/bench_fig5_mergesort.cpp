@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchHarness.h"
 #include "src/kernels/Harness.h"
 #include "src/kernels/Kernels.h"
 
@@ -18,40 +19,45 @@
 using namespace lvish;
 using namespace lvish::kernels;
 
-int main() {
-  constexpr size_t N = 1 << 22;
-  constexpr size_t Leaf = 8192;
+int main(int argc, char **argv) {
+  bench::BenchHarness H("fig5_mergesort",
+                        bench::BenchConfig::fromArgs(argc, argv));
+  const bench::BenchConfig &Cfg = H.config();
+  const size_t N = Cfg.pick<size_t>(1 << 22, 1 << 15);
+  const size_t Leaf = Cfg.pick<size_t>(8192, 1024);
+  H.noteConfig("keys", static_cast<uint64_t>(N));
+  H.noteConfig("leaf", static_cast<uint64_t>(Leaf));
   auto Input = makeKeys(N, 42);
 
   std::vector<KernelCapture> Caps;
   Caps.push_back(captureKernel(
       "ParST/HSonly",
-      [Input](Scheduler &S) {
+      [Input, Leaf](Scheduler &S) {
         auto Keys = Input;
         mergeSortParST(S, Keys, Leaf, /*UseStdSortLeaf=*/false);
       },
-      1, 3));
+      1, Cfg.Reps));
   Caps.push_back(captureKernel(
       "ParST/C",
-      [Input](Scheduler &S) {
+      [Input, Leaf](Scheduler &S) {
         auto Keys = Input;
         mergeSortParST(S, Keys, Leaf, /*UseStdSortLeaf=*/true);
       },
-      1, 3));
+      1, Cfg.Reps));
   Caps.push_back(captureKernel(
       "mergesortFP",
-      [Input](Scheduler &S) { mergeSortFP(S, Input, Leaf); }, 1, 3));
+      [Input, Leaf](Scheduler &S) { mergeSortFP(S, Input, Leaf); }, 1,
+      Cfg.Reps));
 
   std::vector<unsigned> Threads{1, 2, 4, 6, 8, 10, 12};
   sim::MachineModel Model;
   printSpeedupTable(Caps, Threads, Model,
                     "== Figure 5: merge sort variants, simulated speedup "
-                    "vs. threads (2^22 keys) ==");
+                    "vs. threads ==");
 
   // Figure 5's table: absolute times of the all-Haskell variant by thread
   // count (paper: 36.5 18.0 9.2 6.3 4.8 4.6 3.4 for 2^23 keys on the
-  // Xeon; ours are for 2^21 keys on this machine, scaled from the real
-  // 1-thread time).
+  // Xeon; ours are scaled from the real 1-thread time).
   const KernelCapture &HS = Caps[0];
   double Base = sim::simulate(HS.Graph, 1, Model).MakespanSeconds;
   double Scale = Base > 0 ? HS.RealSeconds / Base : 1.0;
@@ -74,5 +80,15 @@ int main() {
               "copying sort moves more memory - the Figure 5 cause)\n",
               Caps[0].Graph.totalBytes() / 1e6,
               Caps[2].Graph.totalBytes() / 1e6);
-  return 0;
+
+  SchedulerStats Total;
+  for (const KernelCapture &K : Caps) {
+    bench::Series &S = H.addSeries(K.Name, K.RepSeconds);
+    S.metric("speedup_at_12_sim",
+             sim::speedupSeries(K.Graph, {12}, Model)[0]);
+    S.metric("total_bytes", static_cast<double>(K.Graph.totalBytes()));
+    Total += K.Stats;
+  }
+  H.recordStats(Total);
+  return H.finish();
 }

@@ -1,13 +1,16 @@
 //===- bench_micro_lvar.cpp - LVar primitive micro-benchmarks --------------===//
 //
-// google-benchmark micro-measurements of the primitives the paper's
-// engineering notes discuss: lub puts, threshold gets, non-idempotent
-// bumps (Section 3's single-memory-location counter), monotone hash-table
-// inserts, and the footnote-6 asymmetric gate versus a plain mutex on the
-// put fast path.
+// Micro-measurements of the primitives the paper's engineering notes
+// discuss: lub puts, threshold gets, non-idempotent bumps (Section 3's
+// single-memory-location counter), monotone hash-table inserts, and the
+// footnote-6 asymmetric gate versus a plain mutex on the put fast path.
+//
+// Measured through bench/BenchHarness.h like every other bench: each
+// series times `Ops` operations per rep and reports ns/op as a metric.
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchHarness.h"
 #include "src/core/LVish.h"
 #include "src/data/Counter.h"
 #include "src/data/IMap.h"
@@ -15,157 +18,177 @@
 #include "src/data/MonotoneHashMap.h"
 #include "src/support/AsymmetricGate.h"
 
-#include <benchmark/benchmark.h>
-
-#include <mutex>
+#include <mutex> // lvish-lint: allow(raw-sync)
 
 using namespace lvish;
 
 namespace {
 
 constexpr EffectSet D = Eff::Det;
-constexpr EffectSet DB = Eff::DetBump;
 
-void BM_IVarPutGetRoundTrip(benchmark::State &State) {
-  Scheduler Sched(SchedulerConfig{1});
-  for (auto _ : State) {
-    int R = runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<int> {
-      auto IV = newIVar<int>(Ctx);
-      put(Ctx, *IV, 1);
-      int V = co_await get(Ctx, *IV);
-      co_return V;
-    });
-    benchmark::DoNotOptimize(R);
-  }
-}
-BENCHMARK(BM_IVarPutGetRoundTrip);
+volatile uint64_t Sink; // Defeats dead-code elimination of results.
 
-void BM_ForkJoin(benchmark::State &State) {
-  Scheduler Sched(SchedulerConfig{1});
-  for (auto _ : State) {
-    runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
-      auto IV = newIVar<int>(Ctx);
-      fork(Ctx, [IV](ParCtx<D> C) -> Par<void> {
-        put(C, *IV, 1);
-        co_return;
-      });
-      int V = co_await get(Ctx, *IV);
-      benchmark::DoNotOptimize(V);
-      co_return;
-    });
-  }
+/// Attaches ns/op to the series the harness just measured.
+void perOp(bench::Series &S, uint64_t OpsPerRep) {
+  S.config("ops_per_rep", OpsPerRep);
+  if (OpsPerRep)
+    S.metric("ns_per_op", S.medianSec() * 1e9 /
+                              static_cast<double>(OpsPerRep));
 }
-BENCHMARK(BM_ForkJoin);
-
-void BM_CounterBump(benchmark::State &State) {
-  Scheduler Sched(SchedulerConfig{1});
-  for (auto _ : State) {
-    uint64_t R = runParIOOn<Eff::FullIO>(
-        Sched, [](ParCtx<Eff::FullIO> Ctx) -> Par<uint64_t> {
-          auto C = newCounter(Ctx);
-          for (int I = 0; I < 1000; ++I)
-            incrCounter(Ctx, *C);
-          co_return freezeCounter(Ctx, *C);
-        });
-    benchmark::DoNotOptimize(R);
-  }
-  State.SetItemsProcessed(State.iterations() * 1000);
-}
-BENCHMARK(BM_CounterBump);
-
-void BM_ISetInsertFresh(benchmark::State &State) {
-  Scheduler Sched(SchedulerConfig{1});
-  for (auto _ : State) {
-    runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
-      auto S = newISet<int>(Ctx);
-      for (int I = 0; I < 1000; ++I)
-        insert(Ctx, *S, I);
-      co_return;
-    });
-  }
-  State.SetItemsProcessed(State.iterations() * 1000);
-}
-BENCHMARK(BM_ISetInsertFresh);
-
-void BM_ISetInsertDuplicate(benchmark::State &State) {
-  // Idempotent re-put: the lub fast path.
-  Scheduler Sched(SchedulerConfig{1});
-  for (auto _ : State) {
-    runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
-      auto S = newISet<int>(Ctx);
-      insert(Ctx, *S, 7);
-      for (int I = 0; I < 1000; ++I)
-        insert(Ctx, *S, 7);
-      co_return;
-    });
-  }
-  State.SetItemsProcessed(State.iterations() * 1000);
-}
-BENCHMARK(BM_ISetInsertDuplicate);
-
-void BM_MonotoneHashMapInsert(benchmark::State &State) {
-  for (auto _ : State) {
-    MonotoneHashMap<int, int> M;
-    for (int I = 0; I < 1000; ++I)
-      benchmark::DoNotOptimize(M.insert(I, I));
-  }
-  State.SetItemsProcessed(State.iterations() * 1000);
-}
-BENCHMARK(BM_MonotoneHashMapInsert);
-
-void BM_MonotoneHashMapFind(benchmark::State &State) {
-  MonotoneHashMap<int, int> M;
-  for (int I = 0; I < 1000; ++I)
-    M.insert(I, I);
-  int I = 0;
-  for (auto _ : State) {
-    benchmark::DoNotOptimize(M.find(I++ % 1000));
-  }
-}
-BENCHMARK(BM_MonotoneHashMapFind);
-
-// Footnote 6: the asymmetric gate's put fast path vs. a plain mutex.
-void BM_AsymmetricGateFastPath(benchmark::State &State) {
-  AsymmetricGate Gate;
-  for (auto _ : State) {
-    AsymmetricGate::FastGuard Guard(Gate);
-    benchmark::ClobberMemory();
-  }
-}
-BENCHMARK(BM_AsymmetricGateFastPath);
-
-void BM_PlainMutexBaseline(benchmark::State &State) {
-  std::mutex Mu;
-  for (auto _ : State) {
-    std::lock_guard<std::mutex> Lock(Mu);
-    benchmark::ClobberMemory();
-  }
-}
-BENCHMARK(BM_PlainMutexBaseline);
-
-void BM_PureLVarPut(benchmark::State &State) {
-  Scheduler Sched(SchedulerConfig{1});
-  for (auto _ : State) {
-    runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
-      auto LV = newPureLVar<MaxUint64Lattice>(Ctx);
-      for (unsigned long long I = 0; I < 1000; ++I)
-        putPureLVar(Ctx, *LV, I);
-      co_return;
-    });
-  }
-  State.SetItemsProcessed(State.iterations() * 1000);
-}
-BENCHMARK(BM_PureLVarPut);
-
-void BM_SessionStartup(benchmark::State &State) {
-  // Cost of an empty runPar session on a persistent scheduler.
-  Scheduler Sched(SchedulerConfig{1});
-  for (auto _ : State) {
-    runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> { co_return; });
-  }
-}
-BENCHMARK(BM_SessionStartup);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  bench::BenchHarness H("micro_lvar",
+                        bench::BenchConfig::fromArgs(argc, argv));
+  // Session-level series run this many sessions per rep; tight loops run
+  // this many raw iterations.
+  const uint64_t Sessions = H.config().pick<uint64_t>(500, 10);
+  const uint64_t Tight = H.config().pick<uint64_t>(1'000'000, 10'000);
+  H.noteConfig("sessions_per_rep", Sessions);
+  H.noteConfig("tight_iters_per_rep", Tight);
+  H.noteConfig("workers", uint64_t{1});
+
+  Scheduler Sched(SchedulerConfig{1});
+
+  perOp(H.measure("ivar_put_get_roundtrip",
+                  [&] {
+                    for (uint64_t N = 0; N < Sessions; ++N)
+                      Sink = static_cast<uint64_t>(
+                          runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<int> {
+                            auto IV = newIVar<int>(Ctx);
+                            put(Ctx, *IV, 1);
+                            int V = co_await get(Ctx, *IV);
+                            co_return V;
+                          }));
+                  }),
+        Sessions);
+
+  perOp(H.measure("fork_join",
+                  [&] {
+                    for (uint64_t N = 0; N < Sessions; ++N)
+                      runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
+                        auto IV = newIVar<int>(Ctx);
+                        fork(Ctx, [IV](ParCtx<D> C) -> Par<void> {
+                          put(C, *IV, 1);
+                          co_return;
+                        });
+                        int V = co_await get(Ctx, *IV);
+                        Sink = static_cast<uint64_t>(V);
+                        co_return;
+                      });
+                  }),
+        Sessions);
+
+  perOp(H.measure("counter_bump",
+                  [&] {
+                    for (uint64_t N = 0; N < Sessions; ++N)
+                      Sink = runParIOOn<Eff::FullIO>(
+                          Sched,
+                          [](ParCtx<Eff::FullIO> Ctx) -> Par<uint64_t> {
+                            auto C = newCounter(Ctx);
+                            for (int I = 0; I < 1000; ++I)
+                              incrCounter(Ctx, *C);
+                            co_return freezeCounter(Ctx, *C);
+                          });
+                  }),
+        Sessions * 1000);
+
+  perOp(H.measure("iset_insert_fresh",
+                  [&] {
+                    for (uint64_t N = 0; N < Sessions; ++N)
+                      runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
+                        auto S = newISet<int>(Ctx);
+                        for (int I = 0; I < 1000; ++I)
+                          insert(Ctx, *S, I);
+                        co_return;
+                      });
+                  }),
+        Sessions * 1000);
+
+  // Idempotent re-put: the lub fast path.
+  perOp(H.measure("iset_insert_duplicate",
+                  [&] {
+                    for (uint64_t N = 0; N < Sessions; ++N)
+                      runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
+                        auto S = newISet<int>(Ctx);
+                        insert(Ctx, *S, 7);
+                        for (int I = 0; I < 1000; ++I)
+                          insert(Ctx, *S, 7);
+                        co_return;
+                      });
+                  }),
+        Sessions * 1000);
+
+  perOp(H.measure("pure_lvar_put",
+                  [&] {
+                    for (uint64_t N = 0; N < Sessions; ++N)
+                      runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
+                        auto LV = newPureLVar<MaxUint64Lattice>(Ctx);
+                        for (unsigned long long I = 0; I < 1000; ++I)
+                          putPureLVar(Ctx, *LV, I);
+                        co_return;
+                      });
+                  }),
+        Sessions * 1000);
+
+  // Cost of an empty runPar session on a persistent scheduler.
+  perOp(H.measure("session_startup",
+                  [&] {
+                    for (uint64_t N = 0; N < Sessions; ++N)
+                      runParOn<D>(Sched,
+                                  [](ParCtx<D> Ctx) -> Par<void> { co_return; });
+                  }),
+        Sessions);
+
+  perOp(H.measure("monotone_hashmap_insert",
+                  [&] {
+                    for (uint64_t N = 0; N < Tight / 1000; ++N) {
+                      MonotoneHashMap<int, int> M;
+                      for (int I = 0; I < 1000; ++I)
+                        Sink = M.insert(I, I).second;
+                    }
+                  }),
+        (Tight / 1000) * 1000);
+
+  {
+    MonotoneHashMap<int, int> M;
+    for (int I = 0; I < 1000; ++I)
+      M.insert(I, I);
+    perOp(H.measure("monotone_hashmap_find",
+                    [&] {
+                      for (uint64_t I = 0; I < Tight; ++I)
+                        Sink = reinterpret_cast<uintptr_t>(
+                            M.find(static_cast<int>(I % 1000)));
+                    }),
+          Tight);
+  }
+
+  // Footnote 6: the asymmetric gate's put fast path vs. a plain mutex.
+  {
+    AsymmetricGate Gate;
+    perOp(H.measure("asymmetric_gate_fast_path",
+                    [&] {
+                      for (uint64_t I = 0; I < Tight; ++I) {
+                        AsymmetricGate::FastGuard Guard(Gate);
+                        Sink = I;
+                      }
+                    }),
+          Tight);
+  }
+  {
+    std::mutex Mu; // lvish-lint: allow(raw-sync)
+    perOp(H.measure("plain_mutex_baseline",
+                    [&] {
+                      for (uint64_t I = 0; I < Tight; ++I) {
+                        // lvish-lint: allow(raw-sync)
+                        std::lock_guard<std::mutex> Lock(Mu);
+                        Sink = I;
+                      }
+                    }),
+          Tight);
+  }
+
+  H.recordStats(Sched.stats());
+  return H.finish();
+}

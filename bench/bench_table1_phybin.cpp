@@ -17,13 +17,14 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "src/kernels/Harness.h"
+#include "bench/BenchHarness.h"
 #include "src/phybin/RFDistance.h"
 #include "src/phybin/TreeGen.h"
 #include "src/sim/Simulator.h"
 #include "src/support/Timer.h"
 
 #include <cstdio>
+#include <string>
 
 using namespace lvish;
 using namespace lvish::phybin;
@@ -39,20 +40,28 @@ struct Row {
   double Sim[4];      // Simulated times at 1, 2, 4, 8 cores.
 };
 
-Row runScale(size_t NumTrees, size_t NumSpecies, int Reps) {
+Row runScale(bench::BenchHarness &H, SchedulerStats &Total, size_t NumTrees,
+             size_t NumSpecies, int Reps) {
   Row R{};
   R.Trees = NumTrees;
   R.Species = NumSpecies;
   TreeSet TS = generateTreeSet(NumTrees, NumSpecies,
                                /*MutationsPerTree=*/6, /*Seed=*/20140609);
+  std::string Suffix = "/" + std::to_string(NumTrees) + "t";
 
-  R.NaiveSec = medianSeconds([&] { rfNaivePairwise(TS); }, Reps);
-  R.HashRFSec = medianSeconds([&] { rfHashRFSequential(TS); }, Reps);
+  bench::Series &SN =
+      H.measure("naive" + Suffix, [&] { rfNaivePairwise(TS); });
+  R.NaiveSec = SN.medianSec();
+  bench::Series &SH =
+      H.measure("hashrf_seq" + Suffix, [&] { rfHashRFSequential(TS); });
+  R.HashRFSec = SH.medianSec();
 
   {
     Scheduler Sched(SchedulerConfig{1});
-    R.PhyBin1Sec =
-        medianSeconds([&] { rfHashRFParallelOn(Sched, TS); }, Reps);
+    bench::Series &SP = H.measure("phybin_par_1core" + Suffix,
+                                  [&] { rfHashRFParallelOn(Sched, TS); });
+    R.PhyBin1Sec = SP.medianSec();
+    Total += Sched.stats();
   }
   {
     SchedulerConfig Cfg;
@@ -68,11 +77,13 @@ Row runScale(size_t NumTrees, size_t NumSpecies, int Reps) {
     for (int I = 0; I < 4; ++I)
       R.Sim[I] =
           sim::simulate(G, Cores[I], Model).MakespanSeconds * Scale;
+    Total += Sched.stats();
   }
 
   // Cross-check correctness while we are here.
   if (!(rfHashRFSequential(TS) == rfHashRFParallel(TS, SchedulerConfig{2})))
     std::fprintf(stderr, "ERROR: implementations disagree!\n");
+  (void)Reps;
   return R;
 }
 
@@ -88,13 +99,24 @@ void printRow(const Row &R) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchHarness H("table1_phybin",
+                        bench::BenchConfig::fromArgs(argc, argv));
+  const bench::BenchConfig &Cfg = H.config();
+  const size_t SmallTrees = Cfg.pick<size_t>(100, 12);
+  const size_t LargeTrees = Cfg.pick<size_t>(1000, 30);
+  const size_t Species = Cfg.pick<size_t>(150, 24);
+  H.noteConfig("small_trees", static_cast<uint64_t>(SmallTrees));
+  H.noteConfig("large_trees", static_cast<uint64_t>(LargeTrees));
+  H.noteConfig("species", static_cast<uint64_t>(Species));
+
   std::printf("== Table 1: PhyBin performance comparison "
               "(synthetic tree sets; see DESIGN.md substitutions) ==\n");
   std::printf("%-6s %-8s\n", "Trees", "Species");
-  Row Small = runScale(100, 150, 3);
+  SchedulerStats Total;
+  Row Small = runScale(H, Total, SmallTrees, Species, Cfg.Reps);
   printRow(Small);
-  Row Large = runScale(1000, 150, 1);
+  Row Large = runScale(H, Total, LargeTrees, Species, Cfg.Reps);
   printRow(Large);
 
   std::printf("\nPaper's shape checks:\n");
@@ -107,5 +129,6 @@ int main() {
               Large.PhyBin1Sec / Large.HashRFSec);
   std::printf("  PhyBin 8-core speedup (paper: 3.35x): %.2fx\n",
               Large.Sim[0] / Large.Sim[3]);
-  return 0;
+  H.recordStats(Total);
+  return H.finish();
 }

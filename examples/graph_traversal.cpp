@@ -17,8 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "src/core/LVish.h"
-#include "src/data/ISet.h"
+#include "src/lvish/All.h"
 #include "src/support/SplitMix.h"
 
 #include <cstdio>

@@ -17,9 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "src/core/LVish.h"
-#include "src/data/AndLV.h"
-#include "src/trans/Cancel.h"
+#include "src/lvish/All.h"
 
 #include <atomic>
 #include <cstdio>

@@ -17,8 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "src/core/LVish.h"
-#include "src/data/IMap.h"
+#include "src/lvish/All.h"
 
 #include <cstdio>
 

@@ -16,10 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "src/core/LVish.h"
-#include "src/core/ParFor.h"
-#include "src/data/Counter.h"
-#include "src/data/IMap.h"
+#include "src/lvish/All.h"
 #include "src/support/SplitMix.h"
 
 #include <cstdio>

@@ -26,7 +26,9 @@
 #define LVISH_CORE_HANDLERPOOL_H
 
 #include "src/core/Par.h"
+#include "src/obs/Telemetry.h"
 #include "src/sched/TaskScope.h"
+#include "src/support/Timer.h"
 
 #include <memory>
 
@@ -70,6 +72,7 @@ void addHandler(ParCtx<E> Ctx, std::shared_ptr<HandlerPool> Pool, LVarT &LV,
         // Runs synchronously inside the put (or registration); spawn the
         // user callback as its own task so the put does not block.
         Task *Spawner = Scheduler::currentTask();
+        obs::count(obs::Event::HandlerInvocations);
         Par<void> Body = detail::forkBody<E>(
             [Callback, D](ParCtx<E> C) -> Par<void> {
               co_await Callback(C, D);
@@ -99,14 +102,35 @@ public:
       return true;
     }
     Tsk->Resume = H;
-    return Pool->Scope.parkUntilDrained(Tsk);
+    // Stamp the wait start *before* parking: once parkUntilDrained
+    // publishes the task, another worker may resume it (and run
+    // await_resume) concurrently with this frame.
+    if constexpr (obs::TelemetryEnabled)
+      WaitStart = nowNanos();
+    bool Parked = Pool->Scope.parkUntilDrained(Tsk);
+    if constexpr (obs::TelemetryEnabled) {
+      if (Parked)
+        obs::count(obs::Event::QuiesceWaits);
+      else
+        WaitStart = 0; // Already drained: no wait to attribute. Safe to
+                       // clear - the task was never published.
+    }
+    return Parked;
   }
 
-  void await_resume() const noexcept {}
+  void await_resume() const noexcept {
+    if constexpr (obs::TelemetryEnabled) {
+      if (WaitStart)
+        obs::addQuiesceWaitNanos(nowNanos() - WaitStart);
+    }
+  }
 
 private:
   std::shared_ptr<HandlerPool> Pool;
   Task *Tsk;
+  /// Wall-clock park time of a real quiescence wait (telemetry only; 0
+  /// when the pool was already drained).
+  uint64_t WaitStart = 0;
 };
 
 /// Blocks until \p Pool has drained. The caller must not itself be a

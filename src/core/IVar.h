@@ -36,12 +36,15 @@ public:
   void putValue(const T &V, Task *Writer) {
     checkSession(Writer);
     check::auditEffect(Writer, check::FxPut, "IVar put");
+    obs::count(obs::Event::Puts);
     {
       std::lock_guard<std::mutex> Lock(WaitMutex);
       if (Full) {
         if constexpr (std::equality_comparable<T>) {
-          if (*Slot == V)
+          if (*Slot == V) {
+            obs::count(obs::Event::NoOpJoins);
             return; // Idempotent repeat of the same write.
+          }
         }
         fatalError("multiple put to an IVar with conflicting values "
                    "(lattice top reached)");

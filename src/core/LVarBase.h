@@ -29,6 +29,7 @@
 #define LVISH_CORE_LVARBASE_H
 
 #include "src/check/EffectAuditor.h"
+#include "src/obs/Telemetry.h"
 #include "src/sched/Scheduler.h"
 #include "src/sched/Task.h"
 #include "src/support/AsymmetricGate.h"
@@ -156,6 +157,8 @@ protected:
           ++It;
         }
     }
+    if (!ToWake.empty())
+      obs::count(obs::Event::ThresholdWakeups, ToWake.size());
     for (Task *T : ToWake) {
       LVISH_TRACE2("notify lv=%p wake task=%p resume=%p\n", (void *)this,
                    (void *)T, T->Resume.address());

@@ -67,6 +67,7 @@ public:
   void putValue(const D &V, Task *Writer) {
     checkSession(Writer);
     check::auditEffect(Writer, check::FxPut, "PureLVar put");
+    obs::count(obs::Event::Puts);
     AsymmetricGate::FastGuard Gate(HandlerGate);
     bool Changed = false;
     D NewState{L::bottom()};
@@ -91,8 +92,10 @@ public:
         NewState = State;
       }
     }
-    if (!Changed)
+    if (!Changed) {
+      obs::count(obs::Event::NoOpJoins);
       return;
+    }
     // Deliver the new state to handlers while still inside the gate's fast
     // section, then re-check blocked threshold reads.
     auto Snapshot = Handlers.load(std::memory_order_acquire);

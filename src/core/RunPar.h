@@ -17,6 +17,13 @@
 /// `runParThenFreeze` runs to full quiescence, then freezes the returned
 /// LVar so its exact contents can be read deterministically.
 ///
+/// Every entry point is a thin wrapper over one front door,
+/// detail::runParOnImpl, parameterized by a RunOptions struct: scheduler
+/// config or a borrowed Scheduler&, the freeze-on-exit flag, and an
+/// optional SchedulerStats out-pointer filled after the session quiesces.
+/// The effect level E is what distinguishes the named wrappers; RunOptions
+/// carries everything orthogonal to effects.
+///
 /// Sessions run to *full* quiescence before returning: every forked task
 /// has either finished or is permanently blocked (and is then reaped; see
 /// Scheduler.h). If the root itself never produced a value the program has
@@ -28,12 +35,50 @@
 #define LVISH_CORE_RUNPAR_H
 
 #include "src/core/Par.h"
+#include "src/obs/SchedulerStats.h"
 
 #include <memory>
 #include <optional>
 #include <type_traits>
 
 namespace lvish {
+
+/// Session parameters orthogonal to the effect level. Aggregate-initialize
+/// the fields you need, or start from one of the named factories:
+///
+///   SchedulerStats Stats;
+///   auto R = runPar(Body, RunOptions::CollectStats(Stats));
+///   // Stats.TasksCreated, Stats.Steals, ... now describe the run.
+struct RunOptions {
+  /// Configuration for the session's own scheduler. Ignored when
+  /// \c Borrowed is set.
+  SchedulerConfig Config{};
+  /// Run on this existing scheduler instead of constructing one (one
+  /// session at a time; amortizes worker startup across sessions).
+  Scheduler *Borrowed = nullptr;
+  /// After quiescence, markFrozen() the returned LVar handle - the
+  /// always-deterministic freeze-on-the-way-out of runParThenFreeze.
+  /// Requires the body to return a (shared_ptr to an) LVar structure.
+  bool FreezeOnExit = false;
+  /// When non-null, receives Scheduler::stats() after the session has
+  /// quiesced. Note the counters are cumulative per scheduler: with
+  /// \c Borrowed they include earlier sessions on that scheduler.
+  SchedulerStats *StatsOut = nullptr;
+
+  /// Options that run on \p Sched instead of a fresh scheduler.
+  static RunOptions On(Scheduler &Sched) {
+    RunOptions O;
+    O.Borrowed = &Sched;
+    return O;
+  }
+
+  /// Options that deposit the post-run scheduler stats into \p Out.
+  static RunOptions CollectStats(SchedulerStats &Out) {
+    RunOptions O;
+    O.StatsOut = &Out;
+    return O;
+  }
+};
 
 namespace detail {
 
@@ -57,10 +102,17 @@ Par<void> rootBodyVoid(F Body, bool *Done) {
   *Done = true;
 }
 
+/// The one session front door every runPar* wrapper funnels into.
 template <EffectSet E, typename F>
-auto runParOnImpl(Scheduler &Sched, F Body) {
+auto runParOnImpl(const RunOptions &Opts, F Body) {
   using RetPar = std::invoke_result_t<F, ParCtx<E>>;
   using R = typename ParValue<RetPar>::type;
+
+  // Scheduler is neither copyable nor movable, so the owned case lives in
+  // an optional constructed in place.
+  std::optional<Scheduler> Owned;
+  Scheduler &Sched =
+      Opts.Borrowed ? *Opts.Borrowed : Owned.emplace(Opts.Config);
 
   auto Launch = [&](Par<void> RootPar) {
     Task *Root = installTaskRoot(Sched, std::move(RootPar), nullptr);
@@ -70,9 +122,13 @@ auto runParOnImpl(Scheduler &Sched, F Body) {
     Sched.schedule(Root);
     Sched.waitSessionQuiescent();
     Sched.finishSession();
+    if (Opts.StatsOut)
+      *Opts.StatsOut = Sched.stats();
   };
 
   if constexpr (std::is_void_v<R>) {
+    assert(!Opts.FreezeOnExit &&
+           "FreezeOnExit requires the body to return an LVar handle");
     bool Done = false;
     Launch(rootBodyVoid<E>(std::move(Body), &Done));
     if (!Done)
@@ -85,43 +141,63 @@ auto runParOnImpl(Scheduler &Sched, F Body) {
     if (!Slot)
       fatalError("runPar: deterministic deadlock (the main computation "
                  "blocked forever)");
+    if constexpr (requires { (*Slot)->markFrozen(); }) {
+      // The session is fully quiescent: freezing here cannot race a put.
+      if (Opts.FreezeOnExit)
+        (*Slot)->markFrozen();
+    } else {
+      assert(!Opts.FreezeOnExit &&
+             "FreezeOnExit requires the body to return an LVar handle");
+    }
     return std::move(*Slot);
   }
 }
 
 } // namespace detail
 
-/// Runs \p Body on an existing scheduler (one session at a time). Useful
-/// for benchmarks that amortize worker startup.
+/// Runs \p Body with explicit options and returns its pure result (the
+/// most general deterministic entry point; the named wrappers below cover
+/// the common shapes).
 template <EffectSet E = Eff::Det, typename F>
-auto runParOn(Scheduler &Sched, F Body) {
+auto runPar(F Body, const RunOptions &Opts) {
   static_assert(noFreeze(E) && noIO(E),
                 "runPar requires NoFreeze and NoIO; use runParIO or "
                 "runParThenFreeze");
-  return detail::runParOnImpl<E>(Sched, std::move(Body));
+  return detail::runParOnImpl<E>(Opts, std::move(Body));
 }
 
 /// Runs \p Body on a fresh scheduler and returns its pure result.
 template <EffectSet E = Eff::Det, typename F>
 auto runPar(F Body, SchedulerConfig Config = SchedulerConfig()) {
-  static_assert(noFreeze(E) && noIO(E),
-                "runPar requires NoFreeze and NoIO; use runParIO or "
-                "runParThenFreeze");
-  Scheduler Sched(Config);
-  return detail::runParOnImpl<E>(Sched, std::move(Body));
+  RunOptions Opts;
+  Opts.Config = Config;
+  return runPar<E>(std::move(Body), Opts);
+}
+
+/// Runs \p Body on an existing scheduler (one session at a time). Useful
+/// for benchmarks that amortize worker startup.
+template <EffectSet E = Eff::Det, typename F>
+auto runParOn(Scheduler &Sched, F Body) {
+  return runPar<E>(std::move(Body), RunOptions::On(Sched));
 }
 
 /// Like runPar but without the purity restriction: quasi-deterministic
 /// freezes and nondeterministic (IO-bit) operations are allowed.
 template <EffectSet E = Eff::FullIO, typename F>
+auto runParIO(F Body, const RunOptions &Opts) {
+  return detail::runParOnImpl<E>(Opts, std::move(Body));
+}
+
+template <EffectSet E = Eff::FullIO, typename F>
 auto runParIO(F Body, SchedulerConfig Config = SchedulerConfig()) {
-  Scheduler Sched(Config);
-  return detail::runParOnImpl<E>(Sched, std::move(Body));
+  RunOptions Opts;
+  Opts.Config = Config;
+  return runParIO<E>(std::move(Body), Opts);
 }
 
 template <EffectSet E = Eff::FullIO, typename F>
 auto runParIOOn(Scheduler &Sched, F Body) {
-  return detail::runParOnImpl<E>(Sched, std::move(Body));
+  return runParIO<E>(std::move(Body), RunOptions::On(Sched));
 }
 
 /// Runs \p Body (which returns a shared_ptr to an LVar data structure),
@@ -133,11 +209,21 @@ auto runParThenFreeze(F Body, SchedulerConfig Config = SchedulerConfig()) {
   static_assert(noFreeze(E) && noIO(E),
                 "the computation under runParThenFreeze must not freeze "
                 "explicitly");
-  Scheduler Sched(Config);
-  auto Result = detail::runParOnImpl<E>(Sched, std::move(Body));
-  // The session is fully quiescent: freezing here cannot race any put.
-  Result->markFrozen();
-  return Result;
+  RunOptions Opts;
+  Opts.Config = Config;
+  Opts.FreezeOnExit = true;
+  return detail::runParOnImpl<E>(Opts, std::move(Body));
+}
+
+/// runParThenFreeze on an existing scheduler.
+template <EffectSet E = Eff::Det, typename F>
+auto runParThenFreezeOn(Scheduler &Sched, F Body) {
+  static_assert(noFreeze(E) && noIO(E),
+                "the computation under runParThenFreeze must not freeze "
+                "explicitly");
+  RunOptions Opts = RunOptions::On(Sched);
+  Opts.FreezeOnExit = true;
+  return detail::runParOnImpl<E>(Opts, std::move(Body));
 }
 
 } // namespace lvish

@@ -52,8 +52,11 @@ public:
   void bump(uint64_t Amount, Task *Writer) {
     checkSession(Writer);
     check::auditEffect(Writer, check::FxBump, "Counter bump");
-    if (Amount == 0)
+    obs::count(obs::Event::Puts);
+    if (Amount == 0) {
+      obs::count(obs::Event::NoOpJoins);
       return;
+    }
     if (isFrozen())
       putAfterFreezeError();
 #if LVISH_CHECK
@@ -145,8 +148,11 @@ public:
     checkSession(Writer);
     check::auditEffect(Writer, check::FxBump, "CounterVec bump");
     assert(I < Cells.size() && "CounterVec index out of range");
-    if (Amount == 0)
+    obs::count(obs::Event::Puts);
+    if (Amount == 0) {
+      obs::count(obs::Event::NoOpJoins);
       return;
+    }
     if (isFrozen())
       putAfterFreezeError();
 #if LVISH_CHECK

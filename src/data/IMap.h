@@ -51,12 +51,15 @@ public:
   void insertKV(const K &Key, const V &Val, Task *Writer) {
     checkSession(Writer);
     check::auditEffect(Writer, check::FxPut, "IMap insert");
+    obs::count(obs::Event::Puts);
     AsymmetricGate::FastGuard Gate(HandlerGate);
     auto [Stored, Inserted] = Table.insert(Key, Val);
     if (!Inserted) {
       if constexpr (std::equality_comparable<V>) {
-        if (*Stored == Val)
+        if (*Stored == Val) {
+          obs::count(obs::Event::NoOpJoins);
           return; // Idempotent repeat.
+        }
       }
       fatalError("conflicting insert for an existing IMap key (per-key "
                  "lattice top reached)");
@@ -87,10 +90,13 @@ public:
     check::auditEffect(Writer, check::FxPut, "IMap modifyKey");
     if (const V *Existing = Table.find(Key))
       return *Existing;
+    obs::count(obs::Event::Puts);
     AsymmetricGate::FastGuard Gate(HandlerGate);
     auto [Stored, Inserted] = Table.insert(Key, Factory());
-    if (!Inserted)
+    if (!Inserted) {
+      obs::count(obs::Event::NoOpJoins);
       return *Stored; // Lost the race; the winner's value is canonical.
+    }
     if (isFrozen())
       putAfterFreezeError();
     auto Snapshot = Handlers.load(std::memory_order_acquire);

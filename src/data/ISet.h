@@ -55,11 +55,14 @@ public:
   void insertElem(const T &Elem, Task *Writer) {
     checkSession(Writer);
     check::auditEffect(Writer, check::FxPut, "ISet insert");
+    obs::count(obs::Event::Puts);
     AsymmetricGate::FastGuard Gate(HandlerGate);
     auto [Ptr, Inserted] = Table.insert(Elem, Unit{});
     (void)Ptr;
-    if (!Inserted)
+    if (!Inserted) {
+      obs::count(obs::Event::NoOpJoins);
       return;
+    }
     if (isFrozen())
       putAfterFreezeError();
     auto Snapshot = Handlers.load(std::memory_order_acquire);

@@ -2,6 +2,7 @@
 
 #include "src/kernels/Harness.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace lvish;
@@ -16,7 +17,15 @@ KernelCapture kernels::captureKernel(
     SchedulerConfig Cfg;
     Cfg.NumWorkers = Workers;
     Scheduler Sched(Cfg);
-    Out.RealSeconds = medianSeconds([&] { Fn(Sched); }, Reps);
+    for (int I = 0; I < Reps; ++I) {
+      WallTimer T;
+      Fn(Sched);
+      Out.RepSeconds.push_back(T.elapsedSeconds());
+    }
+    std::vector<double> Sorted = Out.RepSeconds;
+    std::sort(Sorted.begin(), Sorted.end());
+    Out.RealSeconds = Sorted[Sorted.size() / 2];
+    Out.Stats = Sched.stats();
   }
   {
     SchedulerConfig Cfg;

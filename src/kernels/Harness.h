@@ -15,6 +15,7 @@
 #ifndef LVISH_KERNELS_HARNESS_H
 #define LVISH_KERNELS_HARNESS_H
 
+#include "src/obs/SchedulerStats.h"
 #include "src/sched/Scheduler.h"
 #include "src/sim/Simulator.h"
 #include "src/support/Timer.h"
@@ -32,6 +33,8 @@ struct KernelCapture {
   double RealSeconds = 0;   ///< Median wall time, tracing off.
   sim::TaskGraph Graph;     ///< DAG recorded in a separate traced run.
   double TracedSeconds = 0; ///< Wall time of the traced run (overhead probe).
+  std::vector<double> RepSeconds; ///< Every untraced timing sample.
+  SchedulerStats Stats;     ///< Timing scheduler's counters after the reps.
 };
 
 /// Runs \p Fn (which takes the scheduler to use) untraced for timing, then

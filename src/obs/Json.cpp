@@ -1,0 +1,376 @@
+//===- Json.cpp - Minimal JSON writer and parser --------------------------===//
+
+#include "src/obs/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lvish;
+using namespace lvish::obs;
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+void JsonWriter::escapeTo(std::string &Out, std::string_view S) {
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+}
+
+void JsonWriter::value(double D) {
+  comma();
+  if (!std::isfinite(D)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    Out += "null";
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  Out += Buf;
+}
+
+void JsonWriter::value(uint64_t N) {
+  comma();
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu", static_cast<unsigned long long>(N));
+  Out += Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Not performance-critical:
+/// it reads bench reports, not hot-path data.
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Err) : Text(Text), Err(Err) {}
+
+  bool parse(JsonValue &Out) {
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after value");
+    return true;
+  }
+
+private:
+  bool fail(const char *Msg) {
+    if (Err)
+      *Err = std::string(Msg) + " at byte " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return fail("invalid literal");
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      Out.K = JsonValue::Kind::Bool;
+      Out.BoolV = true;
+      return literal("true");
+    case 'f':
+      Out.K = JsonValue::Kind::Bool;
+      Out.BoolV = false;
+      return literal("false");
+    case 'n':
+      Out.K = JsonValue::Kind::Null;
+      return literal("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (consume('}'))
+      return true;
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      JsonValue Member;
+      if (!parseValue(Member))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(Member));
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (consume(']'))
+      return true;
+    while (true) {
+      JsonValue Elem;
+      if (!parseValue(Elem))
+        return false;
+      Out.Arr.push_back(std::move(Elem));
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool hex4(unsigned &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= static_cast<unsigned>(C - 'A' + 10);
+      else
+        return fail("invalid \\u escape digit");
+    }
+    return true;
+  }
+
+  static void appendUtf8(std::string &S, unsigned Cp) {
+    if (Cp < 0x80) {
+      S += static_cast<char>(Cp);
+    } else if (Cp < 0x800) {
+      S += static_cast<char>(0xC0 | (Cp >> 6));
+      S += static_cast<char>(0x80 | (Cp & 0x3F));
+    } else if (Cp < 0x10000) {
+      S += static_cast<char>(0xE0 | (Cp >> 12));
+      S += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+      S += static_cast<char>(0x80 | (Cp & 0x3F));
+    } else {
+      S += static_cast<char>(0xF0 | (Cp >> 18));
+      S += static_cast<char>(0x80 | ((Cp >> 12) & 0x3F));
+      S += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+      S += static_cast<char>(0x80 | (Cp & 0x3F));
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // '"'
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Cp = 0;
+        if (!hex4(Cp))
+          return false;
+        if (Cp >= 0xD800 && Cp <= 0xDBFF) {
+          // High surrogate: must be followed by \uDC00..\uDFFF.
+          if (Pos + 1 >= Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail("lone high surrogate");
+          Pos += 2;
+          unsigned Lo = 0;
+          if (!hex4(Lo))
+            return false;
+          if (Lo < 0xDC00 || Lo > 0xDFFF)
+            return fail("invalid low surrogate");
+          Cp = 0x10000 + ((Cp - 0xD800) << 10) + (Lo - 0xDC00);
+        } else if (Cp >= 0xDC00 && Cp <= 0xDFFF) {
+          return fail("lone low surrogate");
+        }
+        appendUtf8(Out, Cp);
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a value");
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double D = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size()) {
+      Pos = Start;
+      return fail("malformed number");
+    }
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = D;
+    return true;
+  }
+
+  std::string_view Text;
+  std::string *Err;
+  size_t Pos = 0;
+};
+
+void writeValue(JsonWriter &W, const JsonValue &V) {
+  switch (V.K) {
+  case JsonValue::Kind::Null:
+    W.null();
+    break;
+  case JsonValue::Kind::Bool:
+    W.value(V.BoolV);
+    break;
+  case JsonValue::Kind::Number:
+    // Integers survive the double round-trip exactly up to 2^53; print
+    // them without an exponent so counters stay greppable.
+    if (V.Num == std::floor(V.Num) && V.Num >= 0 && V.Num < 9.007199254740992e15)
+      W.value(static_cast<uint64_t>(V.Num));
+    else
+      W.value(V.Num);
+    break;
+  case JsonValue::Kind::String:
+    W.value(std::string_view(V.Str));
+    break;
+  case JsonValue::Kind::Array:
+    W.beginArray();
+    for (const JsonValue &E : V.Arr)
+      writeValue(W, E);
+    W.endArray();
+    break;
+  case JsonValue::Kind::Object:
+    W.beginObject();
+    for (const auto &[K, E] : V.Obj) {
+      W.key(K);
+      writeValue(W, E);
+    }
+    W.endObject();
+    break;
+  }
+}
+
+} // namespace
+
+bool JsonValue::parse(std::string_view Text, JsonValue &Out,
+                      std::string *Err) {
+  Out = JsonValue();
+  Parser P(Text, Err);
+  return P.parse(Out);
+}
+
+std::string JsonValue::write() const {
+  JsonWriter W;
+  writeValue(W, *this);
+  return W.take();
+}

@@ -1,0 +1,154 @@
+//===- Json.h - Minimal JSON writer and parser ------------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dependency-free JSON layer for the telemetry subsystem:
+/// JsonWriter produces the machine-readable BENCH_*.json files and
+/// chrome://tracing exports; JsonValue parses them back (used by
+/// tools/bench-report for schema validation and regression diffs, and by
+/// TelemetryTest to prove the writer round-trips). Deliberately minimal:
+/// no streaming parse, numbers are doubles, objects preserve insertion
+/// order and allow duplicate keys (find returns the first).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_OBS_JSON_H
+#define LVISH_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lvish {
+namespace obs {
+
+/// A parsed JSON document node.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool BoolV = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Object member lookup; null unless this is an object with the key.
+  const JsonValue *find(std::string_view Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    for (const auto &[Name, Value] : Obj)
+      if (Name == Key)
+        return &Value;
+    return nullptr;
+  }
+
+  /// Parses \p Text into \p Out. On failure returns false and, when
+  /// \p Err is non-null, stores a byte-offset-tagged message.
+  static bool parse(std::string_view Text, JsonValue &Out,
+                    std::string *Err = nullptr);
+
+  /// Re-serializes the node (canonical escaping, no whitespace).
+  std::string write() const;
+};
+
+/// Streaming JSON emitter with correct string escaping. Usage:
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("name"); W.value("bench_micro_lvar");
+///   W.key("times"); W.beginArray(); W.value(0.5); W.endArray();
+///   W.endObject();
+///   writeFile(W.str());
+class JsonWriter {
+public:
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  /// Emits an object key; must be followed by exactly one value or
+  /// begin{Object,Array}.
+  void key(std::string_view K) {
+    comma();
+    quote(K);
+    Out += ':';
+    AfterKey = true;
+  }
+
+  void value(std::string_view S) {
+    comma();
+    quote(S);
+  }
+  void value(const char *S) { value(std::string_view(S)); }
+  void value(bool B) {
+    comma();
+    Out += B ? "true" : "false";
+  }
+  void value(double D);
+  void value(uint64_t N);
+  void value(int N) { value(static_cast<uint64_t>(N < 0 ? 0 : N)); }
+  void value(unsigned N) { value(static_cast<uint64_t>(N)); }
+  void null() {
+    comma();
+    Out += "null";
+  }
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+  /// Appends \p S to \p Out with JSON escaping ("\bfnrt plus \u00XX for
+  /// other control characters; non-ASCII bytes pass through as UTF-8).
+  static void escapeTo(std::string &Out, std::string_view S);
+
+private:
+  void open(char C) {
+    comma();
+    Out += C;
+    NeedComma.push_back(false);
+  }
+  void close(char C) {
+    NeedComma.pop_back();
+    Out += C;
+    if (!NeedComma.empty())
+      NeedComma.back() = true;
+  }
+  void comma() {
+    if (AfterKey) {
+      AfterKey = false;
+      return;
+    }
+    if (!NeedComma.empty()) {
+      if (NeedComma.back())
+        Out += ',';
+      NeedComma.back() = true;
+    }
+  }
+  void quote(std::string_view S) {
+    Out += '"';
+    escapeTo(Out, S);
+    Out += '"';
+  }
+
+  std::string Out;
+  std::vector<bool> NeedComma;
+  bool AfterKey = false;
+};
+
+} // namespace obs
+} // namespace lvish
+
+#endif // LVISH_OBS_JSON_H

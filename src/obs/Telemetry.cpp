@@ -1,0 +1,88 @@
+//===- Telemetry.cpp - LVar/session event counters ------------------------===//
+
+#include "src/obs/Telemetry.h"
+
+#include <mutex>
+
+using namespace lvish;
+using namespace lvish::obs;
+
+const char *obs::eventName(Event E) {
+  switch (E) {
+  case Event::Puts:
+    return "puts";
+  case Event::NoOpJoins:
+    return "noop_joins";
+  case Event::ThresholdWakeups:
+    return "threshold_wakeups";
+  case Event::HandlerInvocations:
+    return "handler_invocations";
+  case Event::QuiesceWaits:
+    return "quiesce_waits";
+  case Event::Cancellations:
+    return "cancellations";
+  case Event::MemoHits:
+    return "memo_hits";
+  case Event::MemoMisses:
+    return "memo_misses";
+  }
+  return "unknown";
+}
+
+#ifndef LVISH_GIT_REV
+#define LVISH_GIT_REV "unknown"
+#endif
+
+const char *obs::gitRevision() { return LVISH_GIT_REV; }
+
+#if LVISH_TELEMETRY
+
+obs::detail::TelemetryStripe obs::detail::Stripes[NumStripes];
+std::atomic<uint64_t> obs::detail::QuiesceWaitNanosTotal{0};
+
+unsigned obs::detail::assignStripe() {
+  static std::atomic<unsigned> Next{0};
+  return Next.fetch_add(1, std::memory_order_relaxed) % NumStripes;
+}
+
+TelemetrySnapshot obs::telemetrySnapshot() {
+  TelemetrySnapshot S;
+  for (const detail::TelemetryStripe &Stripe : detail::Stripes)
+    for (unsigned E = 0; E < NumEvents; ++E)
+      S.Counts[E] += Stripe.Counts[E].load(std::memory_order_relaxed);
+  S.QuiesceWaitNanos =
+      detail::QuiesceWaitNanosTotal.load(std::memory_order_relaxed);
+  return S;
+}
+
+void obs::resetTelemetry() {
+  for (detail::TelemetryStripe &Stripe : detail::Stripes)
+    for (unsigned E = 0; E < NumEvents; ++E)
+      Stripe.Counts[E].store(0, std::memory_order_relaxed);
+  detail::QuiesceWaitNanosTotal.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+// The span log is cold (one append per Span destruction, typically a
+// handful per bench series), so a plain mutex-protected vector is fine.
+std::mutex SpanMutex;
+std::vector<SpanRecord> Spans;
+} // namespace
+
+Span::~Span() {
+  SpanRecord R{Name, StartNanos, nowNanos() - StartNanos};
+  std::lock_guard<std::mutex> Lock(SpanMutex);
+  Spans.push_back(std::move(R));
+}
+
+std::vector<SpanRecord> obs::spanLog() {
+  std::lock_guard<std::mutex> Lock(SpanMutex);
+  return Spans;
+}
+
+void obs::clearSpans() {
+  std::lock_guard<std::mutex> Lock(SpanMutex);
+  Spans.clear();
+}
+
+#endif // LVISH_TELEMETRY

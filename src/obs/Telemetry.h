@@ -1,0 +1,187 @@
+//===- Telemetry.h - LVar/session event counters ----------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Library-level telemetry behind the LVISH_TELEMETRY switch (ON by
+/// default; -DLVISH_TELEMETRY=OFF compiles every hook down to an empty
+/// inline function and an empty snapshot struct).
+///
+/// Two facilities:
+///
+///   * Event counters - process-wide counts of the semantic events the
+///     paper's effect zoo is made of: puts, no-op joins (a put that did
+///     not change the lattice value), threshold wakeups, handler
+///     invocations, quiescence waits (plus their summed latency),
+///     cancellations, and memo hits/misses. Counters are striped across
+///     cache-line-padded blocks indexed per thread, so the hot-path cost
+///     is one relaxed fetch_add with no cross-thread contention.
+///
+///   * Span - a scoped wall-clock timer whose begin/end records land in a
+///     process-wide span log, exportable together with TraceRecorder
+///     slices as a chrome://tracing file (src/obs/ChromeTrace.h).
+///
+/// Counting is process-wide rather than per-scheduler because the hooks
+/// fire inside LVar operations, which deliberately know nothing about the
+/// scheduler that runs them. Snapshot before/after a region and subtract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_OBS_TELEMETRY_H
+#define LVISH_OBS_TELEMETRY_H
+
+#include "src/support/Timer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef LVISH_TELEMETRY
+#define LVISH_TELEMETRY 0
+#endif
+
+namespace lvish {
+namespace obs {
+
+/// The LVar/session event kinds counted under LVISH_TELEMETRY.
+enum class Event : unsigned {
+  Puts = 0,           ///< LVar writes (put/insert/bump) that reached the
+                      ///< store, including no-op joins.
+  NoOpJoins,          ///< Puts whose join left the value unchanged.
+  ThresholdWakeups,   ///< Parked readers released by a put or freeze.
+  HandlerInvocations, ///< Handler-pool callback tasks spawned.
+  QuiesceWaits,       ///< quiesce() calls that actually had to park.
+  Cancellations,      ///< cancel() requests delivered to a CancelNode.
+  MemoHits,           ///< getMemo calls whose key was already requested.
+  MemoMisses,         ///< getMemo calls that requested a fresh key.
+};
+
+inline constexpr unsigned NumEvents = 8;
+
+/// Stable lower-snake-case name, used as the JSON key in BENCH_*.json.
+const char *eventName(Event E);
+
+/// The commit the binary was built from (CMake bakes it in; "unknown"
+/// outside a git checkout). Lives here so every BENCH_*.json is
+/// attributable to a revision even with telemetry compiled out.
+const char *gitRevision();
+
+/// One completed Span, for the chrome://tracing exporter.
+struct SpanRecord {
+  std::string Name;
+  uint64_t StartNanos = 0;
+  uint64_t DurationNanos = 0;
+};
+
+#if LVISH_TELEMETRY
+
+inline constexpr bool TelemetryEnabled = true;
+
+/// Event totals plus summed quiescence-wait latency. With telemetry
+/// compiled out this struct is empty (see the #else branch) - that is
+/// what TelemetryTest's static_assert pins down.
+struct TelemetrySnapshot {
+  uint64_t Counts[NumEvents] = {};
+  uint64_t QuiesceWaitNanos = 0;
+
+  uint64_t count(Event E) const { return Counts[static_cast<unsigned>(E)]; }
+};
+
+namespace detail {
+
+/// One cache line of event counters; threads are striped across a small
+/// fixed pool of these so concurrent puts on different threads do not
+/// bounce a shared line.
+struct alignas(64) TelemetryStripe {
+  std::atomic<uint64_t> Counts[NumEvents] = {};
+};
+
+inline constexpr unsigned NumStripes = 16;
+extern TelemetryStripe Stripes[NumStripes];
+extern std::atomic<uint64_t> QuiesceWaitNanosTotal;
+
+/// Round-robin stripe assignment, cached per thread.
+unsigned assignStripe();
+
+inline unsigned myStripe() {
+  thread_local unsigned Stripe = assignStripe();
+  return Stripe;
+}
+
+} // namespace detail
+
+/// Records \p N occurrences of \p E. One relaxed fetch_add on this
+/// thread's stripe.
+inline void count(Event E, uint64_t N = 1) {
+  detail::Stripes[detail::myStripe()]
+      .Counts[static_cast<unsigned>(E)]
+      .fetch_add(N, std::memory_order_relaxed);
+}
+
+/// Accumulates measured quiescence-wait latency (paired with a
+/// QuiesceWaits count bump at the park site).
+inline void addQuiesceWaitNanos(uint64_t Nanos) {
+  detail::QuiesceWaitNanosTotal.fetch_add(Nanos, std::memory_order_relaxed);
+}
+
+/// Sums all stripes into one snapshot. Relaxed reads: exact once the
+/// counted activity has quiesced, approximate while it runs.
+TelemetrySnapshot telemetrySnapshot();
+
+/// Zeroes every counter (test isolation; do not call concurrently with
+/// counted work).
+void resetTelemetry();
+
+/// Scoped wall-clock timer: construction starts it, destruction appends a
+/// SpanRecord to the process-wide span log.
+class Span {
+public:
+  explicit Span(const char *Name) : Name(Name), StartNanos(nowNanos()) {}
+  ~Span();
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  const char *Name;
+  uint64_t StartNanos;
+};
+
+/// Snapshot of every completed span so far (oldest first).
+std::vector<SpanRecord> spanLog();
+
+/// Empties the span log.
+void clearSpans();
+
+#else // !LVISH_TELEMETRY
+
+inline constexpr bool TelemetryEnabled = false;
+
+/// Empty fallback: with telemetry compiled out the snapshot carries no
+/// data and every hook below is a no-op the optimizer deletes.
+struct TelemetrySnapshot {};
+
+inline void count(Event, uint64_t = 1) {}
+inline void addQuiesceWaitNanos(uint64_t) {}
+inline TelemetrySnapshot telemetrySnapshot() { return {}; }
+inline void resetTelemetry() {}
+
+class Span {
+public:
+  explicit Span(const char *) {}
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+};
+
+inline std::vector<SpanRecord> spanLog() { return {}; }
+inline void clearSpans() {}
+
+#endif // LVISH_TELEMETRY
+
+} // namespace obs
+} // namespace lvish
+
+#endif // LVISH_OBS_TELEMETRY_H

@@ -26,6 +26,21 @@ thread_local unsigned WorkerIndexTL = ~0u;
 
 Task *Scheduler::currentTask() { return CurrentTaskTL; }
 
+obs::WorkerCounters &Scheduler::myCounters() {
+  if (WorkerSchedTL == this)
+    return Workers[WorkerIndexTL]->Counters;
+  return ExternalCounters;
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats S;
+  for (const auto &W : Workers)
+    W->Counters.accumulateInto(S);
+  ExternalCounters.accumulateInto(S);
+  S.NumWorkers = numWorkers();
+  return S;
+}
+
 Scheduler::Scheduler(SchedulerConfig Config) : Tracing(Config.EnableTracing) {
   unsigned N = Config.NumWorkers;
   if (N == 0)
@@ -71,7 +86,7 @@ Task *Scheduler::createTask(std::coroutine_handle<> Root, Task *Parent) {
       T->Layers.push_back(L->splitForChild());
   }
   T->scopesOnCreate();
-  TasksCreated.fetch_add(1, std::memory_order_relaxed);
+  obs::WorkerCounters::bump(myCounters().TasksCreated);
   if (Tracing) {
     // A fork cuts the parent's slice: the child depends on the fork point,
     // not on the whole parent task.
@@ -88,7 +103,9 @@ void Scheduler::schedule(Task *T) {
          "task scheduled while already queued or running");
   addPending();
   if (WorkerSchedTL == this) {
-    Workers[WorkerIndexTL]->Deque.push(T);
+    Worker &W = *Workers[WorkerIndexTL];
+    W.Deque.push(T);
+    W.Counters.noteDepth(W.Deque.sizeApprox());
   } else {
     std::lock_guard<std::mutex> Lock(InjectMutex);
     Injected.push_back(T);
@@ -98,6 +115,7 @@ void Scheduler::schedule(Task *T) {
 }
 
 void Scheduler::wake(Task *T, Task *Waker) {
+  obs::WorkerCounters::bump(myCounters().Wakes);
   T->scopesOnUnpark();
   if (Tracing && Waker && Waker->TraceId != ~0u && T->TraceId != ~0u) {
     // The put that satisfied T's threshold precedes T's next slice.
@@ -124,6 +142,7 @@ void Scheduler::wakeKeepPending(Task *T) {
 }
 
 void Scheduler::onTaskParked(Task *T) {
+  obs::WorkerCounters::bump(myCounters().Parks);
   sliceEnd(T);
   T->scopesOnPark();
   removePending();
@@ -131,6 +150,7 @@ void Scheduler::onTaskParked(Task *T) {
 
 void Scheduler::onTaskFinished(Task *T) {
   LVISH_TRACE3("finished task=%p\n", (void *)T);
+  obs::WorkerCounters::bump(myCounters().TasksExecuted);
   retire(T);
   removePending();
 }
@@ -219,7 +239,7 @@ void Scheduler::sliceEnd(Task *T) {
   if (!Tracing || T->CurSlice == TraceRecorder::None)
     return;
   Recorder.onSliceEnd(T->CurSlice, nowNanos() - T->SliceStart,
-                      T->SliceBytes);
+                      T->SliceBytes, T->SliceStart);
   T->CurSlice = TraceRecorder::None;
   T->SliceBytes = 0;
 }
@@ -252,8 +272,10 @@ Task *Scheduler::tryInjected() {
 
 Task *Scheduler::findWork(unsigned Index) {
   Worker &Me = *Workers[Index];
-  if (Task *T = Me.Deque.pop())
+  if (Task *T = Me.Deque.pop()) {
+    obs::WorkerCounters::bump(Me.Counters.LocalPops);
     return T;
+  }
   if (Task *T = tryInjected())
     return T;
   unsigned N = numWorkers();
@@ -263,8 +285,9 @@ Task *Scheduler::findWork(unsigned Index) {
           static_cast<unsigned>(Me.StealRng.nextBounded(N));
       if (Victim == Index)
         continue;
+      obs::WorkerCounters::bump(Me.Counters.StealAttempts);
       if (Task *T = Workers[Victim]->Deque.steal()) {
-        Steals.fetch_add(1, std::memory_order_relaxed);
+        obs::WorkerCounters::bump(Me.Counters.Steals);
         return T;
       }
     }

@@ -29,6 +29,7 @@
 #ifndef LVISH_SCHED_SCHEDULER_H
 #define LVISH_SCHED_SCHEDULER_H
 
+#include "src/obs/SchedulerStats.h"
 #include "src/sched/Task.h"
 #include "src/sched/Trace.h"
 #include "src/sched/WorkStealingDeque.h"
@@ -116,12 +117,22 @@ public:
   /// Trace recorder, or null when tracing is disabled.
   TraceRecorder *trace() { return Tracing ? &Recorder : nullptr; }
 
-  /// Statistics (approximate, for tests and reporting).
+  /// Aggregates every worker's counter block (plus the shared block for
+  /// off-worker events) into one snapshot. Counters are cumulative over
+  /// the scheduler's lifetime; the snapshot is exact once the session has
+  /// quiesced, approximate while workers run. RunOptions::StatsOut (see
+  /// src/core/RunPar.h) delivers this automatically after a run.
+  SchedulerStats stats() const;
+
+  /// \deprecated Pre-stats() accessors, kept as wrappers for out-of-tree
+  /// callers; use stats().TasksCreated / stats().Steals.
+  [[deprecated("use Scheduler::stats().TasksCreated")]]
   uint64_t tasksCreatedStat() const {
-    return TasksCreated.load(std::memory_order_relaxed);
+    return stats().TasksCreated;
   }
+  [[deprecated("use Scheduler::stats().Steals")]]
   uint64_t stealsStat() const {
-    return Steals.load(std::memory_order_relaxed);
+    return stats().Steals;
   }
 
 private:
@@ -130,10 +141,16 @@ private:
     SplitMix64 StealRng;
     Task *PendingRetire = nullptr;
     std::thread Thread;
+    /// This worker's private counter block (its own cache line).
+    obs::WorkerCounters Counters;
   };
 
   void workerLoop(unsigned Index);
   Task *findWork(unsigned Index);
+  /// The calling thread's counter block: the worker's own when called on
+  /// a worker of this scheduler, else the shared external block (runPar
+  /// roots and wakes arrive from non-worker threads).
+  obs::WorkerCounters &myCounters();
   Task *tryInjected();
   void addPending();
   void removePending();
@@ -157,8 +174,9 @@ private:
   std::atomic<int64_t> PendingWork{0};
 
   std::atomic<uint64_t> NextSessionId{1};
-  std::atomic<uint64_t> TasksCreated{0};
-  std::atomic<uint64_t> Steals{0};
+
+  /// Counter block for events raised off the worker threads.
+  obs::WorkerCounters ExternalCounters;
 
   // External submission queue (runPar roots; wakes from non-worker threads).
   std::mutex InjectMutex;

@@ -41,6 +41,10 @@ struct TraceSlice {
   uint32_t Task = 0;          ///< Owning task's trace id.
   uint64_t DurationNanos = 0; ///< Measured CPU time of this slice.
   uint64_t Bytes = 0;         ///< Announced memory traffic of this slice.
+  /// Wall-clock start (nowNanos) of the slice; 0 when unknown (hand-built
+  /// traces). Ignored by the simulator, consumed by the chrome://tracing
+  /// exporter (src/obs/ChromeTrace.h).
+  uint64_t StartNanos = 0;
 };
 
 /// A dependency edge between slices: Dst cannot start before Src ends.
@@ -85,10 +89,14 @@ public:
   }
 
   /// Records the measured duration and byte count of a finished slice.
-  void onSliceEnd(uint32_t SliceId, uint64_t DurationNanos, uint64_t Bytes) {
+  /// \p StartNanos is the slice's wall-clock start, for timeline exports
+  /// (0 = unknown, fine for simulator-only traces).
+  void onSliceEnd(uint32_t SliceId, uint64_t DurationNanos, uint64_t Bytes,
+                  uint64_t StartNanos = 0) {
     std::lock_guard<std::mutex> Lock(Mutex);
     Slices[SliceId].DurationNanos = DurationNanos;
     Slices[SliceId].Bytes = Bytes;
+    Slices[SliceId].StartNanos = StartNanos;
   }
 
   /// Records that \p WakerSlice's put unblocked \p TaskId: the task's next

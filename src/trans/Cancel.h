@@ -114,6 +114,7 @@ template <EffectSet E, typename T>
   requires(hasPut(E))
 void cancel(ParCtx<E> Ctx, const CFuture<T> &Future) {
   (void)Ctx;
+  obs::count(obs::Event::Cancellations);
   Future.node()->cancel();
   if (Future.node()->noteCancelConflict())
     fatalError("a CFuture was both cancelled and read (order-independent "

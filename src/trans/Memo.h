@@ -79,6 +79,10 @@ auto makeMemo(ParCtx<E> Ctx, F Fn) {
 template <EffectSet E, typename K, typename V, EffectSet FE>
   requires(hasPut(E) && hasGet(E))
 Par<V> getMemo(ParCtx<E> Ctx, std::shared_ptr<Memo<K, V, FE>> M, K Key) {
+  // Hit/miss is probed before the insert; racing lookups of a fresh key
+  // may each count a miss, which matches how much work was *requested*.
+  obs::count(M->Requests->containsElem(Key) ? obs::Event::MemoHits
+                                            : obs::Event::MemoMisses);
   insert(Ctx, *M->Requests, Key);
   V Val = co_await getKey(Ctx, *M->Results, Key);
   co_return Val;
@@ -92,6 +96,8 @@ Par<V> getMemo(ParCtx<E> Ctx, std::shared_ptr<Memo<K, V, FE>> M, K Key) {
 template <EffectSet E, typename K, typename V, EffectSet FE>
   requires(hasGet(E) && readOnly(FE))
 Par<V> getMemoRO(ParCtx<E> Ctx, std::shared_ptr<Memo<K, V, FE>> M, K Key) {
+  obs::count(M->Requests->containsElem(Key) ? obs::Event::MemoHits
+                                            : obs::Event::MemoMisses);
   constexpr EffectSet Blessed{true, true, false, false, false, false};
   ParCtx<Blessed> Full = detail::CtxAccess::make<Blessed>(Ctx.task());
   {

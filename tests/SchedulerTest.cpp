@@ -25,7 +25,7 @@ TEST(Scheduler, CountsSpawnedTasks) {
     co_return;
   });
   // Root + 10 children.
-  EXPECT_GE(Sched.tasksCreatedStat(), 11u);
+  EXPECT_GE(Sched.stats().TasksCreated, 11u);
 }
 
 TEST(Scheduler, ManyFireAndForgetTasksAllRunBeforeSessionEnds) {

@@ -53,7 +53,7 @@ TEST(Stress, ManySessionsReuseOneScheduler) {
     });
     EXPECT_EQ(R, 64L * 63 / 2 + 64L * Round);
   }
-  EXPECT_GE(Sched.tasksCreatedStat(), 200u);
+  EXPECT_GE(Sched.stats().TasksCreated, 200u);
 }
 
 TEST(Stress, DeepSequentialAwaitChain) {

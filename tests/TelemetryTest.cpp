@@ -1,0 +1,352 @@
+//===- TelemetryTest.cpp - Telemetry, stats, and JSON tests ----------------===//
+//
+// Covers the src/obs/ subsystem: SchedulerStats exactness on a single
+// worker (where counts are deterministic), stats monotonicity across
+// sessions, the LVar/session telemetry counters (when compiled in), the
+// JSON writer/parser round trip, and the BenchHarness document schema.
+// The compiled-out telemetry configuration (LVISH_TELEMETRY=0, exercised
+// by the tsan CI stage) asserts the zero-size/no-op contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+#include "src/core/LVish.h"
+#include "src/data/Counter.h"
+#include "src/data/ISet.h"
+#include "src/obs/ChromeTrace.h"
+#include "src/obs/Json.h"
+#include "src/obs/SchedulerStats.h"
+#include "src/obs/Telemetry.h"
+#include "src/trans/Memo.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+using namespace lvish;
+
+namespace {
+
+constexpr EffectSet D = Eff::Det;
+
+//===----------------------------------------------------------------------===//
+// SchedulerStats
+//===----------------------------------------------------------------------===//
+
+TEST(SchedulerStatsTest, SingleWorkerCountsAreExact) {
+  constexpr int Forks = 10;
+  SchedulerStats Stats;
+  RunOptions Opts = RunOptions::CollectStats(Stats);
+  Opts.Config = SchedulerConfig{1};
+  int Sum = runPar<D>(
+      [](ParCtx<D> Ctx) -> Par<int> {
+        auto IV = newIVar<int>(Ctx);
+        for (int I = 0; I < Forks; ++I)
+          fork(Ctx, [IV, I](ParCtx<D> C) -> Par<void> {
+            if (I == 0)
+              put(C, *IV, 42);
+            co_return;
+          });
+        int V = co_await get(Ctx, *IV);
+        co_return V;
+      },
+      Opts);
+  EXPECT_EQ(Sum, 42);
+  // Root + Forks tasks, all executed, none stolen (one worker has no
+  // victims to probe).
+  EXPECT_EQ(Stats.TasksCreated, static_cast<uint64_t>(Forks) + 1);
+  EXPECT_EQ(Stats.TasksExecuted, Stats.TasksCreated);
+  EXPECT_EQ(Stats.StealAttempts, 0u);
+  EXPECT_EQ(Stats.Steals, 0u);
+  EXPECT_EQ(Stats.NumWorkers, 1u);
+  // The root parked once on the IVar get (the forks run after it blocks).
+  EXPECT_GE(Stats.Parks, 1u);
+  EXPECT_GE(Stats.Wakes, 1u);
+  EXPECT_GE(Stats.MaxDequeDepth, 1u);
+}
+
+TEST(SchedulerStatsTest, CumulativeAndMonotonicAcrossSessions) {
+  Scheduler Sched(SchedulerConfig{2});
+  auto Session = [&] {
+    runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
+      for (int I = 0; I < 8; ++I)
+        fork(Ctx, [](ParCtx<D>) -> Par<void> { co_return; });
+      co_return;
+    });
+  };
+  Session();
+  SchedulerStats A = Sched.stats();
+  Session();
+  SchedulerStats B = Sched.stats();
+  EXPECT_EQ(A.TasksCreated, 9u);
+  EXPECT_EQ(B.TasksCreated, 18u);
+  EXPECT_GE(B.TasksExecuted, A.TasksExecuted);
+  EXPECT_GE(B.LocalPops, A.LocalPops);
+  EXPECT_GE(B.StealAttempts, A.StealAttempts);
+  EXPECT_GE(B.Steals, A.Steals);
+  EXPECT_GE(B.Parks, A.Parks);
+  EXPECT_GE(B.Wakes, A.Wakes);
+  EXPECT_GE(B.MaxDequeDepth, A.MaxDequeDepth);
+}
+
+TEST(SchedulerStatsTest, AccumulateMergesAndMaxes) {
+  SchedulerStats A, B;
+  A.TasksCreated = 3;
+  A.MaxDequeDepth = 7;
+  A.NumWorkers = 1;
+  B.TasksCreated = 4;
+  B.MaxDequeDepth = 2;
+  B.NumWorkers = 4;
+  A += B;
+  EXPECT_EQ(A.TasksCreated, 7u);
+  EXPECT_EQ(A.MaxDequeDepth, 7u);
+  EXPECT_EQ(A.NumWorkers, 4u);
+}
+
+TEST(RunOptionsTest, BorrowedSchedulerIsUsed) {
+  Scheduler Sched(SchedulerConfig{1});
+  SchedulerStats Stats;
+  RunOptions Opts = RunOptions::On(Sched);
+  Opts.StatsOut = &Stats;
+  uint64_t Before = Sched.stats().TasksCreated;
+  int R = runPar<D>(
+      [](ParCtx<D> Ctx) -> Par<int> {
+        (void)Ctx;
+        co_return 7;
+      },
+      Opts);
+  EXPECT_EQ(R, 7);
+  EXPECT_EQ(Stats.TasksCreated, Before + 1);
+  EXPECT_EQ(Sched.stats().TasksCreated, Before + 1);
+}
+
+TEST(RunOptionsTest, RunParThenFreezeOnFreezesResult) {
+  Scheduler Sched(SchedulerConfig{2});
+  auto Set = runParThenFreezeOn(Sched, [](ParCtx<D> Ctx) -> Par<
+                                            std::shared_ptr<ISet<int>>> {
+    auto S = newISet<int>(Ctx);
+    for (int I = 0; I < 5; ++I)
+      fork(Ctx, [S, I](ParCtx<D> C) -> Par<void> {
+        insert(C, *S, I);
+        co_return;
+      });
+    co_return S;
+  });
+  EXPECT_TRUE(Set->isFrozen());
+  EXPECT_EQ(Set->toSortedVector().size(), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// LVar/session telemetry counters
+//===----------------------------------------------------------------------===//
+
+#if LVISH_TELEMETRY
+TEST(TelemetryTest, PutAndNoOpJoinCountsAreExactSingleWorker) {
+  obs::resetTelemetry();
+  runPar<D>(
+      [](ParCtx<D> Ctx) -> Par<void> {
+        auto S = newISet<int>(Ctx);
+        for (int I = 0; I < 10; ++I)
+          insert(Ctx, *S, I); // 10 fresh puts.
+        for (int I = 0; I < 4; ++I)
+          insert(Ctx, *S, 3); // 4 no-op re-puts.
+        auto IV = newIVar<int>(Ctx);
+        put(Ctx, *IV, 1); // 1 fresh put.
+        put(Ctx, *IV, 1); // 1 equal re-put: no-op join.
+        co_return;
+      },
+      SchedulerConfig{1});
+  obs::TelemetrySnapshot T = obs::telemetrySnapshot();
+  EXPECT_EQ(T.count(obs::Event::Puts), 16u);
+  EXPECT_EQ(T.count(obs::Event::NoOpJoins), 5u);
+}
+
+TEST(TelemetryTest, HandlerAndThresholdWakeupCounts) {
+  obs::resetTelemetry();
+  runParIO<Eff::FullIO>(
+      [](ParCtx<Eff::FullIO> Ctx) -> Par<void> {
+        auto S = newISet<int>(Ctx);
+        auto Pool = newPool(Ctx);
+        auto Ctr = newCounter(Ctx);
+        addHandler(Ctx, Pool, *S,
+                   [Ctr](ParCtx<Eff::FullIO> C, const int &) -> Par<void> {
+                     incrCounter(C, *Ctr);
+                     co_return;
+                   });
+        for (int I = 0; I < 6; ++I)
+          insert(Ctx, *S, I);
+        co_await quiesce(Ctx, Pool);
+        EXPECT_EQ(freezeCounter(Ctx, *Ctr), 6u);
+        co_return;
+      },
+      SchedulerConfig{2});
+  obs::TelemetrySnapshot T = obs::telemetrySnapshot();
+  // One handler invocation per distinct element.
+  EXPECT_EQ(T.count(obs::Event::HandlerInvocations), 6u);
+  // Quiescence may or may not have had to wait, but if it waited the
+  // latency accumulator must have registered.
+  if (T.count(obs::Event::QuiesceWaits) > 0)
+    EXPECT_GT(T.QuiesceWaitNanos, 0u);
+}
+
+TEST(TelemetryTest, MemoHitAndMissCounts) {
+  obs::resetTelemetry();
+  runParIO<Eff::FullIO>(
+      [](ParCtx<Eff::FullIO> Ctx) -> Par<void> {
+        auto M = makeMemo<int>(
+            Ctx, [](ParCtx<Eff::ReadOnly>, int K) -> Par<int> {
+              co_return K + 1;
+            });
+        // Sequential single-worker calls: first of each key misses, the
+        // rest hit.
+        for (int I = 0; I < 9; ++I) {
+          int V = co_await getMemo(Ctx, M, I % 3);
+          EXPECT_EQ(V, I % 3 + 1);
+        }
+        co_return;
+      },
+      SchedulerConfig{1});
+  obs::TelemetrySnapshot T = obs::telemetrySnapshot();
+  EXPECT_EQ(T.count(obs::Event::MemoMisses), 3u);
+  EXPECT_EQ(T.count(obs::Event::MemoHits), 6u);
+}
+
+TEST(TelemetryTest, SpansAreRecorded) {
+  obs::clearSpans();
+  {
+    obs::Span S("outer");
+    obs::Span T("inner");
+  }
+  auto Log = obs::spanLog();
+  ASSERT_EQ(Log.size(), 2u);
+  // Destruction order: inner closes first.
+  EXPECT_EQ(Log[0].Name, "inner");
+  EXPECT_EQ(Log[1].Name, "outer");
+  EXPECT_GE(Log[1].DurationNanos, Log[0].DurationNanos);
+
+  // The chrome trace export contains both span names.
+  std::string Trace = obs::chromeTraceJson(nullptr);
+  obs::JsonValue Doc;
+  ASSERT_TRUE(obs::JsonValue::parse(Trace, Doc));
+  const obs::JsonValue *Events = Doc.find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  EXPECT_EQ(Events->Arr.size(), 2u);
+  obs::clearSpans();
+}
+#else
+// Compiled-out contract: the snapshot is an empty struct and Span carries
+// no state, so telemetry cannot perturb layout or timing.
+static_assert(std::is_empty_v<lvish::obs::TelemetrySnapshot>,
+              "disabled telemetry snapshot must be zero-size");
+static_assert(std::is_empty_v<lvish::obs::Span>,
+              "disabled Span must be zero-size");
+
+TEST(TelemetryTest, DisabledOpsAreNoOps) {
+  obs::count(obs::Event::Puts);
+  obs::addQuiesceWaitNanos(5);
+  obs::resetTelemetry();
+  { obs::Span S("ignored"); }
+  SUCCEED();
+}
+#endif
+
+//===----------------------------------------------------------------------===//
+// JSON round trip
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, WriterEscapesAndParserRoundTrips) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("text");
+  W.value("a\"b\\c\nd\te\x01f");
+  W.key("nums");
+  W.beginArray();
+  W.value(uint64_t{18446744073709551615ull});
+  W.value(0.125);
+  W.value(-3.5);
+  W.endArray();
+  W.key("flag");
+  W.value(true);
+  W.key("nothing");
+  W.null();
+  W.endObject();
+  std::string Doc = W.take();
+
+  obs::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(obs::JsonValue::parse(Doc, V, &Err)) << Err;
+  const obs::JsonValue *Text = V.find("text");
+  ASSERT_NE(Text, nullptr);
+  EXPECT_EQ(Text->Str, "a\"b\\c\nd\te\x01f");
+  const obs::JsonValue *Nums = V.find("nums");
+  ASSERT_NE(Nums, nullptr);
+  ASSERT_EQ(Nums->Arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(Nums->Arr[1].Num, 0.125);
+  EXPECT_DOUBLE_EQ(Nums->Arr[2].Num, -3.5);
+  EXPECT_TRUE(V.find("flag")->BoolV);
+  EXPECT_TRUE(V.find("nothing")->isNull());
+
+  // write() -> parse() is a fixpoint.
+  std::string Again = V.write();
+  obs::JsonValue V2;
+  ASSERT_TRUE(obs::JsonValue::parse(Again, V2, &Err)) << Err;
+  EXPECT_EQ(V2.write(), Again);
+}
+
+TEST(JsonTest, ParserHandlesUnicodeEscapes) {
+  obs::JsonValue V;
+  // BMP escape and a surrogate pair (U+1F600).
+  ASSERT_TRUE(obs::JsonValue::parse(
+      R"({"s":"é 😀"})", V));
+  const obs::JsonValue *S = V.find("s");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Str, "\xc3\xa9 \xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  obs::JsonValue V;
+  std::string Err;
+  EXPECT_FALSE(obs::JsonValue::parse("{", V, &Err));
+  EXPECT_FALSE(obs::JsonValue::parse("{\"a\":}", V, &Err));
+  EXPECT_FALSE(obs::JsonValue::parse("[1,]", V, &Err));
+  EXPECT_FALSE(obs::JsonValue::parse("tru", V, &Err));
+  EXPECT_FALSE(obs::JsonValue::parse("\"unterminated", V, &Err));
+}
+
+//===----------------------------------------------------------------------===//
+// BenchHarness document
+//===----------------------------------------------------------------------===//
+
+TEST(BenchHarnessTest, EmitsSchemaValidDocument) {
+  bench::BenchConfig Cfg;
+  Cfg.Reps = 3;
+  Cfg.Warmup = 0;
+  bench::BenchHarness H("unit_test", Cfg);
+  H.noteConfig("n", uint64_t{7});
+  int Calls = 0;
+  H.measure("noop", [&] { ++Calls; }).metric("calls", Calls);
+  EXPECT_EQ(Calls, 3);
+
+  Scheduler Sched(SchedulerConfig{1});
+  runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
+    (void)Ctx;
+    co_return;
+  });
+  H.recordStats(Sched.stats());
+
+  obs::JsonValue Doc;
+  std::string Err;
+  ASSERT_TRUE(obs::JsonValue::parse(H.toJson(), Doc, &Err)) << Err;
+  EXPECT_EQ(Doc.find("schema")->Str, "lvish-bench-v1");
+  EXPECT_EQ(Doc.find("name")->Str, "unit_test");
+  EXPECT_FALSE(Doc.find("git_rev")->Str.empty());
+  const obs::JsonValue *Series = Doc.find("series");
+  ASSERT_NE(Series, nullptr);
+  ASSERT_EQ(Series->Arr.size(), 1u);
+  EXPECT_EQ(Series->Arr[0].find("times_sec")->Arr.size(), 3u);
+  EXPECT_EQ(Doc.find("scheduler_stats")->find("tasks_created")->Num, 1.0);
+  EXPECT_TRUE(Doc.find("telemetry")->isObject());
+}
+
+} // namespace

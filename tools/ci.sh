@@ -6,12 +6,18 @@
 #
 #   debug    - Debug with the dynamic checkers (LVISH_CHECK=1): lattice
 #              laws, ParST disjointness shadow map, effect audit, plus the
-#              lvish-lint source scan, all as ctest cases.
+#              lvish-lint source scan (src/ and bench/), all as ctest
+#              cases.
 #   release  - the tier-1 configuration (RelWithDebInfo, checkers
 #              compiled out): what ROADMAP.md's verify command runs.
-#   tsan     - ThreadSanitizer (auto-selects the locked deque).
+#   tsan     - ThreadSanitizer (auto-selects the locked deque). Telemetry
+#              is compiled out here to prove the LVISH_TELEMETRY=0 build
+#              stays healthy (empty snapshot struct, no-op counters).
+#   bench    - smoke-runs every bench/ binary with --smoke --json and
+#              validates the emitted lvish-bench-v1 documents with
+#              tools/bench-report. Reuses the release build.
 #
-# Usage: tools/ci.sh [debug|release|tsan]...   (default: all three)
+# Usage: tools/ci.sh [debug|release|tsan|bench]...   (default: all four)
 #
 #===------------------------------------------------------------------------===#
 
@@ -20,7 +26,7 @@ cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(debug release tsan)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(debug release tsan bench)
 
 run_stage() {
   local name=$1; shift
@@ -38,17 +44,39 @@ for stage in "${STAGES[@]}"; do
   case "$stage" in
     debug)
       run_stage debug -DCMAKE_BUILD_TYPE=Debug
-      echo "==== [debug] lvish-lint over src/ ===="
-      ./build-ci-debug/tools/lvish-lint src
+      echo "==== [debug] lvish-lint over src/ and bench/ ===="
+      ./build-ci-debug/tools/lvish-lint src bench
       ;;
     release)
       run_stage release -DCMAKE_BUILD_TYPE=RelWithDebInfo
       ;;
     tsan)
-      run_stage tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLVISH_SANITIZE=thread
+      run_stage tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DLVISH_SANITIZE=thread -DLVISH_TELEMETRY=OFF
+      ;;
+    bench)
+      # Reuse the release tree when it exists; otherwise build it.
+      if [ ! -x build-ci-release/tools/bench-report ]; then
+        echo "==== [bench] building release tree ===="
+        cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          > build-ci-release.cfg.log 2>&1 || {
+          cat build-ci-release.cfg.log; exit 1; }
+        cmake --build build-ci-release -j "$JOBS"
+      fi
+      echo "==== [bench] smoke-running benches with --json ===="
+      mkdir -p build-ci-release/bench-json
+      for b in build-ci-release/bench/bench_*; do
+        name=$(basename "$b")
+        json="build-ci-release/bench-json/BENCH_${name#bench_}.json"
+        echo "---- $name --smoke --json $json ----"
+        "$b" --smoke --json "$json"
+      done
+      echo "==== [bench] validating emitted JSON ===="
+      ./build-ci-release/tools/bench-report validate \
+        build-ci-release/bench-json/*.json
       ;;
     *)
-      echo "unknown stage '$stage' (expected debug, release, or tsan)" >&2
+      echo "unknown stage '$stage' (expected debug, release, tsan, or bench)" >&2
       exit 2
       ;;
   esac

@@ -14,9 +14,9 @@
 /// on the offending line or the line directly above it):
 ///
 ///  * raw-sync     - raw std::thread/std::mutex/condition_variable outside
-///                   the scheduler, core, support, and checker layers. All
-///                   parallelism must flow through fork/Par so the effect
-///                   audit and cancellation polling see it.
+///                   the scheduler, core, support, telemetry, and checker
+///                   layers. All parallelism must flow through fork/Par so
+///                   the effect audit and cancellation polling see it.
 ///  * no-throw     - `throw` or `dynamic_cast` in library code. The
 ///                   library's error model is the deterministic fatalError
 ///                   abort; exceptions unwinding through coroutine frames
@@ -30,6 +30,10 @@
 ///                   addHandlerRaw) outside src/core and src/data. Library
 ///                   consumers must go through the ParCtx-taking wrappers
 ///                   so effect requirements and session checks apply.
+///  * bench-harness - an `int main` under bench/ in a file that never
+///                   mentions BenchHarness. Every bench must measure
+///                   through bench/BenchHarness.h so it emits the uniform
+///                   machine-readable BENCH_<name>.json.
 ///
 /// Usage: lvish-lint [--self-test] <file-or-dir>...
 /// Exits 1 if any violation is found.
@@ -63,7 +67,7 @@ const std::vector<Rule> &rules() {
       {"raw-sync",
        {"std::thread", "std::jthread", "std::mutex", "std::shared_mutex",
         "std::recursive_mutex", "std::condition_variable"},
-       {"/sched/", "/core/", "/support/", "/check/"},
+       {"/sched/", "/core/", "/support/", "/check/", "/obs/"},
        "parallelism and blocking must flow through the scheduler so the "
        "effect audit and cancellation polling see it"},
       {"no-throw",
@@ -201,6 +205,40 @@ bool lineSuppresses(const std::string &OrigLine, const Rule &R) {
   return OrigLine.find(Marker) != std::string::npos;
 }
 
+/// bench-harness is shape-based rather than token-based: it fires on the
+/// `int main` line of a bench/ source that never names BenchHarness.
+/// Returns the number of violations (0 or 1).
+int lintBenchHarness(const std::string &Path,
+                     const std::vector<std::string> &Orig,
+                     const std::vector<std::string> &Code, bool Quiet) {
+  static const Rule BenchRule = {
+      "bench-harness",
+      {},
+      {},
+      "bench executables must measure through bench/BenchHarness.h so "
+      "every bench emits a uniform BENCH_<name>.json"};
+  if (Path.find("bench/") == std::string::npos)
+    return 0;
+  size_t MainLine = std::string::npos;
+  for (size_t I = 0; I < Code.size(); ++I) {
+    if (hasToken(Code[I], "BenchHarness"))
+      return 0;
+    if (MainLine == std::string::npos && hasToken(Code[I], "int main"))
+      MainLine = I;
+  }
+  if (MainLine == std::string::npos)
+    return 0;
+  if (MainLine < Orig.size() && lineSuppresses(Orig[MainLine], BenchRule))
+    return 0;
+  if (MainLine > 0 && MainLine - 1 < Orig.size() &&
+      lineSuppresses(Orig[MainLine - 1], BenchRule))
+    return 0;
+  if (!Quiet)
+    std::fprintf(stderr, "%s:%zu: [%s] `int main`: %s\n", Path.c_str(),
+                 MainLine + 1, BenchRule.Name, BenchRule.Why);
+  return 1;
+}
+
 /// Lints one file's contents; returns the number of violations.
 int lintContents(const std::string &Path, const std::string &Contents,
                  bool Quiet = false) {
@@ -208,6 +246,7 @@ int lintContents(const std::string &Path, const std::string &Contents,
   std::vector<std::string> Orig = splitLines(Contents);
   std::vector<std::string> Code =
       splitLines(stripCommentsAndStrings(Contents));
+  Violations += lintBenchHarness(Path, Orig, Code, Quiet);
   for (const Rule &R : rules()) {
     if (pathAllowed(Path, R))
       continue;
@@ -296,6 +335,22 @@ int selfTest() {
          "ParCtx wrapper put is clean");
   Expect(lintContents("src/sim/X.cpp", "C.bumper();\n", true), 0,
          ".bump does not match longer identifiers");
+  Expect(lintContents("bench/bench_x.cpp", "int main() { return 0; }\n",
+                      true),
+         1, "bench-harness fires on a harness-less bench main");
+  Expect(lintContents("bench/bench_x.cpp",
+                      "int main(int C, char **V) {\n"
+                      "  lvish::bench::BenchHarness H(C, V, \"x\");\n"
+                      "}\n",
+                      true),
+         0, "bench-harness accepts a BenchHarness user");
+  Expect(lintContents("tools/x.cpp", "int main() { return 0; }\n", true), 0,
+         "bench-harness only looks under bench/");
+  Expect(lintContents("bench/bench_x.cpp",
+                      "// lvish-lint: allow(bench-harness)\n"
+                      "int main() { return 0; }\n",
+                      true),
+         0, "bench-harness suppression works");
   if (Failures == 0)
     std::printf("lvish-lint self-test: all checks passed\n");
   return Failures == 0 ? 0 : 1;
