@@ -16,6 +16,8 @@
 #include "src/check/CheckBase.h"
 #include "src/check/DisjointnessChecker.h"
 #include "src/check/EffectAuditor.h"
+#include "src/sched/FaultSignal.h"
+#include "src/sched/Scheduler.h"
 #include "src/support/Assert.h"
 
 #if LVISH_CHECK
@@ -24,6 +26,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <map>
 #include <mutex>
 
@@ -72,6 +75,15 @@ void reportViolation(ViolationKind Kind, const char *Checker,
   char Full[640];
   std::snprintf(Full, sizeof(Full), "[%s] determinism violation: %s",
                 Checker, Buf);
+  // Inside a session, an unhandled violation is contained like any other
+  // contract violation: record it as the session Fault and unwind the
+  // faulting task (unless we are already unwinding - throwing then would
+  // terminate).
+  if (Task *T = Scheduler::currentTask())
+    if (std::uncaught_exceptions() == 0)
+      lvish::detail::raiseSessionFault(T, FaultCode::CheckerViolation, Full);
+  // Outside any session there is no Fault channel to report through.
+  // lvish-lint: allow(fatal)
   fatalError(Full);
 }
 

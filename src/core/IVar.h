@@ -36,6 +36,7 @@ public:
   void putValue(const T &V, Task *Writer) {
     checkSession(Writer);
     check::auditEffect(Writer, check::FxPut, "IVar put");
+    fault::injectPoint(fault::Point::Put, Writer);
     obs::count(obs::Event::Puts);
     {
       std::lock_guard<std::mutex> Lock(WaitMutex);
@@ -46,11 +47,13 @@ public:
             return; // Idempotent repeat of the same write.
           }
         }
-        fatalError("multiple put to an IVar with conflicting values "
-                   "(lattice top reached)");
+        detail::raiseSessionFault(Writer, FaultCode::ConflictingPut,
+                                  "multiple put to an IVar with conflicting "
+                                  "values (lattice top reached)",
+                                  debugName());
       }
       if (isFrozen())
-        putAfterFreezeError();
+        putAfterFreezeError(Writer, this);
       Slot.emplace(V);
       Full = true;
     }
@@ -103,6 +106,14 @@ private:
 template <typename T, EffectSet E>
 std::shared_ptr<IVar<T>> newIVar(ParCtx<E> Ctx) {
   return std::make_shared<IVar<T>>(Ctx.sessionId());
+}
+
+/// Named variant: the name shows up as "lvar=<Name>" in fault diagnostics.
+template <typename T, EffectSet E>
+std::shared_ptr<IVar<T>> newIVar(ParCtx<E> Ctx, const char *Name) {
+  auto IV = std::make_shared<IVar<T>>(Ctx.sessionId());
+  IV->setDebugName(Name);
+  return IV;
 }
 
 /// `put :: HasPut e => IVar s a -> a -> Par e s ()`

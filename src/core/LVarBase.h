@@ -29,7 +29,9 @@
 #define LVISH_CORE_LVARBASE_H
 
 #include "src/check/EffectAuditor.h"
+#include "src/fault/FaultInject.h"
 #include "src/obs/Telemetry.h"
+#include "src/sched/FaultSignal.h"
 #include "src/sched/Scheduler.h"
 #include "src/sched/Task.h"
 #include "src/support/AsymmetricGate.h"
@@ -39,6 +41,8 @@
 #include <coroutine>
 #include <cstdio>
 #include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #ifdef LVISH_TRACE_DEBUG
@@ -68,6 +72,16 @@ public:
   /// HasFreeze effect requirement; runParThenFreeze calls it after session
   /// quiescence, which is the always-deterministic pattern.
   void markFrozen() { Frozen.store(true, std::memory_order_release); }
+
+  /// Optional debug name carried into fault diagnostics ("lvar=..." in
+  /// Fault messages). Set it right after construction, before the LVar is
+  /// shared with other tasks; reads at fault time take no lock.
+  void setDebugName(std::string Name) { DbgName = std::move(Name); }
+
+  /// The debug name, or null when none was set.
+  const char *debugName() const {
+    return DbgName.empty() ? nullptr : DbgName.c_str();
+  }
 
   /// ParkSite: forget a reaped waiter (only called at quiescence).
   void removeParkedTask(Task *T) override {
@@ -110,6 +124,10 @@ protected:
   bool parkGet(Task *T, std::coroutine_handle<> H, AwaiterT *A) {
     checkSession(T);
     check::auditEffect(T, check::FxGet, "blocking threshold read");
+    // LVISH_FAULTS park-point poll (no-op otherwise). A raise here throws
+    // out of await_suspend, which resumes the coroutine and rethrows in
+    // its body - reaching unhandled_exception as usual.
+    fault::injectPoint(fault::Point::Park, T);
     if (T->isCancelled()) {
       T->Sched->deferRetire(T);
       return true; // Suspend; the worker destroys the frame right after.
@@ -180,13 +198,19 @@ protected:
 private:
   std::atomic<bool> Frozen{false};
   uint64_t Session;
+  std::string DbgName;
 };
 
 /// Reports a state-changing put on a frozen LVar: the deterministic error
-/// of the quasi-deterministic fragment (Kuper et al., POPL 2014).
-[[noreturn]] inline void putAfterFreezeError() {
-  fatalError("put changed the state of a frozen LVar (quasi-determinism "
-             "violation)");
+/// of the quasi-deterministic fragment (Kuper et al., POPL 2014). Raised
+/// as a session Fault (code put_after_freeze) attributed to \p Writer and
+/// \p LV; aborts only outside a session.
+[[noreturn]] inline void putAfterFreezeError(Task *Writer,
+                                             const LVarBase *LV) {
+  detail::raiseSessionFault(Writer, FaultCode::PutAfterFreeze,
+                            "put changed the state of a frozen LVar "
+                            "(quasi-determinism violation)",
+                            LV ? LV->debugName() : nullptr);
 }
 
 } // namespace lvish

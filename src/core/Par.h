@@ -60,6 +60,8 @@
 
 #include "src/check/EffectAuditor.h"
 #include "src/core/Effects.h"
+#include "src/fault/FaultInject.h"
+#include "src/sched/FaultSignal.h"
 #include "src/sched/Scheduler.h"
 #include "src/support/Assert.h"
 
@@ -100,6 +102,16 @@ template <typename Promise> struct FinalAwaiter {
     Promise &P = H.promise();
     LVISH_TRACE("final %p cont=%p task=%p\n", H.address(),
                 P.Continuation.address(), (void *)P.OwnerTask);
+    Task *Cur = Scheduler::currentTask();
+    if (Cur && Cur->FaultPoisoned) {
+      // A FaultSignal unwound this coroutine (see FaultSignal.h): the
+      // session fault is recorded and the session is being cancelled, so
+      // retire the whole task here instead of resuming the continuation.
+      // onTaskFinished destroys the task's root frame, which transitively
+      // destroys H's frame; nothing below may touch either.
+      Cur->Sched->onTaskFinished(Cur);
+      return std::noop_coroutine();
+    }
     if (P.Continuation)
       return P.Continuation;
     Task *T = P.OwnerTask;
@@ -119,9 +131,22 @@ struct PromiseBase {
 
   std::suspend_always initial_suspend() const noexcept { return {}; }
 
-  void unhandled_exception() const {
-    fatalError("exception escaped a Par computation (lvish-cpp library "
-               "code never throws; check user code)");
+  void unhandled_exception() {
+    try {
+      throw; // lvish-lint: allow(no-throw) - rethrow to classify.
+    } catch (const FaultSignal &) {
+      // A contract violation already recorded the session fault (see
+      // FaultSignal.h); mark the task so the final awaiter retires it.
+      Task *T = Scheduler::currentTask();
+      assert(T && "FaultSignal outside a scheduled task");
+      if (T)
+        T->FaultPoisoned = true;
+    } catch (...) {
+      // User exceptions have no deterministic containment story; the
+      // legacy abort stands. lvish-lint: allow(fatal)
+      fatalError("exception escaped a Par computation (lvish-cpp library "
+                 "code never throws; check user code)");
+    }
   }
 };
 
@@ -318,6 +343,8 @@ inline Task *spawnTaskRoot(Scheduler &Sched, Par<void> P, Task *Parent) {
 template <EffectSet E, typename F> void fork(ParCtx<E> Ctx, F Body) {
   static_assert(std::is_invocable_r_v<Par<void>, F, ParCtx<E>>,
                 "fork body must be callable as Par<void>(ParCtx<E>)");
+  // LVISH_FAULTS allocation-failure shim (no-op otherwise).
+  fault::injectSpawn(Ctx.task());
   Par<void> P = detail::forkBody<E>(std::move(Body));
   Task *T = detail::installTaskRoot(*Ctx.sched(), std::move(P), Ctx.task());
   check::declareTaskEffects(T, check::effectMask(E));

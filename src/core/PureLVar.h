@@ -67,6 +67,7 @@ public:
   void putValue(const D &V, Task *Writer) {
     checkSession(Writer);
     check::auditEffect(Writer, check::FxPut, "PureLVar put");
+    fault::injectPoint(fault::Point::Put, Writer);
     obs::count(obs::Event::Puts);
     AsymmetricGate::FastGuard Gate(HandlerGate);
     bool Changed = false;
@@ -81,11 +82,13 @@ public:
       D Joined = L::join(State, V);
       if (!(Joined == State)) {
         if (isFrozen())
-          putAfterFreezeError();
+          putAfterFreezeError(Writer, this);
         if constexpr (LatticeWithTop<L>) {
           if (L::isTop(Joined))
-            fatalError("PureLVar put reached lattice top (conflicting "
-                       "writes)");
+            detail::raiseSessionFault(Writer, FaultCode::LatticeTop,
+                                      "PureLVar put reached lattice top "
+                                      "(conflicting writes)",
+                                      debugName());
         }
         State = Joined;
         Changed = true;
@@ -147,6 +150,8 @@ public:
           for (const D &A : Sets[I])
             for (const D &B : Sets[J])
               if (!L::isTop(L::join(A, B)))
+                // Static misuse of the API, not a session-scoped runtime
+                // contract violation. lvish-lint: allow(fatal)
                 fatalError("threshold trigger sets are not pairwise "
                            "incompatible; reads would be nondeterministic");
     }

@@ -26,8 +26,24 @@
 ///
 /// Sessions run to *full* quiescence before returning: every forked task
 /// has either finished or is permanently blocked (and is then reaped; see
-/// Scheduler.h). If the root itself never produced a value the program has
-/// a deterministic deadlock and runPar reports a fatal error.
+/// Scheduler.h).
+///
+/// Fault containment (DESIGN.md Section 8): runParOnImpl returns a
+/// ParOutcome - the body's value, or the session's deterministic Fault.
+/// A contract violation inside the session (conflicting put, put after
+/// freeze, cancelled-and-read future, checker violation, injected
+/// failure) records the lattice-least Fault on the scheduler, cancels the
+/// remaining tasks transitively through the session root's CancelNode,
+/// lets the session quiesce, and surfaces here. A root that never
+/// produced a value without any recorded fault is a deterministic
+/// deadlock, reported as a Fault too (code deadlock_drained when the root
+/// was the only leftover task, deadlock_leaked_tasks when other blocked
+/// tasks leaked with it).
+///
+/// The tryRunPar* family exposes the ParOutcome; the classic runPar*
+/// names keep their value-returning signatures as thin wrappers that
+/// funnel every failure through ONE abort choke point,
+/// ParOutcome::valueOrAbort.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,9 +52,12 @@
 
 #include "src/core/Par.h"
 #include "src/obs/SchedulerStats.h"
+#include "src/obs/Telemetry.h"
+#include "src/support/Fault.h"
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <type_traits>
 
 namespace lvish {
@@ -102,7 +121,34 @@ Par<void> rootBodyVoid(F Body, bool *Done) {
   *Done = true;
 }
 
+/// Builds the deadlock Fault for a session whose root never produced a
+/// value and never recorded a fault. \p Leftover counts every task reaped
+/// at quiescence, *including* the blocked root, so Leftover <= 1 means the
+/// scheduler fully drained (only the root was stuck) and Leftover > 1
+/// means other blocked tasks leaked alongside it - two different bugs in
+/// user code, hence two Fault codes.
+inline Fault makeDeadlockFault(size_t Leftover, uint64_t SessionId) {
+  Fault F;
+  F.Code = Leftover <= 1 ? FaultCode::DeadlockDrained
+                         : FaultCode::DeadlockLeakedTasks;
+  F.SessionId = SessionId;
+  F.Worker = -1;       // Detected on the session thread, not a worker.
+  F.Pedigree.clear();  // The root's pedigree is the empty path.
+  std::string Msg = "runPar: deterministic deadlock (the main computation "
+                    "blocked forever; ";
+  if (Leftover <= 1)
+    Msg += "scheduler drained: no other task remained";
+  else
+    Msg += std::to_string(Leftover - 1) + " other blocked task(s) leaked";
+  Msg += ") [code=";
+  Msg += faultCodeName(F.Code);
+  Msg += ", session=" + std::to_string(SessionId) + ", pedigree=<root>]";
+  F.Message = std::move(Msg);
+  return F;
+}
+
 /// The one session front door every runPar* wrapper funnels into.
+/// Returns the body's value or the session's deterministic Fault.
 template <EffectSet E, typename F>
 auto runParOnImpl(const RunOptions &Opts, F Body) {
   using RetPar = std::invoke_result_t<F, ParCtx<E>>;
@@ -114,16 +160,35 @@ auto runParOnImpl(const RunOptions &Opts, F Body) {
   Scheduler &Sched =
       Opts.Borrowed ? *Opts.Borrowed : Owned.emplace(Opts.Config);
 
+  uint64_t SessionId = 0;
+  size_t Leftover = 0;
   auto Launch = [&](Par<void> RootPar) {
     Task *Root = installTaskRoot(Sched, std::move(RootPar), nullptr);
-    Root->SessionId = Sched.newSessionId();
+    SessionId = Root->SessionId = Sched.newSessionId();
     Root->Cancel = std::make_shared<CancelNode>();
+    // Arm the fault scope with the root's CancelNode: a raised fault
+    // cancels the whole session transitively through it.
+    Sched.beginSessionFaultScope(Root->Cancel);
     check::declareTaskEffects(Root, check::effectMask(E));
     Sched.schedule(Root);
     Sched.waitSessionQuiescent();
-    Sched.finishSession();
+    Leftover = Sched.finishSession();
     if (Opts.StatsOut)
       *Opts.StatsOut = Sched.stats();
+  };
+
+  // Resolves the session's failure, if any: a recorded fault wins (even if
+  // the root produced a value before a sibling faulted); otherwise a
+  // root that never produced a value is a deterministic deadlock.
+  auto FinishFault = [&](bool Produced) -> std::optional<Fault> {
+    std::optional<Fault> Flt = Sched.takeSessionFault();
+    if (!Flt && !Produced) {
+      Flt = makeDeadlockFault(Leftover, SessionId);
+      obs::count(obs::Event::FaultsRaised); // Not routed via raiseFault.
+    }
+    if (Flt)
+      obs::count(obs::Event::FaultsContained);
+    return Flt;
   };
 
   if constexpr (std::is_void_v<R>) {
@@ -131,16 +196,14 @@ auto runParOnImpl(const RunOptions &Opts, F Body) {
            "FreezeOnExit requires the body to return an LVar handle");
     bool Done = false;
     Launch(rootBodyVoid<E>(std::move(Body), &Done));
-    if (!Done)
-      fatalError("runPar: deterministic deadlock (the main computation "
-                 "blocked forever)");
-    return;
+    if (std::optional<Fault> Flt = FinishFault(Done))
+      return ParOutcome<void>::failure(std::move(*Flt));
+    return ParOutcome<void>::success();
   } else {
     std::optional<R> Slot;
     Launch(rootBody<E, F, R>(std::move(Body), &Slot));
-    if (!Slot)
-      fatalError("runPar: deterministic deadlock (the main computation "
-                 "blocked forever)");
+    if (std::optional<Fault> Flt = FinishFault(Slot.has_value()))
+      return ParOutcome<R>::failure(std::move(*Flt));
     if constexpr (requires { (*Slot)->markFrozen(); }) {
       // The session is fully quiescent: freezing here cannot race a put.
       if (Opts.FreezeOnExit)
@@ -149,21 +212,64 @@ auto runParOnImpl(const RunOptions &Opts, F Body) {
       assert(!Opts.FreezeOnExit &&
              "FreezeOnExit requires the body to return an LVar handle");
     }
-    return std::move(*Slot);
+    return ParOutcome<R>::success(std::move(*Slot));
   }
 }
 
 } // namespace detail
 
-/// Runs \p Body with explicit options and returns its pure result (the
-/// most general deterministic entry point; the named wrappers below cover
-/// the common shapes).
+/// Runs \p Body and returns a ParOutcome: the body's pure result, or the
+/// session's deterministic Fault. The fault-aware front of the runPar
+/// family; every other entry point below derives from it.
 template <EffectSet E = Eff::Det, typename F>
-auto runPar(F Body, const RunOptions &Opts) {
+auto tryRunPar(F Body, const RunOptions &Opts) {
   static_assert(noFreeze(E) && noIO(E),
                 "runPar requires NoFreeze and NoIO; use runParIO or "
                 "runParThenFreeze");
   return detail::runParOnImpl<E>(Opts, std::move(Body));
+}
+
+/// tryRunPar on a fresh scheduler.
+template <EffectSet E = Eff::Det, typename F>
+auto tryRunPar(F Body, SchedulerConfig Config = SchedulerConfig()) {
+  RunOptions Opts;
+  Opts.Config = Config;
+  return tryRunPar<E>(std::move(Body), Opts);
+}
+
+/// tryRunPar on an existing scheduler (one session at a time).
+template <EffectSet E = Eff::Det, typename F>
+auto tryRunParOn(Scheduler &Sched, F Body) {
+  return tryRunPar<E>(std::move(Body), RunOptions::On(Sched));
+}
+
+/// Fault-aware runParIO: like tryRunPar but without the purity
+/// restriction (quasi-deterministic freezes and IO-bit operations
+/// allowed).
+template <EffectSet E = Eff::FullIO, typename F>
+auto tryRunParIO(F Body, const RunOptions &Opts) {
+  return detail::runParOnImpl<E>(Opts, std::move(Body));
+}
+
+template <EffectSet E = Eff::FullIO, typename F>
+auto tryRunParIO(F Body, SchedulerConfig Config = SchedulerConfig()) {
+  RunOptions Opts;
+  Opts.Config = Config;
+  return tryRunParIO<E>(std::move(Body), Opts);
+}
+
+template <EffectSet E = Eff::FullIO, typename F>
+auto tryRunParIOOn(Scheduler &Sched, F Body) {
+  return tryRunParIO<E>(std::move(Body), RunOptions::On(Sched));
+}
+
+/// Runs \p Body with explicit options and returns its pure result,
+/// aborting the process on any session Fault (the classic LVish
+/// signature). All failure paths funnel through ParOutcome::valueOrAbort,
+/// the single fatalError choke point of the library.
+template <EffectSet E = Eff::Det, typename F>
+auto runPar(F Body, const RunOptions &Opts) {
+  return tryRunPar<E>(std::move(Body), Opts).valueOrAbort();
 }
 
 /// Runs \p Body on a fresh scheduler and returns its pure result.
@@ -185,7 +291,7 @@ auto runParOn(Scheduler &Sched, F Body) {
 /// freezes and nondeterministic (IO-bit) operations are allowed.
 template <EffectSet E = Eff::FullIO, typename F>
 auto runParIO(F Body, const RunOptions &Opts) {
-  return detail::runParOnImpl<E>(Opts, std::move(Body));
+  return tryRunParIO<E>(std::move(Body), Opts).valueOrAbort();
 }
 
 template <EffectSet E = Eff::FullIO, typename F>
@@ -212,7 +318,7 @@ auto runParThenFreeze(F Body, SchedulerConfig Config = SchedulerConfig()) {
   RunOptions Opts;
   Opts.Config = Config;
   Opts.FreezeOnExit = true;
-  return detail::runParOnImpl<E>(Opts, std::move(Body));
+  return detail::runParOnImpl<E>(Opts, std::move(Body)).valueOrAbort();
 }
 
 /// runParThenFreeze on an existing scheduler.
@@ -223,7 +329,7 @@ auto runParThenFreezeOn(Scheduler &Sched, F Body) {
                 "explicitly");
   RunOptions Opts = RunOptions::On(Sched);
   Opts.FreezeOnExit = true;
-  return detail::runParOnImpl<E>(Opts, std::move(Body));
+  return detail::runParOnImpl<E>(Opts, std::move(Body)).valueOrAbort();
 }
 
 } // namespace lvish

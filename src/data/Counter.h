@@ -58,7 +58,7 @@ public:
       return;
     }
     if (isFrozen())
-      putAfterFreezeError();
+      putAfterFreezeError(Writer, this);
 #if LVISH_CHECK
     uint64_t Old = Value.fetch_add(Amount, std::memory_order_acq_rel);
     if (check::sampleHit())
@@ -154,7 +154,7 @@ public:
       return;
     }
     if (isFrozen())
-      putAfterFreezeError();
+      putAfterFreezeError(Writer, this);
 #if LVISH_CHECK
     uint64_t Old = Cells[I].V.fetch_add(Amount, std::memory_order_acq_rel);
     if (check::sampleHit())

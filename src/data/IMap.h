@@ -51,6 +51,7 @@ public:
   void insertKV(const K &Key, const V &Val, Task *Writer) {
     checkSession(Writer);
     check::auditEffect(Writer, check::FxPut, "IMap insert");
+    fault::injectPoint(fault::Point::Put, Writer);
     obs::count(obs::Event::Puts);
     AsymmetricGate::FastGuard Gate(HandlerGate);
     auto [Stored, Inserted] = Table.insert(Key, Val);
@@ -61,11 +62,13 @@ public:
           return; // Idempotent repeat.
         }
       }
-      fatalError("conflicting insert for an existing IMap key (per-key "
-                 "lattice top reached)");
+      detail::raiseSessionFault(Writer, FaultCode::ConflictingInsert,
+                                "conflicting insert for an existing IMap key "
+                                "(per-key lattice top reached)",
+                                debugName());
     }
     if (isFrozen())
-      putAfterFreezeError();
+      putAfterFreezeError(Writer, this);
     auto Snapshot = Handlers.load(std::memory_order_acquire);
     if (!Snapshot->empty()) {
       DeltaType Delta(Key, Val);
@@ -88,6 +91,7 @@ public:
   const V &modifyKey(const K &Key, FactoryT Factory, Task *Writer) {
     checkSession(Writer);
     check::auditEffect(Writer, check::FxPut, "IMap modifyKey");
+    fault::injectPoint(fault::Point::Put, Writer);
     if (const V *Existing = Table.find(Key))
       return *Existing;
     obs::count(obs::Event::Puts);
@@ -98,7 +102,7 @@ public:
       return *Stored; // Lost the race; the winner's value is canonical.
     }
     if (isFrozen())
-      putAfterFreezeError();
+      putAfterFreezeError(Writer, this);
     auto Snapshot = Handlers.load(std::memory_order_acquire);
     if (!Snapshot->empty()) {
       DeltaType Delta(Key, *Stored);

@@ -64,7 +64,7 @@ public:
       return;
     }
     if (isFrozen())
-      putAfterFreezeError();
+      putAfterFreezeError(Writer, this);
     auto Snapshot = Handlers.load(std::memory_order_acquire);
     for (const Handler &H : *Snapshot)
       H(Elem);

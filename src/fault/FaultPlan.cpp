@@ -1,0 +1,82 @@
+//===- FaultPlan.cpp - Seeded fault-injection plans -----------------------===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/fault/FaultPlan.h"
+
+#include "src/support/Fault.h"
+#include "src/support/Hashing.h"
+#include "src/support/Timer.h"
+
+#include <atomic>
+
+using namespace lvish;
+using namespace lvish::fault;
+
+namespace {
+
+FaultPlan GPlan;
+std::atomic<bool> GActive{false};
+
+/// Stable hash of a pedigree position. Uses the rendered depth too so a
+/// saturated 64-bit path still distinguishes deeper tasks.
+uint64_t hashPedigree(uint64_t PedPath, uint32_t PedDepth) {
+  return hashCombine(mix64(PedPath), PedDepth);
+}
+
+} // namespace
+
+void fault::setFaultPlan(const FaultPlan &Plan) {
+  GPlan = Plan;
+  GActive.store(true, std::memory_order_release);
+}
+
+void fault::clearFaultPlan() {
+  GActive.store(false, std::memory_order_release);
+}
+
+bool fault::planActive() {
+  return GActive.load(std::memory_order_acquire);
+}
+
+bool fault::shouldDoomTask(uint64_t PedPath, uint32_t PedDepth) {
+  if (!planActive())
+    return false;
+  if (GPlan.HaveFailPedigree)
+    return renderPedigree(PedPath, PedDepth) == GPlan.FailPedigree;
+  if (GPlan.FailHashPeriod)
+    return mix64(GPlan.Seed ^ hashPedigree(PedPath, PedDepth)) %
+               GPlan.FailHashPeriod ==
+           0;
+  return false;
+}
+
+bool fault::shouldFailSpawn(uint64_t PedPath, uint32_t PedDepth,
+                            uint64_t SpawnClock) {
+  if (!planActive() || GPlan.AllocFailPeriod == 0)
+    return false;
+  uint64_t H = hashCombine(GPlan.Seed ^ hashPedigree(PedPath, PedDepth),
+                           SpawnClock);
+  return H % GPlan.AllocFailPeriod == 0;
+}
+
+void fault::maybeDelay(Point P) {
+  if (!planActive() || GPlan.DelayPeriod == 0)
+    return;
+  // Thread-local clock: delays are jitter, not semantics, so they need no
+  // cross-schedule determinism - only a seed-dependent spread of where
+  // they land.
+  thread_local uint64_t DelayClock = 0;
+  uint64_t H = hashCombine(GPlan.Seed ^ (static_cast<uint64_t>(P) << 32),
+                           DelayClock++);
+  if (H % GPlan.DelayPeriod != 0)
+    return;
+  uint64_t Until = nowNanos() + GPlan.DelayNanos;
+  while (nowNanos() < Until) {
+    // Busy spin: short (microseconds), and sleeping would just hide the
+    // interleavings the delay is meant to expose.
+  }
+}

@@ -25,6 +25,12 @@ const char *obs::eventName(Event E) {
     return "memo_hits";
   case Event::MemoMisses:
     return "memo_misses";
+  case Event::FaultsRaised:
+    return "faults_raised";
+  case Event::FaultsContained:
+    return "faults_contained";
+  case Event::InjectedFaults:
+    return "injected_faults";
   }
   return "unknown";
 }

@@ -58,9 +58,12 @@ enum class Event : unsigned {
   Cancellations,      ///< cancel() requests delivered to a CancelNode.
   MemoHits,           ///< getMemo calls whose key was already requested.
   MemoMisses,         ///< getMemo calls that requested a fresh key.
+  FaultsRaised,       ///< Contract violations recorded as session Faults.
+  FaultsContained,    ///< Sessions that returned a Fault instead of a value.
+  InjectedFaults,     ///< Failures raised by the LVISH_FAULTS harness.
 };
 
-inline constexpr unsigned NumEvents = 8;
+inline constexpr unsigned NumEvents = 11;
 
 /// Stable lower-snake-case name, used as the JSON key in BENCH_*.json.
 const char *eventName(Event E);

@@ -2,11 +2,14 @@
 
 #include "src/sched/Scheduler.h"
 
+#include "src/fault/FaultPlan.h"
+#include "src/obs/Telemetry.h"
 #include "src/support/Assert.h"
 #include "src/support/Timer.h"
 
 #include <cassert>
 #include <cstdio>
+#include <utility>
 
 #ifdef LVISH_TRACE_DEBUG
 #define LVISH_TRACE3(...) std::fprintf(stderr, __VA_ARGS__)
@@ -25,6 +28,39 @@ thread_local unsigned WorkerIndexTL = ~0u;
 } // namespace
 
 Task *Scheduler::currentTask() { return CurrentTaskTL; }
+
+int Scheduler::currentWorkerIndex() {
+  return WorkerIndexTL == ~0u ? -1 : static_cast<int>(WorkerIndexTL);
+}
+
+void Scheduler::beginSessionFaultScope(
+    std::shared_ptr<CancelNode> SessionRoot) {
+  std::lock_guard<std::mutex> Lock(FaultMutex);
+  SessionFault.reset();
+  SessionCancelRoot = std::move(SessionRoot);
+}
+
+void Scheduler::raiseFault(Fault F) {
+  obs::count(obs::Event::FaultsRaised);
+  std::shared_ptr<CancelNode> Root;
+  {
+    std::lock_guard<std::mutex> Lock(FaultMutex);
+    if (!SessionFault || faultLess(F, *SessionFault))
+      SessionFault = std::move(F);
+    Root = SessionCancelRoot;
+  }
+  // Cancel outside FaultMutex: the cancel tree takes its own node locks.
+  if (Root)
+    Root->cancel();
+}
+
+std::optional<Fault> Scheduler::takeSessionFault() {
+  std::lock_guard<std::mutex> Lock(FaultMutex);
+  std::optional<Fault> F = std::move(SessionFault);
+  SessionFault.reset();
+  SessionCancelRoot.reset();
+  return F;
+}
 
 obs::WorkerCounters &Scheduler::myCounters() {
   if (WorkerSchedTL == this)
@@ -84,6 +120,18 @@ Task *Scheduler::createTask(std::coroutine_handle<> Root, Task *Parent) {
     T->Layers.reserve(Parent->Layers.size());
     for (auto &L : Parent->Layers)
       T->Layers.push_back(L->splitForChild());
+    // Fork-tree pedigree split, mirroring PedigreeState::splitForChild:
+    // the child descends Left from the parent's current position, the
+    // parent's continuation proceeds Right. Safe to mutate the parent
+    // here: fork runs on the parent's own thread.
+    T->PedPath = Parent->PedPath;
+    T->PedDepth = Parent->PedDepth;
+    T->pedAppend(0);
+    Parent->pedAppend(1);
+  }
+  if constexpr (fault::InjectionEnabled) {
+    if (fault::planActive())
+      T->InjectDoomed = fault::shouldDoomTask(T->PedPath, T->PedDepth);
   }
   T->scopesOnCreate();
   obs::WorkerCounters::bump(myCounters().TasksCreated);
@@ -272,6 +320,12 @@ Task *Scheduler::tryInjected() {
 
 Task *Scheduler::findWork(unsigned Index) {
   Worker &Me = *Workers[Index];
+  if constexpr (fault::InjectionEnabled) {
+    // Artificial scheduling jitter at the steal point (non-semantic: it
+    // perturbs interleavings, never outcomes).
+    if (fault::planActive())
+      fault::maybeDelay(fault::Point::Steal);
+  }
   if (Task *T = Me.Deque.pop()) {
     obs::WorkerCounters::bump(Me.Counters.LocalPops);
     return T;

@@ -33,6 +33,7 @@
 #include "src/sched/Task.h"
 #include "src/sched/Trace.h"
 #include "src/sched/WorkStealingDeque.h"
+#include "src/support/Fault.h"
 #include "src/support/SplitMix.h"
 
 #include <atomic>
@@ -42,6 +43,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -111,8 +113,27 @@ public:
   /// point) and returns how many were reaped.
   size_t finishSession();
 
+  /// Opens the session's fault scope: clears any previously recorded
+  /// fault and remembers the session root's cancellation node (what
+  /// raiseFault cancels). Called by runPar before scheduling the root.
+  void beginSessionFaultScope(std::shared_ptr<CancelNode> SessionRoot);
+
+  /// Records \p F as the session's fault - keeping whichever of the old
+  /// and new fault is least under faultLess, so the winner under a fault
+  /// race is deterministic - and transitively cancels the session via its
+  /// root CancelNode. Thread-safe; called from workers mid-violation.
+  void raiseFault(Fault F);
+
+  /// Takes (and clears) the fault recorded for the just-finished session,
+  /// if any. Called by runPar after finishSession.
+  std::optional<Fault> takeSessionFault();
+
   /// The task currently executing on this thread (null on non-workers).
   static Task *currentTask();
+
+  /// Worker index of the calling thread (on whichever scheduler owns it),
+  /// or -1 on non-worker threads. Diagnostic only.
+  static int currentWorkerIndex();
 
   /// Trace recorder, or null when tracing is disabled.
   TraceRecorder *trace() { return Tracing ? &Recorder : nullptr; }
@@ -190,6 +211,11 @@ private:
   // Session-quiescence handoff to the runPar caller.
   std::mutex SessionMutex;
   std::condition_variable SessionCV;
+
+  // Session fault scope (see beginSessionFaultScope/raiseFault).
+  std::mutex FaultMutex;
+  std::optional<Fault> SessionFault;
+  std::shared_ptr<CancelNode> SessionCancelRoot;
 
   // Registry of all live tasks (intrusive list through Task::RegPrev/Next).
   std::mutex RegistryMutex;

@@ -22,10 +22,12 @@
 
 #include "src/sched/CancelNode.h"
 #include "src/sched/ParkSite.h"
+#include "src/support/Fault.h"
 
 #include <coroutine>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace lvish {
@@ -108,6 +110,41 @@ public:
 
   /// Debug invariant: a task must never be enqueued twice concurrently.
   std::atomic<uint8_t> DebugQueued{0};
+
+  // -- Fork-tree pedigree (always on) -------------------------------------
+  // A compact twin of the PedigreeT transformer layer (trans/Pedigree.h):
+  // bit I of PedPath is the I-th branch taken from the session root, 0 =
+  // Left (a forked child), 1 = Right (the parent's continuation). Faults
+  // use it as the task's deterministic identity; the LVISH_FAULTS harness
+  // uses it to target injections. Maintained by Scheduler::createTask;
+  // mutating the parent there is safe because fork runs on the parent's
+  // own thread.
+  uint64_t PedPath = 0;
+  uint32_t PedDepth = 0;
+
+  /// Appends one branch (0 = Left, 1 = Right). Saturates at 64 recorded
+  /// bits but keeps counting depth (see renderPedigree).
+  void pedAppend(unsigned Bit) {
+    if (PedDepth < 64 && Bit)
+      PedPath |= (uint64_t{1} << PedDepth);
+    ++PedDepth;
+  }
+
+  /// This task's pedigree as an L/R string ("" = session root).
+  std::string pedigreeString() const {
+    return renderPedigree(PedPath, PedDepth);
+  }
+
+  // -- Fault containment (see src/sched/FaultSignal.h) --------------------
+  /// Set by PromiseBase::unhandled_exception when a FaultSignal unwound
+  /// this task's coroutine chain; the final awaiter then retires the task
+  /// instead of resuming a continuation.
+  bool FaultPoisoned = false;
+  /// LVISH_FAULTS: this task was chosen by the active FaultPlan and raises
+  /// an InjectedFailure at its next injection poll (put/park point).
+  bool InjectDoomed = false;
+  /// LVISH_FAULTS: per-task deterministic decision counter (spawn shims).
+  uint64_t InjectClock = 0;
 
   // -- Effect-audit bookkeeping (see src/check/EffectAuditor.h) -----------
   // Plain bytes so this header needs no core/check types; only the task's

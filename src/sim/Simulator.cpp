@@ -26,6 +26,8 @@ TaskGraph TaskGraph::fromTrace(const TraceRecorder &Trace) {
   }
   for (const TraceEdge &E : Trace.edges()) {
     if (E.Src >= N || E.Dst >= N)
+      // Offline-analysis invariant, outside any Par session.
+      // lvish-lint: allow(fatal)
       fatalError("trace edge out of range (trace read before completion?)");
     G.Succ[E.Src].push_back(E.Dst);
   }
@@ -78,6 +80,8 @@ uint64_t TaskGraph::criticalPathNanos() const {
     }
   }
   if (Queue.size() != N)
+    // Offline-analysis invariant, outside any Par session.
+    // lvish-lint: allow(fatal)
     fatalError("cycle in recorded task graph");
   return Longest;
 }
@@ -136,6 +140,8 @@ SimResult sim::simulate(const TaskGraph &Graph, unsigned Workers,
       Run.push_back(SplitWork(Id, Graph));
     }
     if (Run.empty())
+      // Offline-analysis invariant, outside any Par session.
+      // lvish-lint: allow(fatal)
       fatalError("simulator starved with unfinished slices (disconnected "
                  "or cyclic graph)");
 

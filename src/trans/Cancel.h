@@ -113,12 +113,12 @@ auto forkCancelableND(ParCtx<E> Ctx, F Body) {
 template <EffectSet E, typename T>
   requires(hasPut(E))
 void cancel(ParCtx<E> Ctx, const CFuture<T> &Future) {
-  (void)Ctx;
   obs::count(obs::Event::Cancellations);
   Future.node()->cancel();
   if (Future.node()->noteCancelConflict())
-    fatalError("a CFuture was both cancelled and read (order-independent "
-               "determinism error)");
+    detail::raiseSessionFault(Ctx.task(), FaultCode::CancelReadConflict,
+                              "a CFuture was both cancelled and read "
+                              "(order-independent determinism error)");
 }
 
 /// Blocking read of a cancellable future. Deterministic error if the
@@ -127,8 +127,9 @@ template <EffectSet E, typename T>
   requires(hasGet(E))
 Par<T> readCFuture(ParCtx<E> Ctx, CFuture<T> Future) {
   if (Future.node()->noteRead())
-    fatalError("a CFuture was both cancelled and read (order-independent "
-               "determinism error)");
+    detail::raiseSessionFault(Ctx.task(), FaultCode::CancelReadConflict,
+                              "a CFuture was both cancelled and read "
+                              "(order-independent determinism error)");
   T V = co_await get(Ctx, *Future.result());
   co_return V;
 }

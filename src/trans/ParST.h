@@ -90,6 +90,8 @@ public:
     shadowCheck(Data + I, 1);
     checkLive();
     if (I >= Len)
+      // ST-discipline breach: the abort is the deterministic outcome the
+      // DisjointnessChecker documents. lvish-lint: allow(fatal)
       fatalError("VecView access out of range");
     return Data[I];
   }
@@ -97,6 +99,7 @@ public:
     shadowCheck(Data + I, 1);
     checkLive();
     if (I >= Len)
+      // lvish-lint: allow(fatal)
       fatalError("VecView write out of range");
     Data[I] = V;
   }
@@ -129,8 +132,11 @@ public:
                   "access through a poisoned VecView (view generation "
                   "%llu); %s",
                   static_cast<unsigned long long>(MyGen), Desc);
+    // Poisoned-view access may race task teardown; abort, do not unwind.
+    // lvish-lint: allow(fatal)
     fatalError(Msg);
 #else
+    // lvish-lint: allow(fatal)
     fatalError("access through a poisoned VecView (the region is "
                "currently owned by forkSTSplit children, or its scope "
                "ended)");
@@ -243,6 +249,7 @@ template <typename T, EffectSet E, typename L, typename R>
 Par<void> forkSTSplit(ParCtx<E> Ctx, VecView<T> View, size_t Mid, L Left,
                       R Right) {
   if (Mid > View.size())
+    // Static misuse of the split API. lvish-lint: allow(fatal)
     fatalError("forkSTSplit: split point out of range");
   check::auditEffect(Ctx.task(), check::FxST, "forkSTSplit");
   T *Base = View.raw();
@@ -289,6 +296,7 @@ template <typename T, typename T2, EffectSet E, typename L, typename R>
 Par<void> forkSTSplit2(ParCtx<E> Ctx, VecView<T> A, size_t MidA,
                        VecView<T2> B, size_t MidB, L Left, R Right) {
   if (MidA > A.size() || MidB > B.size())
+    // lvish-lint: allow(fatal)
     fatalError("forkSTSplit2: split point out of range");
   check::auditEffect(Ctx.task(), check::FxST, "forkSTSplit2");
   T *BaseA = A.raw();
@@ -349,6 +357,7 @@ auto zoomIn(ParCtx<E> Ctx, VecView<T> View, size_t Begin, size_t End,
   return [](ParCtx<E> C, VecView<T> V, size_t B2, size_t E2,
             F Body2) -> Ret {
     if (B2 > E2 || E2 > V.size())
+      // lvish-lint: allow(fatal)
       fatalError("zoomIn: bad sub-range");
     check::auditEffect(C.task(), check::FxST, "zoomIn");
     T *Base = V.raw();

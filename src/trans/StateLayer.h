@@ -84,6 +84,8 @@ S &stateRef(ParCtx<E> Ctx) {
   using Node = detail::StateLayerNode<S, Tag>;
   LayerState *L = Ctx.task()->findLayer(Node::key());
   if (!L)
+    // Static misuse of the transformer stack, caught before any task
+    // could differ on it. lvish-lint: allow(fatal)
     fatalError("stateRef: no matching state layer in scope (withState "
                "missing from the transformer stack)");
   return static_cast<Node *>(L)->Value;

@@ -1,0 +1,256 @@
+//===- FaultStressTest.cpp - Seeded fault-injection determinism ------------===//
+//
+// The fault-containment acceptance harness (DESIGN.md Section 8): the same
+// program, run under many steal seeds, fault-plan seeds, and worker
+// counts, must produce the *identical* outcome every time - the same
+// value, or the same Fault (code + pedigree), with the process never
+// aborting.
+//
+// The outcome-identity sweeps always run (they need no injection); the
+// plan-driven tests are armed by configuring with -DLVISH_FAULTS=ON (the
+// `faults` stage of tools/ci.sh) and skip cleanly otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/core/LVish.h"
+#include "src/fault/FaultPlan.h"
+#include "src/obs/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace lvish;
+
+namespace {
+
+constexpr EffectSet D = Eff::Det;
+
+SchedulerConfig cfg(unsigned Workers, uint64_t StealSeed) {
+  SchedulerConfig C;
+  C.NumWorkers = Workers;
+  C.StealSeed = StealSeed;
+  return C;
+}
+
+const unsigned WorkerCounts[] = {1, 2, 4};
+const uint64_t PlanSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34, 55, 89}; // >= 8.
+
+/// Canonical comparable rendering of an outcome: the value, or the
+/// Fault's deterministic identity (code + pedigree + LVar name). The
+/// worker index and the message's diagnostic suffix are deliberately NOT
+/// part of the signature.
+std::string sig(const ParOutcome<int> &O) {
+  if (O.ok())
+    return "ok:" + std::to_string(O.value());
+  const Fault &F = O.fault();
+  return std::string("fault:") + faultCodeName(F.Code) + ":pedigree=" +
+         F.Pedigree + ":lvar=" + F.LVarName;
+}
+
+/// The canonical fork-tree program: forks \p Kids children off the root,
+/// child i filling slot i with i*i; the root sums all slots. With no plan
+/// installed this returns sum(i*i). Child i's creation pedigree is
+/// "R"*i + "L" (the root moves one R per fork; each child descends L).
+ParOutcome<int> fanOut(SchedulerConfig C, int Kids) {
+  return tryRunPar<D>(
+      [Kids](ParCtx<D> Ctx) -> Par<int> {
+        std::vector<std::shared_ptr<IVar<int>>> Slots;
+        for (int I = 0; I < Kids; ++I)
+          Slots.push_back(newIVar<int>(Ctx, "slot"));
+        for (int I = 0; I < Kids; ++I) {
+          auto Slot = Slots[static_cast<size_t>(I)];
+          auto Body = [Slot, I](ParCtx<D> C2) -> Par<void> {
+            put(C2, *Slot, I * I);
+            co_return;
+          };
+          fork(Ctx, Body);
+        }
+        int Sum = 0;
+        for (int I = 0; I < Kids; ++I)
+          Sum += co_await get(Ctx, *Slots[static_cast<size_t>(I)]);
+        co_return Sum;
+      },
+      C);
+}
+
+/// A contract-violating program: the first-forked child conflicts with
+/// the root's put, sequenced through a threshold read so the loser is
+/// fixed by dataflow. Expected outcome under any schedule:
+/// (conflicting_put, pedigree "L").
+ParOutcome<int> conflictProgram(SchedulerConfig C) {
+  return tryRunPar<D>(
+      [](ParCtx<D> Ctx) -> Par<int> {
+        auto IV = newIVar<int>(Ctx, "contested");
+        auto Body = [IV](ParCtx<D> C2) -> Par<void> {
+          int V = co_await get(C2, *IV);
+          put(C2, *IV, V + 1);
+        };
+        fork(Ctx, Body);
+        put(Ctx, *IV, 1);
+        co_return co_await get(Ctx, *IV);
+      },
+      C);
+}
+
+/// Runs \p Program over every worker count and every seed in PlanSeeds
+/// (used as steal seeds too) and asserts one identical outcome signature,
+/// which must equal \p Expected.
+template <typename ProgramT>
+void sweepIdentical(ProgramT Program, const std::string &Expected) {
+  for (unsigned W : WorkerCounts)
+    for (uint64_t S : PlanSeeds) {
+      ParOutcome<int> O = Program(cfg(W, S));
+      EXPECT_EQ(sig(O), Expected)
+          << "workers=" << W << " seed=" << S
+          << (O.ok() ? "" : (" msg: " + O.fault().Message));
+    }
+}
+
+// -- Always-on outcome-identity sweeps (no injection needed) ---------------
+
+TEST(FaultStressTest, ValueIdenticalAcrossWorkersAndSeeds) {
+  sweepIdentical([](SchedulerConfig C) { return fanOut(C, 6); },
+                 "ok:55"); // 0+1+4+9+16+25.
+}
+
+TEST(FaultStressTest, FaultIdenticalAcrossWorkersAndSeeds) {
+  sweepIdentical(conflictProgram,
+                 "fault:conflicting_put:pedigree=L:lvar=contested");
+}
+
+// -- Plan-driven injection (LVISH_FAULTS builds; the `faults` CI stage) ----
+
+TEST(FaultStressTest, TargetedFailureIdenticalAcrossSeeds) {
+  if constexpr (!fault::InjectionEnabled) {
+    GTEST_SKIP() << "configure with -DLVISH_FAULTS=ON";
+  } else {
+    // Doom exactly child #2 of the fan-out ("RRL"); every plan seed and
+    // every worker count must contain the identical Fault, even with the
+    // seeded delays perturbing the schedule around it.
+    for (unsigned W : WorkerCounts)
+      for (uint64_t S : PlanSeeds) {
+        fault::FaultPlan Plan;
+        Plan.Seed = S;
+        Plan.HaveFailPedigree = true;
+        Plan.FailPedigree = "RRL";
+        Plan.DelayPeriod = 3;
+        Plan.DelayNanos = 1000;
+        fault::PlanScope Scope(Plan);
+        ParOutcome<int> O = fanOut(cfg(W, S), 6);
+        EXPECT_EQ(sig(O), "fault:injected_failure:pedigree=RRL:lvar=")
+            << "workers=" << W << " seed=" << S;
+      }
+  }
+}
+
+TEST(FaultStressTest, DelayOnlyPlanPreservesValues) {
+  if constexpr (!fault::InjectionEnabled) {
+    GTEST_SKIP() << "configure with -DLVISH_FAULTS=ON";
+  } else {
+    // Pure schedule perturbation: delays at steal/park/put points must
+    // never change the value (they are non-semantic by construction).
+    for (uint64_t S : PlanSeeds) {
+      fault::FaultPlan Plan;
+      Plan.Seed = S;
+      Plan.DelayPeriod = 2;
+      Plan.DelayNanos = 2000;
+      fault::PlanScope Scope(Plan);
+      ParOutcome<int> O = fanOut(cfg(4, S), 6);
+      EXPECT_EQ(sig(O), "ok:55") << "seed=" << S;
+    }
+  }
+}
+
+TEST(FaultStressTest, ChaosPlanOutcomesAreWellFormed) {
+  if constexpr (!fault::InjectionEnabled) {
+    GTEST_SKIP() << "configure with -DLVISH_FAULTS=ON";
+  } else {
+    // Chaos mode dooms tasks by seeded pedigree hash. When several doomed
+    // tasks race, cancellation may keep some from reaching their raise
+    // point, so the *winning* fault is not schedule-identical (DESIGN.md
+    // Section 8); what IS guaranteed is a well-formed outcome: the exact
+    // fan-out value, or a contained injected failure. Never an abort.
+    for (uint64_t S : PlanSeeds) {
+      fault::FaultPlan Plan;
+      Plan.Seed = S;
+      Plan.FailHashPeriod = 2; // Doom roughly every second task.
+      fault::PlanScope Scope(Plan);
+      ParOutcome<int> O = fanOut(cfg(4, S), 6);
+      if (O.ok()) {
+        EXPECT_EQ(O.value(), 55) << "seed=" << S;
+      } else {
+        EXPECT_EQ(O.fault().Code, FaultCode::InjectedFailure)
+            << "seed=" << S << " msg: " << O.fault().Message;
+        EXPECT_NE(O.fault().Message.find("injected"), std::string::npos);
+      }
+    }
+    // Same seed, same worker count: the doom set is a pure function of
+    // the plan, so repeated runs of the single-doomed-task configuration
+    // stay identical (covered by TargetedFailureIdenticalAcrossSeeds);
+    // here we only re-run one chaos seed to confirm containment holds
+    // under repetition.
+    fault::FaultPlan Plan;
+    Plan.Seed = 7;
+    Plan.FailHashPeriod = 2;
+    for (int I = 0; I < 4; ++I) {
+      fault::PlanScope Scope(Plan);
+      ParOutcome<int> O = fanOut(cfg(4, 7), 6);
+      EXPECT_TRUE(O.ok() || O.fault().Code == FaultCode::InjectedFailure);
+    }
+  }
+}
+
+TEST(FaultStressTest, SpawnAllocationFailureIsDeterministic) {
+  if constexpr (!fault::InjectionEnabled) {
+    GTEST_SKIP() << "configure with -DLVISH_FAULTS=ON";
+  } else {
+    // AllocFailPeriod = 1 fails every spawn: the root's very first fork
+    // raises in the root (pedigree ""), identically for every seed and
+    // worker count.
+    for (unsigned W : WorkerCounts)
+      for (uint64_t S : PlanSeeds) {
+        fault::FaultPlan Plan;
+        Plan.Seed = S;
+        Plan.AllocFailPeriod = 1;
+        fault::PlanScope Scope(Plan);
+        ParOutcome<int> O = fanOut(cfg(W, S), 6);
+        EXPECT_EQ(sig(O), "fault:injected_failure:pedigree=:lvar=")
+            << "workers=" << W << " seed=" << S;
+      }
+  }
+}
+
+// The discarded branch of a non-template `if constexpr` is still
+// semantically checked, and the telemetry-off TelemetrySnapshot has no
+// count(); this one needs the preprocessor.
+#if LVISH_TELEMETRY
+TEST(FaultStressTest, InjectionCountsInTelemetry) {
+  if constexpr (!fault::InjectionEnabled) {
+    GTEST_SKIP() << "configure with -DLVISH_FAULTS=ON";
+  } else {
+    obs::TelemetrySnapshot Before = obs::telemetrySnapshot();
+    fault::FaultPlan Plan;
+    Plan.Seed = 3;
+    Plan.HaveFailPedigree = true;
+    Plan.FailPedigree = "L";
+    fault::PlanScope Scope(Plan);
+    ParOutcome<int> O = fanOut(cfg(2, 3), 3);
+    EXPECT_FALSE(O.ok());
+    obs::TelemetrySnapshot After = obs::telemetrySnapshot();
+    EXPECT_GE(After.count(obs::Event::InjectedFaults),
+              Before.count(obs::Event::InjectedFaults) + 1);
+    EXPECT_GE(After.count(obs::Event::FaultsRaised),
+              Before.count(obs::Event::FaultsRaised) + 1);
+    EXPECT_GE(After.count(obs::Event::FaultsContained),
+              Before.count(obs::Event::FaultsContained) + 1);
+  }
+}
+#else
+TEST(FaultStressTest, InjectionCountsInTelemetry) {
+  GTEST_SKIP() << "configure with -DLVISH_TELEMETRY=ON";
+}
+#endif
+
+} // namespace

@@ -1,5 +1,6 @@
 //===- SupportTest.cpp - Support utilities tests ---------------------------===//
 
+#include "src/support/Assert.h"
 #include "src/support/AsymmetricGate.h"
 #include "src/support/DenseBitset.h"
 #include "src/support/Hashing.h"
@@ -10,8 +11,13 @@
 
 #include <atomic>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 using namespace lvish;
 
@@ -181,5 +187,57 @@ TEST(AsymmetricGate, NestedFastSectionsDoNotSelfDeadlock) {
   }
   SUCCEED();
 }
+
+// -- fatalError ------------------------------------------------------------
+
+/// Helper scenario, only armed via LVISH_TEST_DOUBLE_FATAL in a child
+/// process: two barrier-synced threads hit fatalError at the same moment.
+/// The contract (Assert.h) is that the message prints exactly once even
+/// under concurrent failure; the parent test below counts the lines.
+TEST(FatalError, DoubleFatalChildScenario) {
+  if (!std::getenv("LVISH_TEST_DOUBLE_FATAL"))
+    GTEST_SKIP() << "helper; driven by ConcurrentFatalPrintsExactlyOnce";
+  std::atomic<int> Ready{0};
+  auto Racer = [&Ready](const char *Msg) {
+    Ready.fetch_add(1);
+    while (Ready.load() < 2) {
+    }
+    fatalError(Msg);
+  };
+  std::thread A(Racer, "concurrent failure A");
+  std::thread B(Racer, "concurrent failure B");
+  A.join(); // Never reached: both racers abort the process.
+  B.join();
+}
+
+#ifdef __linux__
+TEST(FatalError, ConcurrentFatalPrintsExactlyOnce) {
+  // Resolve our own binary here: /proc/self/exe inside the popen command
+  // would name the shell, not this test.
+  char Exe[4096];
+  ssize_t Len = readlink("/proc/self/exe", Exe, sizeof(Exe) - 1);
+  ASSERT_GT(Len, 0);
+  Exe[Len] = '\0';
+  std::string Cmd =
+      std::string("LVISH_TEST_DOUBLE_FATAL=1 '") + Exe +
+      "' --gtest_filter=FatalError.DoubleFatalChildScenario 2>&1";
+  FILE *P = popen(Cmd.c_str(), "r");
+  ASSERT_NE(P, nullptr);
+  std::string Out;
+  char Buf[256];
+  while (size_t N = std::fread(Buf, 1, sizeof(Buf), P))
+    Out.append(Buf, N);
+  int Status = pclose(P);
+  EXPECT_NE(Status, 0) << "the double-fatal child should have aborted";
+  size_t Count = 0;
+  for (size_t Pos = 0;
+       (Pos = Out.find("lvish fatal error", Pos)) != std::string::npos;
+       ++Pos)
+    ++Count;
+  EXPECT_EQ(Count, 1u) << "expected exactly one fatal report, got:\n"
+                       << Out;
+  EXPECT_NE(Out.find("concurrent failure"), std::string::npos) << Out;
+}
+#endif // __linux__
 
 } // namespace

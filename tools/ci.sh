@@ -16,8 +16,14 @@
 #   bench    - smoke-runs every bench/ binary with --smoke --json and
 #              validates the emitted lvish-bench-v1 documents with
 #              tools/bench-report. Reuses the release build.
+#   faults   - RelWithDebInfo with the fault-injection harness armed
+#              (LVISH_FAULTS=ON): FaultStressTest drives seeded task
+#              failures, delays, and allocation-failure shims across >= 8
+#              seeds and several worker counts, asserting the contained
+#              outcomes are identical, then the full suite re-runs to
+#              prove injection hooks do not perturb passing programs.
 #
-# Usage: tools/ci.sh [debug|release|tsan|bench]...   (default: all four)
+# Usage: tools/ci.sh [debug|release|tsan|bench|faults]...  (default: all five)
 #
 #===------------------------------------------------------------------------===#
 
@@ -26,7 +32,7 @@ cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(debug release tsan bench)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(debug release tsan bench faults)
 
 run_stage() {
   local name=$1; shift
@@ -75,8 +81,13 @@ for stage in "${STAGES[@]}"; do
       ./build-ci-release/tools/bench-report validate \
         build-ci-release/bench-json/*.json
       ;;
+    faults)
+      run_stage faults -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLVISH_FAULTS=ON
+      echo "==== [faults] seeded fault-injection stress ===="
+      ./build-ci-faults/tests/FaultStressTest
+      ;;
     *)
-      echo "unknown stage '$stage' (expected debug, release, tsan, or bench)" >&2
+      echo "unknown stage '$stage' (expected debug, release, tsan, bench, or faults)" >&2
       exit 2
       ;;
   esac

@@ -30,6 +30,12 @@
 ///                   addHandlerRaw) outside src/core and src/data. Library
 ///                   consumers must go through the ParCtx-taking wrappers
 ///                   so effect requirements and session checks apply.
+///  * fatal        - direct `fatalError` outside src/support/. Since the
+///                   fault-containment rework, contract violations must
+///                   report through detail::raiseSessionFault so sessions
+///                   return a deterministic Fault; the only sanctioned
+///                   abort path is ParOutcome::valueOrAbort (in
+///                   src/support/Fault.h, the exempt layer).
 ///  * bench-harness - an `int main` under bench/ in a file that never
 ///                   mentions BenchHarness. Every bench must measure
 ///                   through bench/BenchHarness.h so it emits the uniform
@@ -80,6 +86,12 @@ const std::vector<Rule> &rules() {
        {"/core/", "/trans/"},
        "forging a stronger ParCtx bypasses the static effect discipline; "
        "only trusted transformer internals may bless effects"},
+      {"fatal",
+       {"fatalError"},
+       {"/support/"},
+       "contract violations must report through detail::raiseSessionFault "
+       "so sessions contain them as deterministic Faults; the only "
+       "sanctioned abort path is ParOutcome::valueOrAbort"},
       {"state-bypass",
        {".putValue", "->putValue", ".insertElem", "->insertElem",
         ".insertKV", "->insertKV", ".bump", "->bump", ".bumpAt", "->bumpAt",
@@ -335,6 +347,16 @@ int selfTest() {
          "ParCtx wrapper put is clean");
   Expect(lintContents("src/sim/X.cpp", "C.bumper();\n", true), 0,
          ".bump does not match longer identifiers");
+  Expect(lintContents("src/sim/X.cpp", "fatalError(\"boom\");\n", true), 1,
+         "fatal fires on direct fatalError outside support");
+  Expect(lintContents("src/support/Fault.h", "fatalError(Msg);\n", true), 0,
+         "fatal allows the support layer");
+  Expect(lintContents("src/core/X.h",
+                      "// lvish-lint: allow(fatal)\nfatalError(\"boom\");\n",
+                      true),
+         0, "fatal suppression works");
+  Expect(lintContents("src/core/X.h", "myFatalErrorCount++;\n", true), 0,
+         "fatal respects identifier boundaries");
   Expect(lintContents("bench/bench_x.cpp", "int main() { return 0; }\n",
                       true),
          1, "bench-harness fires on a harness-less bench main");
