@@ -177,6 +177,10 @@ protected:
     }
     if (!ToWake.empty())
       obs::count(obs::Event::ThresholdWakeups, ToWake.size());
+    // A multi-task wakeup is a scheduling decision point: in explore mode
+    // the controller chooses the release order (null check otherwise).
+    if (ToWake.size() > 1)
+      ToWake.front()->Sched->explorePermuteWakes(ToWake);
     for (Task *T : ToWake) {
       LVISH_TRACE2("notify lv=%p wake task=%p resume=%p\n", (void *)this,
                    (void *)T, T->Resume.address());

@@ -97,6 +97,20 @@ struct RunOptions {
     O.StatsOut = &Out;
     return O;
   }
+
+  /// Options that run the session in controlled-scheduling (explore) mode:
+  /// no OS worker threads; \p Ctl decides every scheduling step across
+  /// \p VirtualWorkers virtual workers (DESIGN.md Section 12). Compose with
+  /// the tryRunPar* entry points so a schedule-dependent fault surfaces as
+  /// a ParOutcome instead of aborting the search. One session per
+  /// controller at a time.
+  static RunOptions Explore(explore::ScheduleCtl &Ctl,
+                            unsigned VirtualWorkers = 2) {
+    RunOptions O;
+    O.Config.NumWorkers = VirtualWorkers;
+    O.Config.Explore = &Ctl;
+    return O;
+  }
 };
 
 namespace detail {
@@ -306,6 +320,19 @@ auto runParIOOn(Scheduler &Sched, F Body) {
   return runParIO<E>(std::move(Body), RunOptions::On(Sched));
 }
 
+/// Fault-aware runParThenFreeze: quiesce, freeze the returned LVar handle
+/// on the way out, and surface any session Fault as a ParOutcome. The
+/// explorer uses this to search freeze-free programs whose results are
+/// read through the exit freeze.
+template <EffectSet E = Eff::Det, typename F>
+auto tryRunParThenFreeze(F Body, RunOptions Opts = RunOptions()) {
+  static_assert(noFreeze(E) && noIO(E),
+                "the computation under runParThenFreeze must not freeze "
+                "explicitly");
+  Opts.FreezeOnExit = true;
+  return detail::runParOnImpl<E>(Opts, std::move(Body));
+}
+
 /// Runs \p Body (which returns a shared_ptr to an LVar data structure),
 /// waits for full quiescence, then freezes the structure "on the way out"
 /// so its exact contents can be read - the always-deterministic freezing
@@ -319,6 +346,14 @@ auto runParThenFreeze(F Body, SchedulerConfig Config = SchedulerConfig()) {
   Opts.Config = Config;
   Opts.FreezeOnExit = true;
   return detail::runParOnImpl<E>(Opts, std::move(Body)).valueOrAbort();
+}
+
+/// runParThenFreeze with explicit options (explore mode, stats, borrowed
+/// scheduler); aborts on a session Fault like the classic signature.
+template <EffectSet E = Eff::Det, typename F>
+auto runParThenFreeze(F Body, RunOptions Opts) {
+  return tryRunParThenFreeze<E>(std::move(Body), std::move(Opts))
+      .valueOrAbort();
 }
 
 /// runParThenFreeze on an existing scheduler.

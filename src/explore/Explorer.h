@@ -1,0 +1,295 @@
+//===- Explorer.h - Schedule search, enumeration, shrinking -----*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Search drivers over the schedule engines (SchedulePlan.h): run a
+/// program under many controlled schedules looking for a run whose
+/// ParOutcome is a Fault, then shrink the failing decision log and report
+/// a compact replay string that reproduces the failure bit-for-bit.
+///
+/// A "program" here is any callable RunOptions -> ParOutcome<T>, i.e. a
+/// thin wrapper that calls tryRunPar/tryRunParIO with a body of whatever
+/// effect level it wants - the drivers only need ok()/fault():
+///
+///   ParOutcome<int> prog(const RunOptions &O) {
+///     return tryRunParIO<Eff::FullIO>(body, O);
+///   }
+///   auto R = explore::searchPct(prog);                // <= 500 schedules
+///   if (R.Failure)
+///     FAIL() << R.Failure->Replay;                    // paste into a test
+///
+/// Three strategies:
+///  * searchRandom  - uniform seeded schedules, seeds Seed, Seed+1, ...
+///  * searchPct     - PCT-style priority schedules (better bug-depth
+///                    guarantees for races needing few ordering points).
+///  * enumerateBounded - DFS over *all* schedules whose preemption count
+///                    is <= PreemptionBound (Musuvathi & Qadeer's
+///                    iterative context bounding): most races need very
+///                    few preemptions, so a tiny bound covers the
+///                    interesting space of a small program exhaustively.
+///
+/// The program must be re-runnable: each schedule runs it in a fresh
+/// session (faults compose as ParOutcome values, never aborts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_EXPLORE_EXPLORER_H
+#define LVISH_EXPLORE_EXPLORER_H
+
+#include "src/core/RunPar.h"
+#include "src/explore/SchedulePlan.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lvish {
+namespace explore {
+
+/// Options for this session's engine: NumWorkers mirrors the engine's
+/// virtual worker count so RunOptions::Explore sizes the scheduler right.
+inline RunOptions sessionOptions(Engine &E) {
+  return RunOptions::Explore(E, E.virtualWorkers());
+}
+
+/// Search knobs; the defaults match the smoke profile ci.sh uses.
+struct SearchOptions {
+  unsigned VirtualWorkers = 2;
+  uint64_t Seed = 0x6c76697368ULL; // "lvish"
+  /// Schedule budget for the random/PCT searches (the --schedules N of
+  /// the harness; tests read LVISH_EXPLORE_SCHEDULES to override).
+  unsigned Schedules = 500;
+  unsigned PctChangePoints = 3;
+  /// Preemption bound for enumerateBounded.
+  unsigned PreemptionBound = 2;
+  /// Minimize a failing log before reporting it.
+  bool Shrink = true;
+  /// Safety valve for enumerateBounded on unexpectedly large programs.
+  unsigned MaxExhaustive = 100000;
+};
+
+/// A failing schedule, post-shrink.
+struct FoundFailure {
+  Fault F;
+  /// Replay string reproducing the failure (shrunk when Shrink was set);
+  /// decodeReplay + Engine::replay re-runs it bit-for-bit.
+  std::string Replay;
+  /// Which schedule (0-based) of the search first failed.
+  unsigned ScheduleIndex = 0;
+  /// Candidate replays executed while shrinking.
+  unsigned ShrinkRuns = 0;
+};
+
+struct SearchResult {
+  unsigned SchedulesRun = 0;
+  uint64_t StepsTotal = 0;
+  uint64_t DecisionsTotal = 0;
+  /// enumerateBounded only: the whole bounded space was covered (always
+  /// false when a failure stopped the search early).
+  bool Exhausted = false;
+  std::optional<FoundFailure> Failure;
+};
+
+/// The deterministic identity of a failure: same code at the same
+/// fork-tree position. Message text (which embeds worker ids) and
+/// diagnostics stay out of it.
+inline std::string failureSig(const Fault &F) {
+  std::string S = faultCodeName(F.Code);
+  S += '@';
+  S += F.Pedigree.empty() ? "<root>" : F.Pedigree.c_str();
+  return S;
+}
+
+namespace detail {
+
+/// Runs \p Program once under \p Eng; returns its fault, if any.
+template <typename F> std::optional<Fault> runOnce(F &Program, Engine &Eng) {
+  auto Out = Program(sessionOptions(Eng));
+  if (Out.ok())
+    return std::nullopt;
+  return Out.fault();
+}
+
+/// Greedy shrink of a failing decision log. Two passes:
+///  1. chunk zeroing (delta-debugging flavored): try replacing windows of
+///     decisions with 0 (the replay default), halving the window size;
+///  2. tail trim: drop trailing zeros (out-of-log decisions already
+///     default to 0, so this is a pure representation shrink).
+/// A candidate is kept only when it still fails with the same failureSig.
+/// Returns the final log plus the pedigree hash of its verifying run.
+template <typename F>
+FoundFailure shrinkFailure(F &Program, unsigned Workers,
+                           std::vector<uint32_t> Log, Fault Seed) {
+  FoundFailure Found;
+  std::string WantSig = failureSig(Seed);
+  Found.F = std::move(Seed);
+  uint64_t FinalHash = 0;
+
+  auto StillFails = [&](const std::vector<uint32_t> &Cand,
+                        uint64_t *HashOut) {
+    Engine Eng = Engine::replay(Cand, Workers);
+    obs::count(obs::Event::ExploreShrinkRuns);
+    ++Found.ShrinkRuns;
+    std::optional<Fault> Flt = runOnce(Program, Eng);
+    if (!Flt || failureSig(*Flt) != WantSig)
+      return false;
+    if (HashOut)
+      *HashOut = Eng.pedigreeHash();
+    return true;
+  };
+
+  // Pass 1: zero ever-smaller windows while the failure persists.
+  for (size_t Window = Log.size(); Window >= 1; Window /= 2) {
+    for (size_t Start = 0; Start < Log.size(); Start += Window) {
+      size_t End = Start + Window < Log.size() ? Start + Window : Log.size();
+      bool AnyNonZero = false;
+      for (size_t I = Start; I < End; ++I)
+        AnyNonZero |= Log[I] != 0;
+      if (!AnyNonZero)
+        continue;
+      std::vector<uint32_t> Cand = Log;
+      for (size_t I = Start; I < End; ++I)
+        Cand[I] = 0;
+      if (StillFails(Cand, nullptr))
+        Log = std::move(Cand);
+    }
+    if (Window == 1)
+      break;
+  }
+  // Pass 2: trailing zeros are representation-only (replay defaults to 0
+  // past the log), so drop them without re-running.
+  while (!Log.empty() && Log.back() == 0)
+    Log.pop_back();
+
+  // Verifying run: must fail (the log came from passes that re-checked
+  // it, or from the unshrunk original), and pins the replay hash.
+  bool Verified = StillFails(Log, &FinalHash);
+  assert(Verified && "shrunk log stopped failing on the verify run");
+  (void)Verified;
+
+  ReplaySpec Spec;
+  Spec.VirtualWorkers = Workers;
+  Spec.Decisions = std::move(Log);
+  Spec.PedHash = FinalHash;
+  Found.Replay = encodeReplay(Spec);
+  return Found;
+}
+
+} // namespace detail
+
+/// Seeded schedule search; \p UsePct selects PCT priorities over uniform
+/// random. Stops at the first failing schedule.
+template <typename F>
+SearchResult search(F Program, const SearchOptions &O, bool UsePct) {
+  SearchResult R;
+  for (unsigned I = 0; I < O.Schedules; ++I) {
+    Engine Eng = UsePct ? Engine::pct(O.Seed + I, O.VirtualWorkers,
+                                      O.PctChangePoints)
+                        : Engine::random(O.Seed + I, O.VirtualWorkers);
+    std::optional<Fault> Flt = detail::runOnce(Program, Eng);
+    ++R.SchedulesRun;
+    R.StepsTotal += Eng.steps();
+    R.DecisionsTotal += Eng.log().size();
+    if (!Flt)
+      continue;
+    FoundFailure Found =
+        O.Shrink ? detail::shrinkFailure(Program, O.VirtualWorkers,
+                                         Eng.chosen(), std::move(*Flt))
+                 : FoundFailure{std::move(*Flt), Eng.replayString(), 0, 0};
+    Found.ScheduleIndex = I;
+    R.Failure = std::move(Found);
+    return R;
+  }
+  return R;
+}
+
+template <typename F>
+SearchResult searchRandom(F Program, const SearchOptions &O = SearchOptions()) {
+  return search(std::move(Program), O, /*UsePct=*/false);
+}
+
+template <typename F>
+SearchResult searchPct(F Program, const SearchOptions &O = SearchOptions()) {
+  return search(std::move(Program), O, /*UsePct=*/true);
+}
+
+/// Bounded exhaustive enumeration: DFS over every schedule with at most
+/// O.PreemptionBound preemptions (wake/drain ordering picks are free -
+/// they are not preemptions). Stops early on the first failure; otherwise
+/// Exhausted reports full coverage of the bounded space.
+template <typename F>
+SearchResult enumerateBounded(F Program,
+                              const SearchOptions &O = SearchOptions()) {
+  SearchResult R;
+  auto IsPreempt = [](const Decision &D, uint32_t Choice) {
+    return D.Kind == DecisionKind::Step && D.ContinueIdx != ~0u &&
+           Choice != D.ContinueIdx;
+  };
+  std::vector<uint32_t> Prefix;
+  bool More = true;
+  while (More && R.SchedulesRun < O.MaxExhaustive) {
+    Engine Eng = Engine::enumerate(Prefix, O.VirtualWorkers);
+    std::optional<Fault> Flt = detail::runOnce(Program, Eng);
+    ++R.SchedulesRun;
+    R.StepsTotal += Eng.steps();
+    R.DecisionsTotal += Eng.log().size();
+    if (Flt) {
+      FoundFailure Found =
+          O.Shrink ? detail::shrinkFailure(Program, O.VirtualWorkers,
+                                           Eng.chosen(), std::move(*Flt))
+                   : FoundFailure{std::move(*Flt), Eng.replayString(), 0, 0};
+      Found.ScheduleIndex = R.SchedulesRun - 1;
+      R.Failure = std::move(Found);
+      return R;
+    }
+    // Next prefix: bump the rightmost decision that still has unexplored
+    // options within the preemption bound. Deterministic replay makes
+    // this sound: an unchanged prefix reproduces the same options (same
+    // arity, same continue index) at every position up to the change.
+    const std::vector<Decision> &Log = Eng.log();
+    More = false;
+    // Preemptions contributed by Log[0..P-1], updated as P walks left.
+    std::vector<unsigned> PreBefore(Log.size() + 1, 0);
+    for (size_t I = 0; I < Log.size(); ++I)
+      PreBefore[I + 1] = PreBefore[I] + (IsPreempt(Log[I], Log[I].Chosen) ? 1 : 0);
+    for (size_t P = Log.size(); P-- > 0;) {
+      for (uint32_t Next = Log[P].Chosen + 1; Next < Log[P].Arity; ++Next) {
+        if (PreBefore[P] + (IsPreempt(Log[P], Next) ? 1 : 0) >
+            O.PreemptionBound)
+          continue;
+        Prefix.resize(P);
+        for (size_t I = 0; I < P; ++I)
+          Prefix[I] = Log[I].Chosen;
+        Prefix.push_back(Next);
+        More = true;
+        break;
+      }
+      if (More)
+        break;
+    }
+  }
+  R.Exhausted = !More;
+  return R;
+}
+
+/// Re-runs a decoded replay once. \p BitIdentical (optional) reports
+/// whether the run's pedigree hash matched the spec's committed hash -
+/// the bit-for-bit reproduction check the regression corpus asserts.
+template <typename F>
+std::optional<Fault> replaySession(F Program, const ReplaySpec &Spec,
+                                   bool *BitIdentical = nullptr) {
+  Engine Eng = Engine::replay(Spec);
+  std::optional<Fault> Flt = detail::runOnce(Program, Eng);
+  if (BitIdentical)
+    *BitIdentical = Eng.pedigreeHash() == Spec.PedHash;
+  return Flt;
+}
+
+} // namespace explore
+} // namespace lvish
+
+#endif // LVISH_EXPLORE_EXPLORER_H

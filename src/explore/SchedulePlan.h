@@ -1,0 +1,162 @@
+//===- SchedulePlan.h - Schedule decision engines ---------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete ScheduleCtl engines behind controlled-scheduling test mode
+/// (DESIGN.md Section 12). One \c Engine drives one session; it decides
+/// every scheduling step the scheduler delegates through ExploreHooks.h
+/// and records the full decision log, so any run - found by random
+/// search, PCT priorities, or bounded enumeration - can be replayed
+/// bit-for-bit from a compact printable string.
+///
+/// Modes:
+///  * Random    - every decision uniform from a SplitMix64 stream.
+///  * Pct       - PCT-style (Burckhardt et al., "A Randomized Scheduler
+///                with Probabilistic Guarantees of Finding Bugs"): each
+///                virtual worker gets a seeded priority, the
+///                highest-priority worker's move wins, and a bounded
+///                number of seeded change points demote the running
+///                worker, forcing a preemption.
+///  * Replay    - consume a recorded decision-index list; decisions past
+///                the end of the list take the first option (index 0), so
+///                a *shrunk* (truncated, zeroed) log is still a complete
+///                schedule.
+///  * Enumerate - follow a forced decision prefix, then take the
+///                non-preempting default (the last-run worker continues)
+///                for the rest; the driver in Explorer.h turns this into
+///                a DFS over all schedules within a preemption bound.
+///
+/// All randomness comes from the seeded SplitMix64 plan - never from raw
+/// RNG sources - which lvish-lint's explore-rng rule enforces for this
+/// directory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_EXPLORE_SCHEDULEPLAN_H
+#define LVISH_EXPLORE_SCHEDULEPLAN_H
+
+#include "src/sched/ExploreHooks.h"
+#include "src/support/SplitMix.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lvish {
+namespace explore {
+
+/// Whether a log slot was a worker step or a wake/drain ordering pick.
+enum class DecisionKind : uint8_t { Step, Pick };
+
+/// One recorded decision. \c Arity and \c ContinueIdx are observations of
+/// the run (what was possible), not inputs: replay only needs \c Chosen,
+/// but enumeration and shrinking use them to navigate the schedule space.
+struct Decision {
+  uint32_t Chosen = 0; ///< Option index taken.
+  uint32_t Arity = 1;  ///< Number of options that were available.
+  DecisionKind Kind = DecisionKind::Step;
+  /// Step decisions: index of the non-preempting option (the last-run
+  /// worker popping its own deque), or ~0u when no such option existed.
+  uint32_t ContinueIdx = ~0u;
+};
+
+/// A parsed replay string: everything needed to re-run and verify a
+/// schedule. \c PedHash pins the run bit-for-bit: a replay that resumes
+/// the same tasks in the same order reproduces it exactly.
+struct ReplaySpec {
+  unsigned VirtualWorkers = 2;
+  std::vector<uint32_t> Decisions;
+  uint64_t PedHash = 0;
+};
+
+/// Renders a replay string: "lvx1:w<N>:h<hex16>:<d0>.<d1>..." (the
+/// decision list may be empty: "lvx1:w2:h0000000000000000:").
+std::string encodeReplay(const ReplaySpec &Spec);
+
+/// Parses encodeReplay's format; std::nullopt on malformed input.
+std::optional<ReplaySpec> decodeReplay(const std::string &S);
+
+/// One session's schedule controller; see file comment.
+class Engine final : public ScheduleCtl {
+public:
+  enum class Mode : uint8_t { Random, Pct, Replay, Enumerate };
+
+  /// Uniform seeded random schedule.
+  static Engine random(uint64_t Seed, unsigned VirtualWorkers = 2);
+  /// PCT-style random-priority schedule with \p ChangePoints seeded
+  /// priority demotions.
+  static Engine pct(uint64_t Seed, unsigned VirtualWorkers = 2,
+                    unsigned ChangePoints = 3);
+  /// Replays \p Decisions; past the end, the first option is taken.
+  static Engine replay(std::vector<uint32_t> Decisions,
+                       unsigned VirtualWorkers = 2);
+  /// Replays \p Spec.Decisions (VirtualWorkers from the spec).
+  static Engine replay(const ReplaySpec &Spec);
+  /// Forced \p Prefix, then the non-preempting default (enumeration DFS).
+  static Engine enumerate(std::vector<uint32_t> Prefix,
+                          unsigned VirtualWorkers = 2);
+
+  unsigned virtualWorkers() const { return Workers; }
+  Mode mode() const { return EngineMode; }
+
+  // ScheduleCtl - called by the scheduler on the session thread.
+  unsigned onStep(const StepOption *Options, unsigned N) override;
+  unsigned onPick(unsigned N) override;
+  void onResume(const Pedigree &Ped) override;
+
+  // Post-run interrogation.
+  const std::vector<Decision> &log() const { return Log; }
+  /// The flat chosen-index list (what replay() takes back).
+  std::vector<uint32_t> chosen() const;
+  /// Canonical replay string for this run's full decision log.
+  std::string replayString() const;
+  /// Order-sensitive hash of every resumed task's pedigree: two runs with
+  /// equal hashes resumed the same fork-tree nodes in the same order.
+  uint64_t pedigreeHash() const { return PedHash; }
+  /// Tasks resumed (or reaped-from-queue) under this engine.
+  uint64_t steps() const { return Steps; }
+  /// Step decisions that had a non-preempting continue option available
+  /// and did not take it.
+  unsigned preemptions() const { return Preemptions; }
+  /// Replay/Enumerate: true when an input decision index was >= the
+  /// arity actually observed (the schedule no longer matches the log's
+  /// program; the index was clamped to stay deterministic).
+  bool inputClamped() const { return Clamped; }
+
+private:
+  Engine(Mode M, uint64_t Seed, unsigned VirtualWorkers);
+
+  unsigned decide(unsigned N, DecisionKind Kind, uint32_t ContinueIdx,
+                  const StepOption *Options);
+  unsigned pickPct(const StepOption *Options, unsigned N);
+
+  Mode EngineMode;
+  unsigned Workers;
+  SplitMix64 Rng;
+
+  /// Replay/Enumerate input: forced decision indices.
+  std::vector<uint32_t> Input;
+
+  /// PCT state: per-worker priorities (higher runs first) and the budget
+  /// of remaining seeded demotions.
+  std::vector<uint64_t> Priorities;
+  unsigned ChangeBudget = 0;
+  uint64_t DemoteCounter = 0;
+
+  std::vector<Decision> Log;
+  int LastWorker = -1;
+  uint64_t PedHash = 0;
+  uint64_t Steps = 0;
+  unsigned Preemptions = 0;
+  bool Clamped = false;
+};
+
+} // namespace explore
+} // namespace lvish
+
+#endif // LVISH_EXPLORE_SCHEDULEPLAN_H

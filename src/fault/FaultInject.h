@@ -62,7 +62,7 @@ inline void injectSpawn(Task *Parent) {
       return;
     maybeDelay(Point::Spawn);
     uint64_t Clock = Parent->InjectClock++;
-    if (shouldFailSpawn(Parent->PedPath, Parent->PedDepth, Clock)) {
+    if (shouldFailSpawn(Parent->Ped, Clock)) {
       obs::count(obs::Event::InjectedFaults);
       detail::raiseSessionFault(Parent, FaultCode::InjectedFailure,
                                 "injected allocation failure at task spawn "

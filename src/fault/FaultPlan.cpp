@@ -21,12 +21,6 @@ namespace {
 FaultPlan GPlan;
 std::atomic<bool> GActive{false};
 
-/// Stable hash of a pedigree position. Uses the rendered depth too so a
-/// saturated 64-bit path still distinguishes deeper tasks.
-uint64_t hashPedigree(uint64_t PedPath, uint32_t PedDepth) {
-  return hashCombine(mix64(PedPath), PedDepth);
-}
-
 } // namespace
 
 void fault::setFaultPlan(const FaultPlan &Plan) {
@@ -42,24 +36,20 @@ bool fault::planActive() {
   return GActive.load(std::memory_order_acquire);
 }
 
-bool fault::shouldDoomTask(uint64_t PedPath, uint32_t PedDepth) {
+bool fault::shouldDoomTask(const Pedigree &Ped) {
   if (!planActive())
     return false;
   if (GPlan.HaveFailPedigree)
-    return renderPedigree(PedPath, PedDepth) == GPlan.FailPedigree;
+    return Ped.render() == GPlan.FailPedigree;
   if (GPlan.FailHashPeriod)
-    return mix64(GPlan.Seed ^ hashPedigree(PedPath, PedDepth)) %
-               GPlan.FailHashPeriod ==
-           0;
+    return mix64(GPlan.Seed ^ Ped.hash()) % GPlan.FailHashPeriod == 0;
   return false;
 }
 
-bool fault::shouldFailSpawn(uint64_t PedPath, uint32_t PedDepth,
-                            uint64_t SpawnClock) {
+bool fault::shouldFailSpawn(const Pedigree &Ped, uint64_t SpawnClock) {
   if (!planActive() || GPlan.AllocFailPeriod == 0)
     return false;
-  uint64_t H = hashCombine(GPlan.Seed ^ hashPedigree(PedPath, PedDepth),
-                           SpawnClock);
+  uint64_t H = hashCombine(GPlan.Seed ^ Ped.hash(), SpawnClock);
   return H % GPlan.AllocFailPeriod == 0;
 }
 

@@ -26,6 +26,8 @@
 #ifndef LVISH_FAULT_FAULTPLAN_H
 #define LVISH_FAULT_FAULTPLAN_H
 
+#include "src/support/Pedigree.h"
+
 #include <cstdint>
 #include <string>
 
@@ -104,12 +106,11 @@ public:
 /// Decided at task creation: is the task at this pedigree doomed to an
 /// injected failure? (Exact-pedigree targeting or chaos hash; see
 /// FaultPlan.) Pure in (plan, pedigree).
-bool shouldDoomTask(uint64_t PedPath, uint32_t PedDepth);
+bool shouldDoomTask(const Pedigree &Ped);
 
 /// Decided at fork, in the parent: does this spawn's allocation shim
 /// fire? Pure in (plan, parent pedigree, parent spawn clock).
-bool shouldFailSpawn(uint64_t PedPath, uint32_t PedDepth,
-                     uint64_t SpawnClock);
+bool shouldFailSpawn(const Pedigree &Ped, uint64_t SpawnClock);
 
 /// Busy-spins for the plan's DelayNanos when the (thread-local) delay
 /// clock lands on the period. Non-semantic by construction.

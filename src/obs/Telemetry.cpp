@@ -31,6 +31,12 @@ const char *obs::eventName(Event E) {
     return "faults_contained";
   case Event::InjectedFaults:
     return "injected_faults";
+  case Event::ExploreSchedules:
+    return "explore_schedules";
+  case Event::ExploreSteps:
+    return "explore_steps";
+  case Event::ExploreShrinkRuns:
+    return "explore_shrink_runs";
   }
   return "unknown";
 }

@@ -61,9 +61,12 @@ enum class Event : unsigned {
   FaultsRaised,       ///< Contract violations recorded as session Faults.
   FaultsContained,    ///< Sessions that returned a Fault instead of a value.
   InjectedFaults,     ///< Failures raised by the LVISH_FAULTS harness.
+  ExploreSchedules,   ///< Explorer sessions started (one per Engine run).
+  ExploreSteps,       ///< Tasks resumed under a controlled schedule.
+  ExploreShrinkRuns,  ///< Candidate replays executed while shrinking.
 };
 
-inline constexpr unsigned NumEvents = 11;
+inline constexpr unsigned NumEvents = 14;
 
 /// Stable lower-snake-case name, used as the JSON key in BENCH_*.json.
 const char *eventName(Event E);

@@ -77,7 +77,10 @@ SchedulerStats Scheduler::stats() const {
   return S;
 }
 
-Scheduler::Scheduler(SchedulerConfig Config) : Tracing(Config.EnableTracing) {
+explore::ScheduleCtl::~ScheduleCtl() = default;
+
+Scheduler::Scheduler(SchedulerConfig Config)
+    : Tracing(Config.EnableTracing), ExploreCtl(Config.Explore) {
   unsigned N = Config.NumWorkers;
   if (N == 0)
     N = std::max(1u, std::thread::hardware_concurrency());
@@ -87,8 +90,11 @@ Scheduler::Scheduler(SchedulerConfig Config) : Tracing(Config.EnableTracing) {
     W->StealRng = SplitMix64(Config.StealSeed + I * 0x9e37ULL);
     Workers.push_back(std::move(W));
   }
-  for (unsigned I = 0; I < N; ++I)
-    Workers[I]->Thread = std::thread([this, I] { workerLoop(I); });
+  // Explore mode: the workers stay virtual (deques without threads); the
+  // session thread drives them from exploreRun().
+  if (!ExploreCtl)
+    for (unsigned I = 0; I < N; ++I)
+      Workers[I]->Thread = std::thread([this, I] { workerLoop(I); });
 }
 
 Scheduler::~Scheduler() {
@@ -124,14 +130,13 @@ Task *Scheduler::createTask(std::coroutine_handle<> Root, Task *Parent) {
     // the child descends Left from the parent's current position, the
     // parent's continuation proceeds Right. Safe to mutate the parent
     // here: fork runs on the parent's own thread.
-    T->PedPath = Parent->PedPath;
-    T->PedDepth = Parent->PedDepth;
+    T->Ped = Parent->Ped;
     T->pedAppend(0);
     Parent->pedAppend(1);
   }
   if constexpr (fault::InjectionEnabled) {
     if (fault::planActive())
-      T->InjectDoomed = fault::shouldDoomTask(T->PedPath, T->PedDepth);
+      T->InjectDoomed = fault::shouldDoomTask(T->Ped);
   }
   T->scopesOnCreate();
   obs::WorkerCounters::bump(myCounters().TasksCreated);
@@ -220,10 +225,122 @@ void Scheduler::retire(Task *T) {
 }
 
 void Scheduler::waitSessionQuiescent() {
+  if (ExploreCtl) {
+    // Explore mode: nothing runs until we step it; "waiting" IS running
+    // the session, single-threaded, under the controller's decisions.
+    exploreRun();
+    return;
+  }
   std::unique_lock<std::mutex> Lock(SessionMutex);
   SessionCV.wait(Lock, [this] {
     return PendingWork.load(std::memory_order_acquire) == 0;
   });
+}
+
+void Scheduler::explorePermuteWakes(std::vector<Task *> &ToWake) {
+  if (!ExploreCtl || ToWake.size() < 2)
+    return;
+  // Selection order: decision I picks which of the remaining tasks fires
+  // next. The chosen task is moved to position I with the relative order
+  // of the rest preserved, so a replayed index sequence reconstructs the
+  // same permutation.
+  for (size_t I = 0; I + 1 < ToWake.size(); ++I) {
+    unsigned K = ExploreCtl->onPick(static_cast<unsigned>(ToWake.size() - I));
+    assert(K < ToWake.size() - I && "onPick out of range");
+    Task *Chosen = ToWake[I + K];
+    ToWake.erase(ToWake.begin() + static_cast<ptrdiff_t>(I + K));
+    ToWake.insert(ToWake.begin() + static_cast<ptrdiff_t>(I), Chosen);
+  }
+}
+
+void Scheduler::exploreRun() {
+  // The session thread masquerades as each virtual worker via the worker
+  // TLS, so schedule()/deferRetire() inside a resumed slice route to the
+  // chosen worker's deque exactly as they would on a real worker thread.
+  Scheduler *SavedSched = WorkerSchedTL;
+  unsigned SavedIndex = WorkerIndexTL;
+  Task *SavedTask = CurrentTaskTL;
+  const unsigned N = numWorkers();
+  std::vector<explore::StepOption> Options;
+  while (PendingWork.load(std::memory_order_acquire) > 0) {
+    // Enumerate every possible next move, in a deterministic order. A
+    // worker with local work always pops it first (matching the threaded
+    // scheduler's own-deque priority); only idle workers consider the
+    // inject queue and steals.
+    Options.clear();
+    bool HaveInjected;
+    {
+      std::lock_guard<std::mutex> Lock(InjectMutex);
+      HaveInjected = !Injected.empty();
+    }
+    for (unsigned W = 0; W < N; ++W) {
+      if (Workers[W]->Deque.sizeApprox() > 0) {
+        Options.push_back({static_cast<uint16_t>(W), explore::StepKind::Pop,
+                           uint16_t{0}});
+        continue;
+      }
+      if (HaveInjected)
+        Options.push_back({static_cast<uint16_t>(W),
+                           explore::StepKind::Inject, uint16_t{0}});
+      for (unsigned V = 0; V < N; ++V)
+        if (V != W && Workers[V]->Deque.sizeApprox() > 0)
+          Options.push_back({static_cast<uint16_t>(W),
+                             explore::StepKind::Steal,
+                             static_cast<uint16_t>(V)});
+    }
+    // PendingWork counts exactly the queued tasks here (nothing is
+    // mid-resume between steps), so pending work implies an option.
+    assert(!Options.empty() && "pending work with nothing queued");
+    unsigned Choice =
+        ExploreCtl->onStep(Options.data(), static_cast<unsigned>(Options.size()));
+    assert(Choice < Options.size() && "onStep out of range");
+    const explore::StepOption Opt = Options[Choice];
+
+    WorkerSchedTL = this;
+    WorkerIndexTL = Opt.Worker;
+    Worker &Me = *Workers[Opt.Worker];
+    Task *T = nullptr;
+    switch (Opt.Kind) {
+    case explore::StepKind::Pop:
+      T = Me.Deque.pop();
+      obs::WorkerCounters::bump(Me.Counters.LocalPops);
+      break;
+    case explore::StepKind::Inject:
+      T = tryInjected();
+      break;
+    case explore::StepKind::Steal:
+      obs::WorkerCounters::bump(Me.Counters.StealAttempts);
+      T = Workers[Opt.Victim]->Deque.steal();
+      if (T)
+        obs::WorkerCounters::bump(Me.Counters.Steals);
+      break;
+    }
+    assert(T && "explore step chose an empty source");
+    assert(T->DebugQueued.exchange(0, std::memory_order_acq_rel) == 1 &&
+           "popped task was not queued");
+    ExploreCtl->onResume(T->Ped);
+
+    if (T->isCancelled()) {
+      retire(T);
+      removePending();
+      continue;
+    }
+    CurrentTaskTL = T;
+    if (Tracing)
+      sliceBegin(T);
+    std::coroutine_handle<> H = T->Resume;
+    assert(H && "scheduled task has no resume point");
+    H.resume();
+    CurrentTaskTL = nullptr;
+    if (Task *R = Me.PendingRetire) {
+      Me.PendingRetire = nullptr;
+      retire(R);
+      removePending();
+    }
+  }
+  WorkerSchedTL = SavedSched;
+  WorkerIndexTL = SavedIndex;
+  CurrentTaskTL = SavedTask;
 }
 
 size_t Scheduler::finishSession() {

@@ -30,6 +30,7 @@
 #define LVISH_SCHED_SCHEDULER_H
 
 #include "src/obs/SchedulerStats.h"
+#include "src/sched/ExploreHooks.h"
 #include "src/sched/Task.h"
 #include "src/sched/Trace.h"
 #include "src/sched/WorkStealingDeque.h"
@@ -57,6 +58,12 @@ struct SchedulerConfig {
   bool EnableTracing = false;
   /// Seed for the (non-semantic) steal-victim randomization.
   uint64_t StealSeed = 0x6c76697368ULL; // "lvish"
+  /// Controlled-scheduling test mode (DESIGN.md Section 12): when
+  /// non-null, no worker threads are spawned and the session thread
+  /// single-steps NumWorkers *virtual* workers, delegating every
+  /// nondeterministic decision to this controller. Set via
+  /// RunOptions::Explore; null (zero overhead) in production runs.
+  explore::ScheduleCtl *Explore = nullptr;
 };
 
 /// Work-stealing scheduler; see file comment. One scheduler may run many
@@ -106,8 +113,18 @@ public:
   }
 
   /// Blocks the calling (non-worker) thread until no task is runnable or
-  /// running.
+  /// running. In explore mode this is where the session actually executes:
+  /// the calling thread single-steps the virtual workers to quiescence.
   void waitSessionQuiescent();
+
+  /// Explore mode: reorders a batch of tasks about to be woken together
+  /// (multi-task threshold wakeups, handler-pool drains) by repeatedly
+  /// asking the controller which of the remaining tasks fires next. No-op
+  /// (one null check) outside explore mode or for batches of one.
+  void explorePermuteWakes(std::vector<Task *> &ToWake);
+
+  /// The session's schedule controller, or null outside explore mode.
+  explore::ScheduleCtl *exploreCtl() const { return ExploreCtl; }
 
   /// Reaps every task still registered (all are permanently parked at this
   /// point) and returns how many were reaped.
@@ -168,6 +185,9 @@ private:
 
   void workerLoop(unsigned Index);
   Task *findWork(unsigned Index);
+  /// Explore mode's session driver: runs on the waitSessionQuiescent
+  /// caller, masquerading as each virtual worker in turn.
+  void exploreRun();
   /// The calling thread's counter block: the worker's own when called on
   /// a worker of this scheduler, else the shared external block (runPar
   /// roots and wakes arrive from non-worker threads).
@@ -185,6 +205,7 @@ private:
   uint32_t sliceCut(Task *T);
 
   const bool Tracing;
+  explore::ScheduleCtl *const ExploreCtl;
   TraceRecorder Recorder;
 
   std::vector<std::unique_ptr<Worker>> Workers;

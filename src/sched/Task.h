@@ -23,6 +23,7 @@
 #include "src/sched/CancelNode.h"
 #include "src/sched/ParkSite.h"
 #include "src/support/Fault.h"
+#include "src/support/Pedigree.h"
 
 #include <coroutine>
 #include <cstdint>
@@ -113,27 +114,20 @@ public:
 
   // -- Fork-tree pedigree (always on) -------------------------------------
   // A compact twin of the PedigreeT transformer layer (trans/Pedigree.h):
-  // bit I of PedPath is the I-th branch taken from the session root, 0 =
-  // Left (a forked child), 1 = Right (the parent's continuation). Faults
-  // use it as the task's deterministic identity; the LVISH_FAULTS harness
-  // uses it to target injections. Maintained by Scheduler::createTask;
-  // mutating the parent there is safe because fork runs on the parent's
-  // own thread.
-  uint64_t PedPath = 0;
-  uint32_t PedDepth = 0;
+  // bit I is the I-th branch taken from the session root, 0 = Left (a
+  // forked child), 1 = Right (the parent's continuation). Faults use it as
+  // the task's deterministic identity; the LVISH_FAULTS harness uses it to
+  // target injections; the explorer (src/explore) keys replay logs on it.
+  // Maintained by Scheduler::createTask; mutating the parent there is safe
+  // because fork runs on the parent's own thread. 256 recorded bits with
+  // explicit saturation - see src/support/Pedigree.h.
+  Pedigree Ped;
 
-  /// Appends one branch (0 = Left, 1 = Right). Saturates at 64 recorded
-  /// bits but keeps counting depth (see renderPedigree).
-  void pedAppend(unsigned Bit) {
-    if (PedDepth < 64 && Bit)
-      PedPath |= (uint64_t{1} << PedDepth);
-    ++PedDepth;
-  }
+  /// Appends one branch (0 = Left, 1 = Right).
+  void pedAppend(unsigned Bit) { Ped.append(Bit); }
 
   /// This task's pedigree as an L/R string ("" = session root).
-  std::string pedigreeString() const {
-    return renderPedigree(PedPath, PedDepth);
-  }
+  std::string pedigreeString() const { return Ped.render(); }
 
   // -- Fault containment (see src/sched/FaultSignal.h) --------------------
   /// Set by PromiseBase::unhandled_exception when a FaultSignal unwound

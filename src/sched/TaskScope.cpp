@@ -21,6 +21,10 @@ void TaskScope::exitOne() {
     for (Task *T : ToWake)
       T->ParkedOn = nullptr;
   }
+  // Drain order is a scheduling decision point: in explore mode the
+  // controller chooses which quiesce waiter resumes first.
+  if (ToWake.size() > 1)
+    ToWake.front()->Sched->explorePermuteWakes(ToWake);
   for (Task *T : ToWake)
     T->Sched->wake(T, Scheduler::currentTask());
 }

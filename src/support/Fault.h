@@ -80,22 +80,8 @@ inline const char *faultCodeName(FaultCode C) {
   return "unknown";
 }
 
-/// Renders a compact fork-tree pedigree (see Task::PedPath) as an L/R
-/// string: bit I of \p Path is branch I, 0 = Left, 1 = Right. The root's
-/// pedigree is the empty string. Depths beyond 64 saturate with a "+N"
-/// suffix (the prefix still orders deterministically in practice).
-inline std::string renderPedigree(uint64_t Path, uint32_t Depth) {
-  std::string S;
-  uint32_t N = Depth < 64 ? Depth : 64;
-  S.reserve(N);
-  for (uint32_t I = 0; I < N; ++I)
-    S.push_back((Path >> I) & 1 ? 'R' : 'L');
-  if (Depth > 64) {
-    S += '+';
-    S += std::to_string(Depth - 64);
-  }
-  return S;
-}
+// Pedigree rendering lives in src/support/Pedigree.h (Pedigree::render);
+// Fault::Pedigree stores the rendered L/R string, not the bit path.
 
 /// One contained contract violation; see file comment.
 struct Fault {

@@ -11,11 +11,14 @@
 
 #include "src/core/Lattice.h"
 #include "src/data/AndLV.h"
+#include "src/data/MonotoneHashMap.h"
+#include "src/data/PureMap.h"
 #include "src/support/DenseBitset.h"
 #include "src/support/SplitMix.h"
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 using namespace lvish;
@@ -84,6 +87,80 @@ TEST_P(LatticeLawsP, BoolOrJoinLaws) {
 TEST_P(LatticeLawsP, AndLatticeJoinLawsExhaustive) {
   checkJoinLaws<AndLattice>(AndLattice::allStates());
   (void)GetParam();
+}
+
+TEST_P(LatticeLawsP, MapUnionJoinLaws) {
+  // The PureMap lattice: key-wise union with a designated top for
+  // conflicting rebinds. Random small maps over a tight key range so the
+  // sweep hits both disjoint unions and genuine conflicts.
+  using L = MapUnionLattice<int, int>;
+  SplitMix64 Rng(GetParam());
+  std::vector<L::ValueType> States{L::bottom(), std::nullopt /* top */};
+  for (int I = 0; I < 6; ++I) {
+    std::map<int, int> M;
+    int N = 1 + static_cast<int>(Rng.nextBounded(4));
+    for (int K = 0; K < N; ++K)
+      M[static_cast<int>(Rng.nextBounded(5))] =
+          static_cast<int>(Rng.nextBounded(3));
+    States.push_back(std::move(M));
+  }
+  checkJoinLaws<L>(States);
+  // Conflict is top, equal rebind is idempotent.
+  L::ValueType A = std::map<int, int>{{1, 10}};
+  L::ValueType B = std::map<int, int>{{1, 20}};
+  EXPECT_TRUE(L::isTop(L::join(A, B)));
+  EXPECT_EQ(L::join(A, A), A);
+}
+
+TEST_P(LatticeLawsP, AndLatticeSeededTripleSweep) {
+  // Beyond the exhaustive pairwise pass above: seeded random TRIPLES so
+  // associativity is hit on many (A, B, C) combinations per seed.
+  SplitMix64 Rng(GetParam());
+  const auto All = AndLattice::allStates();
+  for (int I = 0; I < 32; ++I) {
+    const auto &A = All[Rng.nextBounded(All.size())];
+    const auto &B = All[Rng.nextBounded(All.size())];
+    const auto &C = All[Rng.nextBounded(All.size())];
+    EXPECT_EQ(AndLattice::join(A, AndLattice::join(B, C)),
+              AndLattice::join(AndLattice::join(A, B), C));
+    EXPECT_EQ(AndLattice::join(A, B), AndLattice::join(B, A));
+    EXPECT_EQ(AndLattice::join(A, A), A);
+  }
+}
+
+TEST_P(LatticeLawsP, MonotoneHashMapInsertOrderIndependence) {
+  // The concurrent substrate under ISet/IMap, checked as a lattice: a
+  // fixed SET of insertions must produce the same table regardless of
+  // arrival order (join commutativity, operationally), first value wins
+  // on duplicate keys only when values agree with the monotone discipline
+  // (here: duplicates carry equal values, as LVar semantics require).
+  SplitMix64 Rng(GetParam());
+  std::vector<std::pair<int, int>> Inserts;
+  for (int I = 0; I < 40; ++I) {
+    int K = static_cast<int>(Rng.nextBounded(16));
+    Inserts.push_back({K, K * 7 + 1}); // Value is a function of the key.
+  }
+  // Seeded Fisher-Yates for the second arrival order.
+  std::vector<std::pair<int, int>> Shuffled = Inserts;
+  for (size_t I = Shuffled.size(); I > 1; --I)
+    std::swap(Shuffled[I - 1], Shuffled[Rng.nextBounded(I)]);
+
+  MonotoneHashMap<int, int> M1, M2;
+  for (const auto &[K, V] : Inserts)
+    M1.insert(K, V);
+  for (const auto &[K, V] : Shuffled)
+    M2.insert(K, V);
+  EXPECT_EQ(M1.snapshotSorted(), M2.snapshotSorted());
+  EXPECT_EQ(M1.size(), M2.size());
+
+  // Idempotence: re-inserting everything changes nothing.
+  size_t Before = M1.size();
+  for (const auto &[K, V] : Inserts) {
+    auto [Ptr, Inserted] = M1.insert(K, V);
+    EXPECT_FALSE(Inserted);
+    EXPECT_EQ(*Ptr, V);
+  }
+  EXPECT_EQ(M1.size(), Before);
 }
 
 // -- Bump laws (Section 3) -------------------------------------------------

@@ -4,6 +4,7 @@
 #include "src/support/AsymmetricGate.h"
 #include "src/support/DenseBitset.h"
 #include "src/support/Hashing.h"
+#include "src/support/Pedigree.h"
 #include "src/support/SplitMix.h"
 #include "src/support/Timer.h"
 
@@ -186,6 +187,95 @@ TEST(AsymmetricGate, NestedFastSectionsDoNotSelfDeadlock) {
     AsymmetricGate::FastGuard Inner(G);
   }
   SUCCEED();
+}
+
+// -- Pedigree --------------------------------------------------------------
+
+TEST(Pedigree, RootAndShallowPaths) {
+  Pedigree Root;
+  EXPECT_EQ(Root.depth(), 0u);
+  EXPECT_EQ(Root.render(), "");
+  EXPECT_FALSE(Root.overflowed());
+
+  Pedigree P;
+  P.append(1);
+  P.append(0);
+  P.append(1);
+  EXPECT_EQ(P.depth(), 3u);
+  EXPECT_EQ(P.render(), "RLR");
+  EXPECT_TRUE(P.bit(0));
+  EXPECT_FALSE(P.bit(1));
+  EXPECT_NE(P, Root);
+  EXPECT_NE(P.hash(), Root.hash());
+}
+
+TEST(Pedigree, DeepForksStayDistinctPastOneWord) {
+  // The regression the widening fixes: the old single-uint64_t packing
+  // dropped bits past depth 64, so pedigrees diverging only at a deeper
+  // branch collided. Model two fork chains agreeing on the first 100
+  // branches and diverging at branch 100.
+  Pedigree A, B;
+  for (unsigned I = 0; I < 100; ++I) {
+    A.append(I & 1);
+    B.append(I & 1);
+  }
+  A.append(0);
+  B.append(1);
+  EXPECT_EQ(A.depth(), 101u);
+  EXPECT_NE(A, B);
+  EXPECT_NE(A.hash(), B.hash());
+  EXPECT_NE(A.render(), B.render());
+  EXPECT_EQ(A.render().size(), 101u);
+  // Every recorded bit round-trips, including those beyond word 0.
+  for (unsigned I = 0; I < 100; ++I)
+    EXPECT_EQ(A.bit(I), (I & 1) != 0) << "bit " << I;
+  EXPECT_FALSE(A.bit(100));
+  EXPECT_TRUE(B.bit(100));
+}
+
+TEST(Pedigree, SaturatesExplicitlyPastCapacity) {
+  Pedigree P;
+  for (unsigned I = 0; I < 300; ++I)
+    P.append(1);
+  EXPECT_EQ(P.depth(), 300u);
+  EXPECT_TRUE(P.overflowed());
+  // Recorded prefix renders fully, then the drop count - saturated paths
+  // are visibly distinct from exact ones rather than silently wrong.
+  std::string R = P.render();
+  EXPECT_EQ(R.size(), Pedigree::Capacity + 3);
+  EXPECT_EQ(R.substr(Pedigree::Capacity), "+44");
+  EXPECT_EQ(R.find('L'), std::string::npos);
+
+  // Saturation keeps counting depth, so pedigrees differing only past
+  // capacity still differ when their depths differ.
+  Pedigree Longer = P;
+  Longer.append(0);
+  EXPECT_NE(P, Longer);
+  EXPECT_NE(P.hash(), Longer.hash());
+}
+
+TEST(Pedigree, HashIsAFunctionOfPathAndDepth) {
+  // Same path, built twice -> identical hash (replay and fault-plan
+  // targeting depend on this being stable).
+  SplitMix64 Rng(7);
+  Pedigree A, B;
+  std::vector<unsigned> Bits;
+  for (unsigned I = 0; I < 200; ++I)
+    Bits.push_back(static_cast<unsigned>(Rng.nextBounded(2)));
+  for (unsigned Bit : Bits)
+    A.append(Bit);
+  for (unsigned Bit : Bits)
+    B.append(Bit);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_EQ(A.render(), B.render());
+
+  // "L" vs "" vs "R": depth participates, not just the set bits.
+  Pedigree L, R2;
+  L.append(0);
+  R2.append(1);
+  EXPECT_NE(L.hash(), Pedigree().hash());
+  EXPECT_NE(L.hash(), R2.hash());
 }
 
 // -- fatalError ------------------------------------------------------------

@@ -22,8 +22,17 @@
 #              seeds and several worker counts, asserting the contained
 #              outcomes are identical, then the full suite re-runs to
 #              prove injection hooks do not perturb passing programs.
+#   explore  - controlled-schedule smoke (src/explore/): re-runs
+#              ExploreTest + ExploreRegressionTest + the explored
+#              determinism sweeps under a reduced schedule budget
+#              (LVISH_EXPLORE_SCHEDULES). Reuses the release build.
+#   coverage - Debug + LVISH_COVERAGE=ON (gcov instrumentation): runs the
+#              suite and writes a line-coverage summary artifact to
+#              build-ci-coverage/coverage-summary.txt. Not in the default
+#              stage list (instrumented builds are slow).
 #
-# Usage: tools/ci.sh [debug|release|tsan|bench|faults]...  (default: all five)
+# Usage: tools/ci.sh [debug|release|tsan|bench|faults|explore|coverage]...
+#        (default: debug release tsan bench faults explore)
 #
 #===------------------------------------------------------------------------===#
 
@@ -32,7 +41,7 @@ cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(debug release tsan bench faults)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(debug release tsan bench faults explore)
 
 run_stage() {
   local name=$1; shift
@@ -86,8 +95,52 @@ for stage in "${STAGES[@]}"; do
       echo "==== [faults] seeded fault-injection stress ===="
       ./build-ci-faults/tests/FaultStressTest
       ;;
+    explore)
+      # Reuse the release tree when it exists; otherwise build it.
+      if [ ! -x build-ci-release/tests/ExploreTest ]; then
+        echo "==== [explore] building release tree ===="
+        cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          > build-ci-release.cfg.log 2>&1 || {
+          cat build-ci-release.cfg.log; exit 1; }
+        cmake --build build-ci-release -j "$JOBS"
+      fi
+      echo "==== [explore] schedule-exploration smoke (budget 100) ===="
+      LVISH_EXPLORE_SCHEDULES=100 ./build-ci-release/tests/ExploreTest
+      LVISH_EXPLORE_SCHEDULES=100 ./build-ci-release/tests/ExploreRegressionTest
+      LVISH_EXPLORE_SCHEDULES=100 ./build-ci-release/tests/DeterminismStressTest \
+        --gtest_filter='DeterminismExplored.*'
+      ;;
+    coverage)
+      run_stage coverage -DCMAKE_BUILD_TYPE=Debug -DLVISH_COVERAGE=ON
+      echo "==== [coverage] line-coverage summary ===="
+      if command -v gcovr >/dev/null 2>&1; then
+        gcovr --root . --filter 'src/' --print-summary \
+          build-ci-coverage | tee build-ci-coverage/coverage-summary.txt
+      else
+        # Fallback without gcovr: aggregate gcov's per-file line stats for
+        # src/ objects into one covered/total percentage.
+        ( cd build-ci-coverage
+          find . -name '*.gcda' -path '*src*' | while read -r g; do
+            gcov -n -o "$(dirname "$g")" "$g" 2>/dev/null
+          done | awk '
+            /^File/ { f=$2; insrc = (f ~ /src\//) }
+            insrc && /^Lines executed:/ {
+              split($0, a, ":"); split(a[2], b, "% of ")
+              covered += b[1] / 100 * b[2]; total += b[2]
+            }
+            END {
+              if (total > 0)
+                printf "lines: %.0f/%.0f (%.1f%%)\n",
+                       covered, total, 100 * covered / total
+              else
+                print "lines: no gcov data found"
+            }' > coverage-summary.txt
+          cat coverage-summary.txt )
+      fi
+      ;;
     *)
-      echo "unknown stage '$stage' (expected debug, release, tsan, bench, or faults)" >&2
+      echo "unknown stage '$stage' (expected debug, release, tsan, bench," \
+           "faults, explore, or coverage)" >&2
       exit 2
       ;;
   esac

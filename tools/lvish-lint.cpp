@@ -40,6 +40,12 @@
 ///                   mentions BenchHarness. Every bench must measure
 ///                   through bench/BenchHarness.h so it emits the uniform
 ///                   machine-readable BENCH_<name>.json.
+///  * explore-rng  - raw RNG facilities (std::mt19937, random_device,
+///                   distributions, shuffle, rand, ...) inside
+///                   src/explore/. The schedule explorer's whole contract
+///                   is that a schedule is a pure function of the seed;
+///                   all randomness must come from the seeded SplitMix64
+///                   stream. Applies only under /explore/.
 ///
 /// Usage: lvish-lint [--self-test] <file-or-dir>...
 /// Exits 1 if any violation is found.
@@ -66,6 +72,9 @@ struct Rule {
   /// Path substrings where the construct is legitimate (trusted layers).
   std::vector<const char *> AllowedDirs;
   const char *Why;
+  /// When non-empty, the rule ONLY applies to paths containing one of
+  /// these substrings (layer-local rules like explore-rng).
+  std::vector<const char *> LimitDirs;
 };
 
 const std::vector<Rule> &rules() {
@@ -100,6 +109,17 @@ const std::vector<Rule> &rules() {
        {"/core/", "/data/"},
        "direct LVar state access skips the ParCtx effect requirements and "
        "session checks"},
+      {"explore-rng",
+       {"std::mt19937", "std::mt19937_64", "std::random_device",
+        "std::uniform_int_distribution", "std::uniform_real_distribution",
+        "std::bernoulli_distribution", "std::shuffle", "std::random_shuffle",
+        "std::default_random_engine", "srand", "rand(", "drand48",
+        "arc4random"},
+       {},
+       "every bit of explorer randomness must come from the seeded "
+       "SplitMix64 stream so schedules are a pure function of (seed, "
+       "program) and replay strings stay bit-for-bit reproducible",
+       /*LimitDirs=*/{"/explore/"}},
   };
   return Rules;
 }
@@ -262,6 +282,13 @@ int lintContents(const std::string &Path, const std::string &Contents,
   for (const Rule &R : rules()) {
     if (pathAllowed(Path, R))
       continue;
+    if (!R.LimitDirs.empty()) {
+      bool InScope = false;
+      for (const char *Dir : R.LimitDirs)
+        InScope |= Path.find(Dir) != std::string::npos;
+      if (!InScope)
+        continue;
+    }
     for (size_t I = 0; I < Code.size(); ++I) {
       bool Hit = false;
       const char *HitTok = nullptr;
@@ -373,6 +400,21 @@ int selfTest() {
                       "int main() { return 0; }\n",
                       true),
          0, "bench-harness suppression works");
+  Expect(lintContents("src/explore/X.cpp", "std::mt19937 G(Seed);\n", true),
+         1, "explore-rng fires on raw RNG inside src/explore/");
+  Expect(lintContents("src/explore/X.cpp", "int V = rand();\n", true), 1,
+         "explore-rng fires on C rand inside src/explore/");
+  Expect(lintContents("src/sim/X.cpp", "std::mt19937 G(Seed);\n", true), 0,
+         "explore-rng is scoped to /explore/ only");
+  Expect(lintContents("src/explore/X.cpp", "SplitMix64 Rng(Seed);\n", true),
+         0, "explore-rng allows the seeded SplitMix64 stream");
+  Expect(lintContents("src/explore/X.cpp", "int Operand = 1;\n", true), 0,
+         "explore-rng respects identifier boundaries (rand( in operand)");
+  Expect(lintContents("src/explore/X.cpp",
+                      "// lvish-lint: allow(explore-rng)\n"
+                      "std::mt19937 G(Seed);\n",
+                      true),
+         0, "explore-rng suppression works");
   if (Failures == 0)
     std::printf("lvish-lint self-test: all checks passed\n");
   return Failures == 0 ? 0 : 1;
