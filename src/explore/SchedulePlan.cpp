@@ -49,7 +49,10 @@ std::optional<ReplaySpec> explore::decodeReplay(const std::string &S) {
       char C = S[I];
       if (C < '0' || C > '9')
         return std::nullopt;
-      V = V * 10 + static_cast<uint32_t>(C - '0');
+      uint32_t Digit = static_cast<uint32_t>(C - '0');
+      if (V > (UINT32_MAX - Digit) / 10)
+        return std::nullopt; // Decision overflows uint32_t: corrupt string.
+      V = V * 10 + Digit;
     }
     Spec.Decisions.push_back(V);
     Pos = End + (Dot == std::string::npos ? 0 : 1);

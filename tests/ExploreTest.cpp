@@ -226,6 +226,33 @@ TEST(ExploreTest, PreemptionBoundPrunesTheSpace) {
       << "raising the preemption bound must widen the enumerated space";
 }
 
+TEST(ExploreTest, ExhaustiveCoversLowerIndexedWorkerPreemption) {
+  // Regression: options are enumerated worker-major, so the
+  // non-preempting default (ContinueIdx) often sits ABOVE a lower-indexed
+  // worker's options (e.g. with LastWorker=1, worker 0's steal is option
+  // 0 and ContinueIdx=1). A bump loop over raw option indices starting at
+  // Chosen+1 never visits those, yet still reports Exhausted - silently
+  // overclaiming coverage. The rank-ordered DFS must reach a schedule
+  // where a decision takes an option below its ContinueIdx.
+  explore::SearchOptions O;
+  O.PreemptionBound = 2;
+  bool SawLowerPreempt = false;
+  O.OnSchedule = [&](const explore::Engine &Eng) {
+    for (const explore::Decision &D : Eng.log())
+      if (D.Kind == explore::DecisionKind::Step && D.ContinueIdx != ~0u &&
+          D.Chosen < D.ContinueIdx)
+        SawLowerPreempt = true;
+  };
+  explore::SearchResult R = explore::enumerateBounded(threeTaskProgram, O);
+  EXPECT_TRUE(R.Exhausted);
+  EXPECT_FALSE(R.Failure.has_value());
+  EXPECT_TRUE(SawLowerPreempt)
+      << "bounded enumeration never took an option below the "
+         "non-preempting default across " << R.SchedulesRun
+      << " schedules - in-bound preemptions by lower-indexed workers "
+         "were skipped";
+}
+
 TEST(ExploreTest, ExhaustiveFindsConflictPedigreeVariants) {
   // The conflicting-put program faults on EVERY schedule; enumeration
   // stops at the first one, which under the non-preempting default order
@@ -268,6 +295,17 @@ TEST(ExploreTest, ReplayStringRoundTrips) {
   EXPECT_FALSE(explore::decodeReplay("lvx9:w2:h00:1").has_value());
   EXPECT_FALSE(
       explore::decodeReplay("lvx1:w2:h0000000000000000:1..2").has_value());
+
+  // Decision values that overflow uint32_t are rejected as corrupt, not
+  // silently wrapped into an arbitrary in-range decision.
+  EXPECT_FALSE(explore::decodeReplay("lvx1:w2:h0000000000000000:4294967296")
+                   .has_value());
+  EXPECT_FALSE(
+      explore::decodeReplay("lvx1:w2:h0000000000000000:1.18446744073709551616")
+          .has_value());
+  auto Max = explore::decodeReplay("lvx1:w2:h0000000000000000:4294967295");
+  ASSERT_TRUE(Max.has_value());
+  EXPECT_EQ(Max->Decisions, std::vector<uint32_t>{4294967295u});
 }
 
 TEST(ExploreTest, ShrunkReplayReproducesThriceBitForBit) {
@@ -310,6 +348,34 @@ TEST(ExploreTest, ShrinkOnlyRemovesDecisions) {
   ASSERT_TRUE(Short.has_value());
   EXPECT_LE(Short->Decisions.size(), Long->Decisions.size());
   EXPECT_GT(RShrunk.Failure->ShrinkRuns, 0u);
+}
+
+TEST(ExploreTest, ShrinkFlagsNonScheduleDeterministicFailure) {
+  // A failure that is NOT a function of the schedule (here: the program
+  // faults only on its first invocation) defeats shrinking entirely -
+  // every candidate re-run passes. The driver must notice at runtime that
+  // even the unshrunk log no longer reproduces and flag the result,
+  // instead of silently reporting a replay string that does not fail.
+  int Calls = 0;
+  auto FirstRunOnly = [&Calls](const RunOptions &Opts) -> ParOutcome<int> {
+    bool Doom = Calls++ == 0;
+    return tryRunParIO<IOE>(
+        [Doom](ParCtx<IOE> Ctx) -> Par<int> {
+          auto IV = newIVar<int>(Ctx, "iv");
+          put(Ctx, *IV, 1);
+          if (Doom)
+            put(Ctx, *IV, 2); // conflicting put, first invocation only
+          co_return co_await get(Ctx, *IV);
+        },
+        Opts);
+  };
+  explore::SearchOptions O;
+  O.Schedules = 4;
+  explore::SearchResult R = explore::searchRandom(FirstRunOnly, O);
+  ASSERT_TRUE(R.Failure.has_value());
+  EXPECT_FALSE(R.Failure->Verified)
+      << "a failure no replay reproduces must not be reported as verified";
+  EXPECT_GT(R.Failure->ShrinkRuns, 0u);
 }
 
 // -- Quiesce / handler-pool drains under the explorer ----------------------
