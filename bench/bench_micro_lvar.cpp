@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchHarness.h"
+#include "src/core/HandlerPool.h"
 #include "src/core/LVish.h"
 #include "src/data/Counter.h"
 #include "src/data/IMap.h"
@@ -18,6 +19,7 @@
 #include "src/data/MonotoneHashMap.h"
 #include "src/support/AsymmetricGate.h"
 
+#include <atomic>
 #include <mutex> // lvish-lint: allow(raw-sync)
 
 using namespace lvish;
@@ -25,8 +27,13 @@ using namespace lvish;
 namespace {
 
 constexpr EffectSet D = Eff::Det;
+constexpr EffectSet IOE = Eff::FullIO;
 
 volatile uint64_t Sink; // Defeats dead-code elimination of results.
+
+/// Sink for values produced by concurrent tasks (plain volatile writes
+/// from two workers would be a data race).
+std::atomic<uint64_t> ParSink{0};
 
 /// Attaches ns/op to the series the harness just measured.
 void perOp(bench::Series &S, uint64_t OpsPerRep) {
@@ -187,6 +194,69 @@ int main(int argc, char **argv) {
                       }
                     }),
           Tight);
+  }
+
+  // Multi-key put/wake contention: 8 workers, one parked getter per key,
+  // disjoint-key putter shards, and a put-only handler echoing every delta
+  // into an ISet the root size-waits on. Every insert hits the waiter
+  // table while hundreds of threshold reads are parked on *other* keys -
+  // the hot path the sharded waiter buckets are for.
+  {
+    const uint64_t Keys = H.config().pick<uint64_t>(256, 32);
+    const uint64_t Rounds = H.config().pick<uint64_t>(20, 2);
+    const int Putters = 8;
+    Scheduler Contended(SchedulerConfig{8});
+    bench::Series &S = H.measure("contended_put_wake_8w", [&] {
+      for (uint64_t R = 0; R < Rounds; ++R)
+        Sink = runParIOOn<IOE>(
+            Contended, [Keys, Putters](ParCtx<IOE> Ctx) -> Par<uint64_t> {
+              const int KeysI = static_cast<int>(Keys);
+              auto Map = newEmptyMap<int, int>(Ctx);
+              auto Echo = newISet<int>(Ctx);
+              auto Ready = newCounter(Ctx);
+              auto Pool = newPool(Ctx);
+              // Put-only handler: echoes each delta's key (the cascade).
+              // Echo is a different LVar than the one the handler watches,
+              // so owning capture is cycle-free (see HandlerPool.h).
+              ParCtx<Eff::WriteOnly> WCtx = Ctx;
+              auto Handler = [Echo](ParCtx<Eff::WriteOnly> C,
+                                    const std::pair<int, int> &D)
+                  -> Par<void> {
+                insert(C, *Echo, D.first);
+                co_return;
+              };
+              addHandler(WCtx, Pool, *Map, Handler);
+              // One parked getter per key; each announces readiness first
+              // so the putters release only once the waiter table is full.
+              // Owning captures: forked tasks may outlive the root frame.
+              for (int K = 0; K < KeysI; ++K) {
+                auto Getter = [Map, Ready, K](ParCtx<IOE> C) -> Par<void> {
+                  incrCounter(C, *Ready);
+                  int V = co_await get(C, *Map, K);
+                  ParSink.store(static_cast<uint64_t>(V),
+                                std::memory_order_relaxed);
+                };
+                fork(Ctx, Getter);
+              }
+              // Disjoint-key putter shards, gated on full registration.
+              for (int P = 0; P < Putters; ++P) {
+                auto Putter = [Map, Ready, P, Putters,
+                               KeysI](ParCtx<IOE> C) -> Par<void> {
+                  co_await get(C, *Ready, static_cast<uint64_t>(KeysI));
+                  for (int K = P; K < KeysI; K += Putters)
+                    insert(C, *Map, K, K * 2);
+                };
+                fork(Ctx, Putter);
+              }
+              co_await waitSize(Ctx, *Echo, Keys);
+              co_await quiesce(Ctx, Pool);
+              co_return Keys;
+            });
+    });
+    S.config("keys", Keys);
+    S.config("putters", static_cast<uint64_t>(Putters));
+    S.config("workers", uint64_t{8});
+    perOp(S, Rounds * Keys);
   }
 
   H.recordStats(Sched.stats());

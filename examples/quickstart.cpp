@@ -50,7 +50,7 @@ Par<int> shoppingCart(ParCtx<E> Ctx) {
     co_return;
   });
   // Blocks until the Book key appears - regardless of fork order.
-  int Quantity = co_await getKey(Ctx, *CartLV, Item::Book);
+  int Quantity = co_await get(Ctx, *CartLV, Item::Book);
   co_return Quantity;
 }
 

@@ -20,6 +20,18 @@
 /// scheduler interface" role that \c ParLVar plays in Section 4's
 /// independent-extensibility discussion.
 ///
+/// Delta batching (DESIGN.md Section 13): handlers whose effect level
+/// cannot block (no HasGet) do not spawn one task per delta. Each pool
+/// keeps one delta batch per worker (plus one for external callers); a put
+/// appends a thunk to its worker's batch and spawns a single flush task
+/// only when the batch was idle. The flush task drains the batch - and
+/// whatever lands in it while draining - then disarms. TaskScope
+/// enter/exit is per *flush*, not per delta, so quiescence still counts
+/// every pending delta (a delta is only ever pending while its batch's
+/// flush is armed). Handlers that CAN block (HasGet in their effect row)
+/// keep the one-task-per-delta path: a parked handler would otherwise
+/// stall every delta queued behind it in the batch.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LVISH_CORE_HANDLERPOOL_H
@@ -30,61 +42,192 @@
 #include "src/sched/TaskScope.h"
 #include "src/support/Timer.h"
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 namespace lvish {
 
 /// Groups handler invocations for quiescence; see file comment.
 class HandlerPool {
 public:
-  HandlerPool() : Scope(TaskScope::Mode::Live) {}
+  /// One per-worker delta batch (its own cache line). A put holds Mu just
+  /// long enough to append; the flush task holds it just long enough to
+  /// swap the pending vector out.
+  struct alignas(64) WorkerBatch {
+    std::mutex Mu;
+    std::vector<std::function<Par<void>()>> Pending;
+    /// True while a flush task owns this batch (one Scope.enter per arm).
+    bool FlushArmed = false;
+  };
+
+  /// \p NumBatchSlots must be the scheduler's numWorkers() + 1 (the last
+  /// slot serves external, non-worker callers); newPool does this.
+  explicit HandlerPool(unsigned NumBatchSlots)
+      : Scope(TaskScope::Mode::Live),
+        Batches(std::make_unique<WorkerBatch[]>(NumBatchSlots)),
+        NumBatchSlots(NumBatchSlots) {}
 
   /// Counts every handler task spawned under this pool, including the
   /// tasks they transitively fork.
   TaskScope Scope;
+
+  /// Per-worker delta batches for non-blocking handlers.
+  std::unique_ptr<WorkerBatch[]> Batches;
+  unsigned NumBatchSlots;
+
+  /// Union of the effect masks of every registration whose deltas may
+  /// share a batch; flush tasks declare this (a superset per delta, which
+  /// the audit permits - declared effects bound performed ones).
+  std::atomic<uint8_t> BatchFx{0};
+
+  /// Monotonic registration ordinal source for HandlerHandle.
+  std::atomic<uint64_t> Registrations{0};
 };
 
-/// Allocates a handler pool for the current session.
+/// Names one handler registration (which pool, which ordinal). Returned by
+/// \c addHandler so callers can tie a registration to its pool - e.g. to
+/// keep the pool alive or to quiesce the right pool later.
+struct HandlerHandle {
+  std::shared_ptr<HandlerPool> Pool;
+  uint64_t Registration = 0;
+
+  explicit operator bool() const { return Pool != nullptr; }
+};
+
+/// Allocates a handler pool for the current session, sized to the
+/// scheduler's worker count (one delta batch per worker plus one for
+/// external callers).
 template <EffectSet E> std::shared_ptr<HandlerPool> newPool(ParCtx<E> Ctx) {
-  (void)Ctx;
-  return std::make_shared<HandlerPool>();
+  return std::make_shared<HandlerPool>(Ctx.sched()->numWorkers() + 1);
 }
 
 /// Registers \p Callback (signature `Par<void>(ParCtx<E>, const Delta&)`)
-/// to run, as a freshly forked task counted by \p Pool, for the LVar's
-/// current contents and for every subsequent change.
+/// to run, as a task counted by \p Pool, for the LVar's current contents
+/// and for every subsequent change. Returns a HandlerHandle naming the
+/// registration.
 ///
 /// Ownership note: the callback is stored inside the LVar for the LVar's
 /// whole lifetime. A handler that refers to its *own* LVar (the fixpoint
 /// idiom, e.g. graph traversal) must capture a non-owning pointer or
 /// reference - capturing the shared_ptr would create a reference cycle
-/// that Haskell's GC would collect but C++ cannot.
+/// that Haskell's GC would collect but C++ cannot. Prefer \c addHandlerRef
+/// below, which passes the LVar back into the callback by reference so
+/// there is nothing to capture.
 template <EffectSet E, typename LVarT, typename F>
-void addHandler(ParCtx<E> Ctx, std::shared_ptr<HandlerPool> Pool, LVarT &LV,
-                F Callback) {
+HandlerHandle addHandler(ParCtx<E> Ctx, std::shared_ptr<HandlerPool> Pool,
+                         LVarT &LV, F Callback) {
   using Delta = typename LVarT::DeltaType;
   static_assert(
       std::is_invocable_r_v<Par<void>, F, ParCtx<E>, const Delta &>,
       "handler callback must be callable as Par<void>(ParCtx<E>, Delta)");
   Scheduler *Sched = Ctx.sched();
-  LV.addHandlerRaw(
-      [Sched, Pool, Callback](const Delta &D) {
-        // Runs synchronously inside the put (or registration); spawn the
-        // user callback as its own task so the put does not block.
-        Task *Spawner = Scheduler::currentTask();
-        obs::count(obs::Event::HandlerInvocations);
-        Par<void> Body = detail::forkBody<E>(
-            [Callback, D](ParCtx<E> C) -> Par<void> {
-              co_await Callback(C, D);
+  Pool->BatchFx.fetch_or(check::effectMask(E), std::memory_order_relaxed);
+  uint64_t Ordinal =
+      Pool->Registrations.fetch_add(1, std::memory_order_relaxed);
+  if constexpr (!hasGet(E)) {
+    // Non-blocking handler: batch deltas per worker, one flush task per
+    // armed batch (see file comment).
+    LV.addHandlerRaw(
+        [Sched, Pool, Callback](const Delta &D) {
+          obs::count(obs::Event::HandlerInvocations);
+          HandlerPool::WorkerBatch &B =
+              Pool->Batches[Sched->callerBatchIndex()];
+          bool Spawn = false;
+          {
+            std::lock_guard<std::mutex> Lock(B.Mu);
+            B.Pending.push_back([Callback, D]() -> Par<void> {
+              return detail::forkBody<E>(
+                  [Callback, D](ParCtx<E> C) -> Par<void> {
+                    co_await Callback(C, D);
+                  });
             });
-        Task *T = detail::installTaskRoot(*Sched, std::move(Body), Spawner);
-        check::declareTaskEffects(T, check::effectMask(E));
-        T->Scopes.push_back(&Pool->Scope);
-        T->Keepalives.push_back(Pool); // Scope must outlive the task.
-        Pool->Scope.enter();
-        Sched->schedule(T);
-      },
-      Ctx.task());
+            if (!B.FlushArmed) {
+              B.FlushArmed = true;
+              // Enter the scope while still holding B.Mu: the scope count
+              // covers the pending delta before anyone can observe the
+              // batch, so quiesce never sees a transient drain.
+              Pool->Scope.enter();
+              Spawn = true;
+            }
+          }
+          if (!Spawn)
+            return; // An armed flush task will pick the delta up.
+          Task *Spawner = Scheduler::currentTask();
+          HandlerPool::WorkerBatch *BP = &B;
+          Par<void> Body = detail::forkBody<E>(
+              [BP](ParCtx<E>) -> Par<void> {
+                std::vector<std::function<Par<void>()>> Local;
+                for (;;) {
+                  {
+                    std::lock_guard<std::mutex> Lock(BP->Mu);
+                    if (BP->Pending.empty()) {
+                      BP->FlushArmed = false;
+                      break;
+                    }
+                    Local.swap(BP->Pending);
+                  }
+                  for (auto &Thunk : Local)
+                    co_await Thunk();
+                  Local.clear();
+                }
+              });
+          Task *T = detail::installTaskRoot(*Sched, std::move(Body), Spawner);
+          check::declareTaskEffects(
+              T, Pool->BatchFx.load(std::memory_order_relaxed));
+          T->Scopes.push_back(&Pool->Scope);
+          T->Keepalives.push_back(Pool); // Batches must outlive the task.
+          obs::count(obs::Event::HandlerBatchFlushes);
+          Sched->schedule(T);
+        },
+        Ctx.task());
+  } else {
+    // Blocking-capable handler: one task per delta, so a parked handler
+    // never stalls deltas queued behind it.
+    LV.addHandlerRaw(
+        [Sched, Pool, Callback](const Delta &D) {
+          // Runs synchronously inside the put (or registration); spawn the
+          // user callback as its own task so the put does not block.
+          Task *Spawner = Scheduler::currentTask();
+          obs::count(obs::Event::HandlerInvocations);
+          Par<void> Body = detail::forkBody<E>(
+              [Callback, D](ParCtx<E> C) -> Par<void> {
+                co_await Callback(C, D);
+              });
+          Task *T = detail::installTaskRoot(*Sched, std::move(Body), Spawner);
+          check::declareTaskEffects(T, check::effectMask(E));
+          T->Scopes.push_back(&Pool->Scope);
+          T->Keepalives.push_back(Pool); // Scope must outlive the task.
+          Pool->Scope.enter();
+          Sched->schedule(T);
+        },
+        Ctx.task());
+  }
+  return HandlerHandle{std::move(Pool), Ordinal};
+}
+
+/// Like \c addHandler, but the callback receives the LVar by reference
+/// (signature `Par<void>(ParCtx<E>, LVarT&, const Delta&)`), so the
+/// fixpoint idiom - a handler that writes back into the LVar it watches -
+/// needs no self-capture at all. This is the safe spelling of the
+/// ownership note above: the reference is non-owning by construction and
+/// cannot form the shared_ptr cycle.
+template <EffectSet E, typename LVarT, typename F>
+HandlerHandle addHandlerRef(ParCtx<E> Ctx, std::shared_ptr<HandlerPool> Pool,
+                            LVarT &LV, F Callback) {
+  using Delta = typename LVarT::DeltaType;
+  static_assert(
+      std::is_invocable_r_v<Par<void>, F, ParCtx<E>, LVarT &, const Delta &>,
+      "handler callback must be callable as "
+      "Par<void>(ParCtx<E>, LVarT&, Delta)");
+  LVarT *Raw = &LV;
+  return addHandler(Ctx, std::move(Pool), LV,
+                    [Raw, Callback](ParCtx<E> C, const Delta &D) {
+                      return Callback(C, *Raw, D);
+                    });
 }
 
 /// Awaitable that blocks until every handler task in the pool (and

@@ -44,6 +44,7 @@ public:
         if constexpr (std::equality_comparable<T>) {
           if (*Slot == V) {
             obs::count(obs::Event::NoOpJoins);
+            obs::count(obs::Event::NotifySkips);
             return; // Idempotent repeat of the same write.
           }
         }
@@ -57,7 +58,9 @@ public:
       Slot.emplace(V);
       Full = true;
     }
-    notifyWaiters(Writer);
+    // State and every parked waiter live under WaitMutex (Bucket0.Mu), so
+    // the mutex alone orders this notify's probe - no fence needed.
+    notifyWaiters(Writer, NotifyOrder::MutexGuarded);
   }
 
   /// Non-blocking peek used by freezing reads and tests. Only deterministic

@@ -6,22 +6,37 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The runtime substrate shared by every LVar data structure: the waiter
-/// list for blocked threshold reads, the freeze bit for quasi-deterministic
-/// exact reads, the session id standing in for the paper's `s` parameter,
-/// and the asymmetric put/handler-registration gate of footnote 6.
+/// The runtime substrate shared by every LVar data structure: the sharded
+/// waiter table for blocked threshold reads, the freeze bit for
+/// quasi-deterministic exact reads, the session id standing in for the
+/// paper's `s` parameter, and the asymmetric put/handler-registration gate
+/// of footnote 6.
 ///
-/// Park/wake protocol (no lost wakeups):
-///  * A get-awaiter calls \c parkGet, which under \c WaitMutex re-checks
-///    the threshold via the awaiter's \c tryCapture. If unsatisfied it
-///    publishes the waiter entry and performs the scheduler's park
-///    bookkeeping *last*, still under the lock (see Scheduler.h).
-///  * A put applies its state change (with the structure's own
-///    synchronization), then calls \c notifyWaiters, which under the same
-///    lock re-runs \c tryCapture for each waiter. Any change that lands
-///    between a waiter's check and its publication is observed by the
-///    put's scan, because the scan serializes after the publication on
-///    \c WaitMutex.
+/// Waiter sharding (DESIGN.md Section 13): a blocked threshold read parks
+/// in the bucket named by its \c WaitSlot -
+///  * \c WaitSlot::dflt() - the inline default bucket, whose mutex doubles
+///    as the state lock of mutex-guarded structures (IVar, PureLVar) and
+///    holds the unclassifiable waiters of Counter/CounterVec;
+///  * \c WaitSlot::key(H) - one of \c NumKeyBuckets lazily allocated
+///    per-key-hash buckets (IMap/ISet element reads), so a put re-checks
+///    only the waiters its own key can satisfy;
+///  * \c WaitSlot::size(N) - a lazily allocated min-heap of cardinality
+///    watermarks (the waitSize family), skipped entirely while the
+///    structure's size is below the smallest parked threshold. A size
+///    waiter's tryCapture MUST be exactly "current size >= N" (monotone in
+///    N), which is what lets the heap stop at the first unsatisfied
+///    threshold.
+///
+/// Park/wake protocol (no lost wakeups): the parker PUBLISHES its entry
+/// (bucket push + count/watermark update), issues a seq_cst fence, and
+/// only then re-checks the threshold, withdrawing the entry if it is
+/// already satisfied. A put applies its state change, issues a seq_cst
+/// fence, and then reads the bucket counts/watermark to decide whether to
+/// scan. This is the store-buffering (Dekker) pattern: the put missing the
+/// published entry AND the parker missing the state change cannot both
+/// happen, so any racing pair resolves to either a scan that wakes the
+/// waiter or a re-check that never parks. Both sides run tryCapture under
+/// the bucket mutex, so awaiter state is never touched concurrently.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +52,7 @@
 #include "src/support/AsymmetricGate.h"
 #include "src/support/Assert.h"
 
+#include <algorithm>
 #include <atomic>
 #include <coroutine>
 #include <cstdio>
@@ -53,11 +69,55 @@
 
 namespace lvish {
 
+/// How a notify entry point is ordered against the put's state change -
+/// what makes the publish-then-recheck protocol's store-buffering argument
+/// go through (see the file comment). The cheapest sound option depends on
+/// how the data structure guards its state.
+enum class NotifyOrder {
+  /// State writes carry no usable ordering (lock-free hash tables): issue
+  /// a seq_cst fence before probing the bucket counts.
+  FenceBefore,
+  /// The state write itself was a seq_cst RMW (Counter's fetch_add):
+  /// seq_cst probe loads are ordered after it in the SC total order, so
+  /// no fence is needed - a seq_cst load is a plain load on x86.
+  StateSeqCst,
+  /// State is written under Bucket0.Mu and every waiter parks in Bucket0
+  /// under the same mutex (IVar, PureLVar): the mutex's happens-before
+  /// makes any ordering between probe and state write race-free.
+  MutexGuarded,
+};
+
+/// Names the waiter bucket a blocking threshold read parks in; see the
+/// file comment for the three kinds.
+struct WaitSlot {
+  enum class Kind : uint8_t { Default, Key, Size };
+  Kind K = Kind::Default;
+  uint64_t Value = 0;
+
+  /// The default bucket (mutex-guarded state, or unclassifiable waiters).
+  static constexpr WaitSlot dflt() { return WaitSlot{}; }
+  /// A per-key-hash bucket; \p Hash must be the same value the writing
+  /// side passes to notifyDelta for the matching key.
+  static constexpr WaitSlot key(uint64_t Hash) {
+    return WaitSlot{Kind::Key, Hash};
+  }
+  /// The size-watermark heap; the awaiter's tryCapture must be exactly
+  /// "current size >= Threshold".
+  static constexpr WaitSlot size(uint64_t Threshold) {
+    return WaitSlot{Kind::Size, Threshold};
+  }
+};
+
 /// Base class of every LVar; see file comment.
 class LVarBase : public ParkSite {
 public:
-  explicit LVarBase(uint64_t SessionId) : Session(SessionId) {}
-  ~LVarBase() override = default;
+  explicit LVarBase(uint64_t SessionId)
+      : WaitMutex(Bucket0.Mu), Session(SessionId) {}
+
+  ~LVarBase() override {
+    delete[] KeyBuckets.load(std::memory_order_acquire);
+    delete SizeList.load(std::memory_order_acquire);
+  }
 
   LVarBase(const LVarBase &) = delete;
   LVarBase &operator=(const LVarBase &) = delete;
@@ -83,13 +143,42 @@ public:
     return DbgName.empty() ? nullptr : DbgName.c_str();
   }
 
-  /// ParkSite: forget a reaped waiter (only called at quiescence).
+  /// ParkSite: forget a reaped waiter (only called at quiescence). O(one
+  /// bucket): Task::ParkedSlot remembers which bucket holds the entry.
   void removeParkedTask(Task *T) override {
-    std::lock_guard<std::mutex> Lock(WaitMutex);
-    for (auto It = Waiters.begin(); It != Waiters.end();)
+    const uint32_t Slot = T->ParkedSlot;
+    if (Slot == SlotSize) {
+      SizeWaiters *L = SizeList.load(std::memory_order_acquire);
+      if (!L)
+        return;
+      std::lock_guard<std::mutex> Lock(L->Mu);
+      for (auto It = L->Heap.begin(); It != L->Heap.end();)
+        if (It->E.Owner == T) {
+          It = L->Heap.erase(It);
+          T->ParkedOn = nullptr;
+        } else {
+          ++It;
+        }
+      std::make_heap(L->Heap.begin(), L->Heap.end(), ThresholdGreater{});
+      L->MinWatermark.store(L->Heap.empty() ? UINT64_MAX
+                                            : L->Heap.front().Threshold,
+                            std::memory_order_seq_cst);
+      return;
+    }
+    WaiterBucket *B = nullptr;
+    if (Slot == SlotDefault) {
+      B = &Bucket0;
+    } else if (WaiterBucket *KB = KeyBuckets.load(std::memory_order_acquire)) {
+      assert(Slot - 1 < NumKeyBuckets && "corrupt ParkedSlot");
+      B = &KB[Slot - 1];
+    }
+    if (!B)
+      return;
+    std::lock_guard<std::mutex> Lock(B->Mu);
+    for (auto It = B->Waiters.begin(); It != B->Waiters.end();)
       if (It->Owner == T) {
-        It = Waiters.erase(It);
-        WaiterCount.fetch_sub(1, std::memory_order_release);
+        It = B->Waiters.erase(It);
+        B->Count.fetch_sub(1, std::memory_order_release);
         T->ParkedOn = nullptr;
       } else {
         ++It;
@@ -116,12 +205,23 @@ protected:
     bool (*TryCapture)(void *Awaiter);
   };
 
+  /// One waiter shard: its own cache line, its own lock, and a lock-free
+  /// occupancy probe for the notify fast path.
+  struct alignas(64) WaiterBucket {
+    std::mutex Mu;
+    std::vector<WaiterEntry> Waiters;
+    /// Tracks Waiters.size(); probed without the lock by notifiers.
+    std::atomic<uint32_t> Count{0};
+  };
+
   /// Parks the calling coroutine unless the awaiter's threshold is already
-  /// satisfied. Returns true if parked (the awaiter must suspend), false if
-  /// \c A->tryCapture() succeeded (the awaiter must resume immediately).
-  /// Also the cancellation poll point for reads (Section 6.1).
+  /// satisfied. Returns true if parked (the awaiter must suspend), false
+  /// if \c A->tryCapture() succeeded (the awaiter must resume
+  /// immediately). \p Slot picks the waiter bucket (see WaitSlot). Also
+  /// the cancellation poll point for reads (Section 6.1).
   template <typename AwaiterT>
-  bool parkGet(Task *T, std::coroutine_handle<> H, AwaiterT *A) {
+  bool parkGet(Task *T, std::coroutine_handle<> H, AwaiterT *A,
+               WaitSlot Slot = WaitSlot()) {
     checkSession(T);
     check::auditEffect(T, check::FxGet, "blocking threshold read");
     // LVISH_FAULTS park-point poll (no-op otherwise). A raise here throws
@@ -132,53 +232,254 @@ protected:
       T->Sched->deferRetire(T);
       return true; // Suspend; the worker destroys the frame right after.
     }
-    std::lock_guard<std::mutex> Lock(WaitMutex);
+    WaiterEntry Entry{
+        T, A, [](void *P) { return static_cast<AwaiterT *>(P)->tryCapture(); }};
+    if (Slot.K == WaitSlot::Kind::Size) {
+      SizeWaiters &L = sizeList();
+      std::lock_guard<std::mutex> Lock(L.Mu);
+      // Publish-then-recheck: entry and lowered watermark first, fence,
+      // then the threshold probe (see file comment).
+      L.Heap.push_back(SizeWaiter{Slot.Value, Entry});
+      const uint64_t OldMark = L.MinWatermark.load(std::memory_order_relaxed);
+      if (Slot.Value < OldMark)
+        L.MinWatermark.store(Slot.Value, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (A->tryCapture()) {
+        L.Heap.pop_back(); // Withdraw: the push had not been heapified yet.
+        if (Slot.Value < OldMark)
+          L.MinWatermark.store(OldMark, std::memory_order_relaxed);
+        return false;
+      }
+      std::push_heap(L.Heap.begin(), L.Heap.end(), ThresholdGreater{});
+      T->Resume = H;
+      T->ParkedOn = this;
+      T->ParkedSlot = SlotSize;
+      // Park bookkeeping last, under the lock (session-quiescence
+      // protocol).
+      T->Sched->onTaskParked(T);
+      return true;
+    }
+    uint32_t SlotIdx = SlotDefault;
+    WaiterBucket *B = &Bucket0;
+    if (Slot.K == WaitSlot::Kind::Key) {
+      const uint32_t Idx =
+          static_cast<uint32_t>(Slot.Value & (NumKeyBuckets - 1));
+      B = &keyBuckets()[Idx];
+      SlotIdx = Idx + 1;
+    }
+    std::lock_guard<std::mutex> Lock(B->Mu);
+    B->Waiters.push_back(Entry);
+    B->Count.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     if (A->tryCapture()) {
       LVISH_TRACE2("parkGet lv=%p task=%p h=%p CAPTURED\n", (void *)this,
                    (void *)T, H.address());
+      B->Waiters.pop_back(); // Withdraw our own (still last) entry.
+      B->Count.fetch_sub(1, std::memory_order_release);
       return false;
     }
     LVISH_TRACE2("parkGet lv=%p task=%p h=%p PARKED\n", (void *)this,
                  (void *)T, H.address());
     T->Resume = H;
-    Waiters.push_back(WaiterEntry{
-        T, A, [](void *P) { return static_cast<AwaiterT *>(P)->tryCapture(); }});
-    WaiterCount.fetch_add(1, std::memory_order_release);
     T->ParkedOn = this;
+    T->ParkedSlot = SlotIdx;
     // Park bookkeeping last, under the lock (session-quiescence protocol).
     T->Sched->onTaskParked(T);
     return true;
   }
 
-  /// Re-checks all waiters after a state change and wakes the satisfied
-  /// ones. \p Waker is the task performing the put (for trace edges); may
-  /// be null for external (session-setup) writes.
-  void notifyWaiters(Task *Waker) {
-    // Fast path: no parked readers (the overwhelmingly common case for
-    // bump-heavy workloads like PhyBin's distance phase). Safe: waiters
-    // register under WaitMutex and re-check the threshold there, so any
-    // reader arriving after this load has already seen our state change.
-    if (WaiterCount.load(std::memory_order_acquire) == 0)
-      return;
+  /// Full-table notify: re-checks every waiter in every occupied bucket.
+  /// For structures without a per-key/size decomposition (IVar, PureLVar,
+  /// Counter, CounterVec) all waiters live in the default bucket, so this
+  /// degenerates to exactly the pre-sharding scan. \p Order picks the
+  /// cheapest sound ordering against the caller's state write (see
+  /// NotifyOrder): only FenceBefore pays a full fence on the no-waiter
+  /// fast path.
+  void notifyWaiters(Task *Waker,
+                     NotifyOrder Order = NotifyOrder::FenceBefore) {
+    if (Order == NotifyOrder::FenceBefore)
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    // StateSeqCst: the probe loads themselves must be seq_cst so they are
+    // ordered after the caller's seq_cst state RMW in the SC total order
+    // (a plain load on x86). Otherwise relaxed suffices - the fence or the
+    // mutex supplies the ordering.
+    const std::memory_order Probe = Order == NotifyOrder::StateSeqCst
+                                        ? std::memory_order_seq_cst
+                                        : std::memory_order_relaxed;
     std::vector<Task *> ToWake;
-    {
-      std::lock_guard<std::mutex> Lock(WaitMutex);
-      if (Waiters.empty())
-        return;
-      for (auto It = Waiters.begin(); It != Waiters.end();)
-        if (It->TryCapture(It->Awaiter)) {
-          It->Owner->ParkedOn = nullptr;
-          ToWake.push_back(It->Owner);
-          It = Waiters.erase(It);
-          WaiterCount.fetch_sub(1, std::memory_order_release);
-        } else {
-          ++It;
-        }
+    bool Scanned = false;
+    if (Bucket0.Count.load(Probe) != 0) {
+      collectBucket(Bucket0, ToWake);
+      Scanned = true;
     }
-    if (!ToWake.empty())
-      obs::count(obs::Event::ThresholdWakeups, ToWake.size());
-    // A multi-task wakeup is a scheduling decision point: in explore mode
-    // the controller chooses the release order (null check otherwise).
+    if (WaiterBucket *KB = KeyBuckets.load(std::memory_order_acquire))
+      for (unsigned I = 0; I < NumKeyBuckets; ++I)
+        if (KB[I].Count.load(Probe) != 0) {
+          collectBucket(KB[I], ToWake);
+          Scanned = true;
+        }
+    if (SizeWaiters *L = SizeList.load(std::memory_order_acquire))
+      if (L->MinWatermark.load(Probe) != UINT64_MAX) {
+        collectSize(*L, ToWake);
+        Scanned = true;
+      }
+    if (!Scanned) {
+      obs::count(obs::Event::NotifySkips);
+      return;
+    }
+    dispatchWakes(Waker, ToWake);
+  }
+
+  /// Targeted notify for a delta that bound key \p KeyHash and grew the
+  /// structure to \p NewSize: scans only the default bucket (usually
+  /// empty), the one key bucket this delta can satisfy, and - only when
+  /// the smallest parked watermark is reached - the size heap.
+  void notifyDelta(Task *Waker, uint64_t KeyHash, uint64_t NewSize) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::vector<Task *> ToWake;
+    bool Scanned = false;
+    if (Bucket0.Count.load(std::memory_order_relaxed) != 0) {
+      collectBucket(Bucket0, ToWake);
+      Scanned = true;
+    }
+    if (WaiterBucket *KB = KeyBuckets.load(std::memory_order_acquire)) {
+      WaiterBucket &B = KB[KeyHash & (NumKeyBuckets - 1)];
+      if (B.Count.load(std::memory_order_relaxed) != 0) {
+        collectBucket(B, ToWake);
+        Scanned = true;
+      }
+    }
+    if (SizeWaiters *L = SizeList.load(std::memory_order_acquire))
+      if (NewSize >= L->MinWatermark.load(std::memory_order_relaxed)) {
+        collectSize(*L, ToWake);
+        Scanned = true;
+      }
+    if (!Scanned) {
+      obs::count(obs::Event::NotifySkips);
+      return;
+    }
+    dispatchWakes(Waker, ToWake);
+  }
+
+  /// The always-present default shard.
+  mutable WaiterBucket Bucket0;
+
+  /// The default bucket's mutex, which mutex-guarded structures (IVar,
+  /// PureLVar) also use as their state lock: their awaiters park in the
+  /// default bucket, so tryCapture always runs under the state lock.
+  /// (A reference, not a mutex: declared after Bucket0 so it binds to a
+  /// constructed member, and usable from const methods unlike a direct
+  /// alias through `this`.)
+  std::mutex &WaitMutex;
+
+  /// Footnote-6 gate: puts take the fast side; handler registration takes
+  /// the slow side. See src/support/AsymmetricGate.h.
+  AsymmetricGate HandlerGate;
+
+private:
+  /// Key-bucket fan-out; power of two. 16 shards keeps the per-LVar lazy
+  /// allocation at one cache line per shard while cutting the put-side
+  /// scan by the same factor.
+  static constexpr unsigned NumKeyBuckets = 16;
+  /// Task::ParkedSlot encoding: 0 = default bucket, 1..NumKeyBuckets =
+  /// key bucket index + 1, SlotSize = the size heap.
+  static constexpr uint32_t SlotDefault = 0;
+  static constexpr uint32_t SlotSize = ~0u;
+
+  struct SizeWaiter {
+    uint64_t Threshold;
+    WaiterEntry E;
+  };
+  struct ThresholdGreater {
+    bool operator()(const SizeWaiter &A, const SizeWaiter &B) const {
+      return A.Threshold > B.Threshold; // std::*_heap => min-heap.
+    }
+  };
+  /// The waitSize shard: a min-heap on the parked thresholds plus the
+  /// smallest one mirrored in an atomic, so a put below every parked
+  /// watermark skips the lock entirely.
+  struct alignas(64) SizeWaiters {
+    std::mutex Mu;
+    std::vector<SizeWaiter> Heap;
+    std::atomic<uint64_t> MinWatermark{UINT64_MAX};
+  };
+
+  /// Lazily allocates the key-bucket array (first key park only; LVars
+  /// that never park a per-key read - the bump-heavy PhyBin case, plain
+  /// futures - never pay for it). Bucket0.Mu doubles as the allocation
+  /// lock.
+  WaiterBucket *keyBuckets() {
+    WaiterBucket *P = KeyBuckets.load(std::memory_order_acquire);
+    if (P)
+      return P;
+    std::lock_guard<std::mutex> Lock(Bucket0.Mu);
+    P = KeyBuckets.load(std::memory_order_relaxed);
+    if (!P) {
+      P = new WaiterBucket[NumKeyBuckets];
+      KeyBuckets.store(P, std::memory_order_release);
+    }
+    return P;
+  }
+
+  /// Lazily allocates the size-waiter heap (first waitSize park only).
+  SizeWaiters &sizeList() {
+    SizeWaiters *P = SizeList.load(std::memory_order_acquire);
+    if (P)
+      return *P;
+    std::lock_guard<std::mutex> Lock(Bucket0.Mu);
+    P = SizeList.load(std::memory_order_relaxed);
+    if (!P) {
+      P = new SizeWaiters();
+      SizeList.store(P, std::memory_order_release);
+    }
+    return *P;
+  }
+
+  /// Locks one bucket and moves its satisfied waiters into \p ToWake.
+  void collectBucket(WaiterBucket &B, std::vector<Task *> &ToWake) {
+    std::lock_guard<std::mutex> Lock(B.Mu);
+    if (B.Waiters.empty())
+      return;
+    obs::count(obs::Event::BucketScans);
+    for (auto It = B.Waiters.begin(); It != B.Waiters.end();)
+      if (It->TryCapture(It->Awaiter)) {
+        It->Owner->ParkedOn = nullptr;
+        ToWake.push_back(It->Owner);
+        It = B.Waiters.erase(It);
+        B.Count.fetch_sub(1, std::memory_order_release);
+      } else {
+        ++It;
+      }
+  }
+
+  /// Pops satisfied size waiters in ascending-threshold order. Stops at
+  /// the first unsatisfied threshold: size waiters are monotone in N (the
+  /// WaitSlot::size contract), so nothing above the heap top can fire.
+  void collectSize(SizeWaiters &L, std::vector<Task *> &ToWake) {
+    std::lock_guard<std::mutex> Lock(L.Mu);
+    if (L.Heap.empty())
+      return;
+    obs::count(obs::Event::BucketScans);
+    while (!L.Heap.empty()) {
+      WaiterEntry &Top = L.Heap.front().E;
+      if (!Top.TryCapture(Top.Awaiter))
+        break;
+      Top.Owner->ParkedOn = nullptr;
+      ToWake.push_back(Top.Owner);
+      std::pop_heap(L.Heap.begin(), L.Heap.end(), ThresholdGreater{});
+      L.Heap.pop_back();
+    }
+    L.MinWatermark.store(L.Heap.empty() ? UINT64_MAX
+                                        : L.Heap.front().Threshold,
+                         std::memory_order_relaxed);
+  }
+
+  /// Releases a collected wake batch; a multi-task wakeup is a scheduling
+  /// decision point, so in explore mode the controller chooses the order.
+  void dispatchWakes(Task *Waker, std::vector<Task *> &ToWake) {
+    if (ToWake.empty())
+      return;
+    obs::count(obs::Event::ThresholdWakeups, ToWake.size());
     if (ToWake.size() > 1)
       ToWake.front()->Sched->explorePermuteWakes(ToWake);
     for (Task *T : ToWake) {
@@ -188,18 +489,8 @@ protected:
     }
   }
 
-  /// Guards Waiters and (for mutex-based structures like PureLVar) the
-  /// state itself.
-  mutable std::mutex WaitMutex;
-  std::vector<WaiterEntry> Waiters;
-  /// Lock-free probe for the notify fast path; tracks Waiters.size().
-  std::atomic<uint32_t> WaiterCount{0};
-
-  /// Footnote-6 gate: puts take the fast side; handler registration takes
-  /// the slow side. See src/support/AsymmetricGate.h.
-  AsymmetricGate HandlerGate;
-
-private:
+  mutable std::atomic<WaiterBucket *> KeyBuckets{nullptr};
+  mutable std::atomic<SizeWaiters *> SizeList{nullptr};
   std::atomic<bool> Frozen{false};
   uint64_t Session;
   std::string DbgName;

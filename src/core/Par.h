@@ -50,8 +50,8 @@
 /// Only prvalue temporaries with non-trivial destructors are affected
 /// (capturing lambdas, std::function, containers, shared_ptr). Named
 /// lvalues - even passed by value - and stateless lambdas are safe, and
-/// plain awaiter-returning operations (get, getKey, waitElem, quiesce,
-/// getPureLVar, ...) are safe with any argument shape.
+/// plain awaiter-returning operations (get, waitSize, quiesce, ...) are
+/// safe with any argument shape.
 ///
 //===----------------------------------------------------------------------===//
 

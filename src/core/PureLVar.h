@@ -29,9 +29,11 @@
 #include "src/core/Lattice.h"
 #include "src/core/Par.h"
 
+#include <concepts>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 namespace lvish {
@@ -97,6 +99,7 @@ public:
     }
     if (!Changed) {
       obs::count(obs::Event::NoOpJoins);
+      obs::count(obs::Event::NotifySkips);
       return;
     }
     // Deliver the new state to handlers while still inside the gate's fast
@@ -104,7 +107,9 @@ public:
     auto Snapshot = Handlers.load(std::memory_order_acquire);
     for (const Handler &H : *Snapshot)
       H(NewState);
-    notifyWaiters(Writer);
+    // State and every parked waiter live under WaitMutex (Bucket0.Mu), so
+    // the mutex alone orders this notify's probe - no fence needed.
+    notifyWaiters(Writer, NotifyOrder::MutexGuarded);
   }
 
   /// Registers a change handler and delivers the current state to it once.
@@ -255,21 +260,46 @@ void putPureLVar(ParCtx<E> Ctx, PureLVar<L> &LV,
   LV.putValue(V, Ctx.task());
 }
 
-/// `getPureLVar`: threshold read returning the activated trigger index.
+/// Threshold read returning the activated trigger index - the unified
+/// spelling of the paper's `getPureLVar`.
 template <EffectSet E, typename L>
   requires(hasGet(E) && Lattice<L>)
 typename PureLVar<L>::GetAwaiter
-getPureLVar(ParCtx<E> Ctx, PureLVar<L> &LV,
-            ThresholdSets<typename L::ValueType> Triggers) {
+get(ParCtx<E> Ctx, PureLVar<L> &LV,
+    ThresholdSets<typename L::ValueType> Triggers) {
   return typename PureLVar<L>::GetAwaiter(LV, Ctx.task(),
                                           std::move(Triggers));
 }
 
+/// Deprecated spelling of \c lvish::get(Ctx, LV, Triggers).
+template <EffectSet E, typename L>
+  requires(hasGet(E) && Lattice<L>)
+[[deprecated("use lvish::get(Ctx, LV, Triggers)")]]
+typename PureLVar<L>::GetAwaiter
+getPureLVar(ParCtx<E> Ctx, PureLVar<L> &LV,
+            ThresholdSets<typename L::ValueType> Triggers) {
+  return get(Ctx, LV, std::move(Triggers));
+}
+
 /// General monotone-threshold read (footnote 5): blocks until \p Fn
-/// returns a value on the LVar's state, and returns that value. \p Fn
-/// must be monotone (stable above its activation point).
+/// returns an engaged optional on the LVar's state, and returns its
+/// value. \p Fn must be monotone (stable above its activation point).
+/// The result type is deduced from the callable's optional return.
+template <EffectSet E, typename L, typename FnT>
+  requires(hasGet(E) && Lattice<L> &&
+           std::invocable<FnT &, const typename L::ValueType &>)
+auto get(ParCtx<E> Ctx, PureLVar<L> &LV, FnT Fn) {
+  using OptR = std::invoke_result_t<FnT &, const typename L::ValueType &>;
+  using R = typename OptR::value_type;
+  return typename PureLVar<L>::template GetWithAwaiter<R>(LV, Ctx.task(),
+                                                          std::move(Fn));
+}
+
+/// Deprecated spelling of \c lvish::get(Ctx, LV, Fn) with an explicit
+/// result type.
 template <typename R, EffectSet E, typename L>
   requires(hasGet(E) && Lattice<L>)
+[[deprecated("use lvish::get(Ctx, LV, Fn)")]]
 typename PureLVar<L>::template GetWithAwaiter<R>
 getPureLVarWith(ParCtx<E> Ctx, PureLVar<L> &LV,
                 std::function<std::optional<R>(const typename L::ValueType &)>

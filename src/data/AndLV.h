@@ -117,7 +117,7 @@ Par<bool> getAndLV(ParCtx<E> Ctx, std::shared_ptr<AndLV> LV) {
       /*anyfalse=*/
       {Pair(Inp::F, Inp::Bot), Pair(Inp::Bot, Inp::F), Pair(Inp::F, Inp::T),
        Pair(Inp::T, Inp::F), Pair(Inp::F, Inp::F)}};
-  size_t Which = co_await getPureLVar(Ctx, *LV, Triggers);
+  size_t Which = co_await get(Ctx, *LV, Triggers);
   co_return Which == 0;
 }
 

@@ -55,18 +55,22 @@ public:
     obs::count(obs::Event::Puts);
     if (Amount == 0) {
       obs::count(obs::Event::NoOpJoins);
+      obs::count(obs::Event::NotifySkips);
       return;
     }
     if (isFrozen())
       putAfterFreezeError(Writer, this);
+    // seq_cst RMW: on common targets no dearer than acq_rel (still one
+    // locked/LL-SC op), and it lets notifyWaiters order its no-waiter
+    // probe against this write without a standalone fence.
 #if LVISH_CHECK
-    uint64_t Old = Value.fetch_add(Amount, std::memory_order_acq_rel);
+    uint64_t Old = Value.fetch_add(Amount, std::memory_order_seq_cst);
     if (check::sampleHit())
       check::checkBumpInflates(Old, Amount, "Counter");
 #else
-    Value.fetch_add(Amount, std::memory_order_acq_rel);
+    Value.fetch_add(Amount, std::memory_order_seq_cst);
 #endif
-    notifyWaiters(Writer);
+    notifyWaiters(Writer, NotifyOrder::StateSeqCst);
   }
 
   /// Exact value; deterministic only when frozen or quiescent.
@@ -111,12 +115,21 @@ void incrCounter(ParCtx<E> Ctx, Counter &C, uint64_t Amount = 1) {
   C.bump(Amount, Ctx.task());
 }
 
-/// Blocks until the counter reaches \p N.
+/// Blocks until the counter reaches \p N - the unified threshold-read
+/// spelling; returns the threshold itself.
 template <EffectSet E>
   requires(hasGet(E))
+Counter::WaitThresholdAwaiter get(ParCtx<E> Ctx, Counter &C, uint64_t N) {
+  return Counter::WaitThresholdAwaiter(C, Ctx.task(), N);
+}
+
+/// Deprecated spelling of \c lvish::get(Ctx, C, N).
+template <EffectSet E>
+  requires(hasGet(E))
+[[deprecated("use lvish::get(Ctx, C, N)")]]
 Counter::WaitThresholdAwaiter waitCounterAtLeast(ParCtx<E> Ctx, Counter &C,
                                                  uint64_t N) {
-  return Counter::WaitThresholdAwaiter(C, Ctx.task(), N);
+  return get(Ctx, C, N);
 }
 
 /// Freezes and reads the exact value.
@@ -151,20 +164,22 @@ public:
     obs::count(obs::Event::Puts);
     if (Amount == 0) {
       obs::count(obs::Event::NoOpJoins);
+      obs::count(obs::Event::NotifySkips);
       return;
     }
     if (isFrozen())
       putAfterFreezeError(Writer, this);
 #if LVISH_CHECK
-    uint64_t Old = Cells[I].V.fetch_add(Amount, std::memory_order_acq_rel);
+    uint64_t Old = Cells[I].V.fetch_add(Amount, std::memory_order_seq_cst);
     if (check::sampleHit())
       check::checkBumpInflates(Old, Amount, "CounterVec");
 #else
-    Cells[I].V.fetch_add(Amount, std::memory_order_acq_rel);
+    Cells[I].V.fetch_add(Amount, std::memory_order_seq_cst);
 #endif
     // Threshold waiters on CounterVec are rare (the PhyBin pattern is
-    // bump-then-freeze); skip the waiter scan when nobody waits.
-    notifyWaiters(Writer);
+    // bump-then-freeze); skip the waiter scan when nobody waits. The
+    // seq_cst RMW above stands in for the notify fence.
+    notifyWaiters(Writer, NotifyOrder::StateSeqCst);
   }
 
   uint64_t peekAt(size_t I) const {

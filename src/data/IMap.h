@@ -9,8 +9,9 @@
 /// `Data.LVar.Map` / `Data.LVar.PureMap`: a key-value map LVar supporting
 /// concurrent insertion but not deletion or update. Each key behaves like
 /// an IVar: inserting a key twice with conflicting values is a
-/// deterministic error (per-key lattice top). \c getKey is the blocking
-/// threshold read from the paper's appendix shopping-cart example:
+/// deterministic error (per-key lattice top). \c lvish::get(Ctx, Map, Key)
+/// (the paper's `getKey`) is the blocking threshold read from the
+/// appendix shopping-cart example:
 ///
 ///   p = do cart <- newEmptyMap
 ///          fork (insert Book 2 cart)
@@ -59,7 +60,8 @@ public:
       if constexpr (std::equality_comparable<V>) {
         if (*Stored == Val) {
           obs::count(obs::Event::NoOpJoins);
-          return; // Idempotent repeat.
+          obs::count(obs::Event::NotifySkips);
+          return; // Idempotent repeat: no delta, nothing to wake.
         }
       }
       detail::raiseSessionFault(Writer, FaultCode::ConflictingInsert,
@@ -75,7 +77,7 @@ public:
       for (const Handler &H : *Snapshot)
         H(Delta);
     }
-    notifyWaiters(Writer);
+    notifyDelta(Writer, HashT{}(Key), Table.size());
   }
 
   /// Non-blocking probe (deterministic only for keys known to be present,
@@ -99,6 +101,7 @@ public:
     auto [Stored, Inserted] = Table.insert(Key, Factory());
     if (!Inserted) {
       obs::count(obs::Event::NoOpJoins);
+      obs::count(obs::Event::NotifySkips);
       return *Stored; // Lost the race; the winner's value is canonical.
     }
     if (isFrozen())
@@ -109,7 +112,7 @@ public:
       for (const Handler &H : *Snapshot)
         H(Delta);
     }
-    notifyWaiters(Writer);
+    notifyDelta(Writer, HashT{}(Key), Table.size());
     return *Stored;
   }
 
@@ -148,7 +151,7 @@ public:
 
     bool await_ready() const noexcept { return false; }
     bool await_suspend(std::coroutine_handle<> H) {
-      return Map.parkGet(Tsk, H, this);
+      return Map.parkGet(Tsk, H, this, WaitSlot::key(HashT{}(Target)));
     }
     V await_resume() { return std::move(*Out); }
 
@@ -175,7 +178,7 @@ public:
 
     bool await_ready() const noexcept { return false; }
     bool await_suspend(std::coroutine_handle<> H) {
-      return Map.parkGet(Tsk, H, this);
+      return Map.parkGet(Tsk, H, this, WaitSlot::size(Threshold));
     }
     void await_resume() const noexcept {}
 
@@ -206,22 +209,43 @@ void insert(ParCtx<E> Ctx, IMap<K, V, HashT> &Map, const K &Key,
   Map.insertKV(Key, Val, Ctx.task());
 }
 
-/// `getKey :: HasGet e => k -> IMap k s v -> Par e s v`
+/// `getKey :: HasGet e => k -> IMap k s v -> Par e s v` - the unified
+/// threshold-read spelling: blocks until \p Key is bound, returns its
+/// value.
 template <EffectSet E, typename K, typename V, typename HashT>
   requires(hasGet(E))
+typename IMap<K, V, HashT>::GetKeyAwaiter get(ParCtx<E> Ctx,
+                                              IMap<K, V, HashT> &Map,
+                                              K Key) {
+  return typename IMap<K, V, HashT>::GetKeyAwaiter(Map, Ctx.task(),
+                                                   std::move(Key));
+}
+
+/// Deprecated spelling of \c lvish::get(Ctx, Map, Key).
+template <EffectSet E, typename K, typename V, typename HashT>
+  requires(hasGet(E))
+[[deprecated("use lvish::get(Ctx, Map, Key)")]]
 typename IMap<K, V, HashT>::GetKeyAwaiter getKey(ParCtx<E> Ctx,
                                                  IMap<K, V, HashT> &Map,
                                                  K Key) {
-  return typename IMap<K, V, HashT>::GetKeyAwaiter(Map, Ctx.task(),
-                                                   std::move(Key));
+  return get(Ctx, Map, std::move(Key));
 }
 
 /// Blocks until the map has at least \p N bindings.
 template <EffectSet E, typename K, typename V, typename HashT>
   requires(hasGet(E))
 typename IMap<K, V, HashT>::WaitSizeAwaiter
-waitMapSize(ParCtx<E> Ctx, IMap<K, V, HashT> &Map, size_t N) {
+waitSize(ParCtx<E> Ctx, IMap<K, V, HashT> &Map, size_t N) {
   return typename IMap<K, V, HashT>::WaitSizeAwaiter(Map, Ctx.task(), N);
+}
+
+/// Deprecated spelling of \c lvish::waitSize(Ctx, Map, N).
+template <EffectSet E, typename K, typename V, typename HashT>
+  requires(hasGet(E))
+[[deprecated("use lvish::waitSize(Ctx, Map, N)")]]
+typename IMap<K, V, HashT>::WaitSizeAwaiter
+waitMapSize(ParCtx<E> Ctx, IMap<K, V, HashT> &Map, size_t N) {
+  return waitSize(Ctx, Map, N);
 }
 
 /// Freezes mid-computation (quasi-deterministic) and returns the sorted

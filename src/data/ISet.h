@@ -10,8 +10,9 @@
 /// deletion, during Par computations". The lattice is the powerset of the
 /// element type ordered by inclusion; insert is the lub with a singleton.
 /// Deterministic observations:
-///  * \c waitElem - threshold read that unblocks once a given element is
-///    present (the returned information, "x is in the set", is stable);
+///  * \c lvish::get(Ctx, Set, Elem) (the paper's `waitElem`) - threshold
+///    read that unblocks once a given element is present (the returned
+///    information, "x is in the set", is stable);
 ///  * \c waitSize - unblocks once the cardinality reaches N (cardinality is
 ///    monotone, and the read returns only the threshold N, not the exact
 ///    size);
@@ -61,14 +62,15 @@ public:
     (void)Ptr;
     if (!Inserted) {
       obs::count(obs::Event::NoOpJoins);
-      return;
+      obs::count(obs::Event::NotifySkips);
+      return; // Idempotent repeat: no delta, nothing to wake.
     }
     if (isFrozen())
       putAfterFreezeError(Writer, this);
     auto Snapshot = Handlers.load(std::memory_order_acquire);
     for (const Handler &H : *Snapshot)
       H(Elem);
-    notifyWaiters(Writer);
+    notifyDelta(Writer, HashT{}(Elem), Table.size());
   }
 
   bool containsElem(const T &Elem) const { return Table.contains(Elem); }
@@ -109,7 +111,7 @@ public:
 
     bool await_ready() const noexcept { return false; }
     bool await_suspend(std::coroutine_handle<> H) {
-      return Set.parkGet(Tsk, H, this);
+      return Set.parkGet(Tsk, H, this, WaitSlot::key(HashT{}(Target)));
     }
     void await_resume() const noexcept {}
 
@@ -129,7 +131,7 @@ public:
 
     bool await_ready() const noexcept { return false; }
     bool await_suspend(std::coroutine_handle<> H) {
-      return Set.parkGet(Tsk, H, this);
+      return Set.parkGet(Tsk, H, this, WaitSlot::size(Threshold));
     }
     void await_resume() const noexcept {}
 
@@ -159,14 +161,24 @@ void insert(ParCtx<E> Ctx, ISet<T, HashT> &Set, const T &Elem) {
   Set.insertElem(Elem, Ctx.task());
 }
 
-/// Blocks until \p Elem appears.
+/// Blocks until \p Elem appears - the unified threshold-read spelling
+/// (the paper's `waitElem`).
 template <EffectSet E, typename T, typename HashT>
   requires(hasGet(E))
+typename ISet<T, HashT>::WaitElemAwaiter get(ParCtx<E> Ctx,
+                                             ISet<T, HashT> &Set, T Elem) {
+  return typename ISet<T, HashT>::WaitElemAwaiter(Set, Ctx.task(),
+                                                  std::move(Elem));
+}
+
+/// Deprecated spelling of \c lvish::get(Ctx, Set, Elem).
+template <EffectSet E, typename T, typename HashT>
+  requires(hasGet(E))
+[[deprecated("use lvish::get(Ctx, Set, Elem)")]]
 typename ISet<T, HashT>::WaitElemAwaiter waitElem(ParCtx<E> Ctx,
                                                   ISet<T, HashT> &Set,
                                                   T Elem) {
-  return typename ISet<T, HashT>::WaitElemAwaiter(Set, Ctx.task(),
-                                                  std::move(Elem));
+  return get(Ctx, Set, std::move(Elem));
 }
 
 /// Blocks until the set has at least \p N elements.

@@ -56,12 +56,21 @@ void putIdx(ParCtx<E> Ctx, IStructure<T> &S, size_t I, const T &V) {
   S.slot(I).putValue(V, Ctx.task());
 }
 
-/// Blocking read of slot \p I.
+/// Blocking read of slot \p I - the unified threshold-read spelling.
 template <EffectSet E, typename T>
   requires(hasGet(E))
+typename IVar<T>::GetAwaiter get(ParCtx<E> Ctx, IStructure<T> &S,
+                                 size_t I) {
+  return get(Ctx, S.slot(I));
+}
+
+/// Deprecated spelling of \c lvish::get(Ctx, S, I).
+template <EffectSet E, typename T>
+  requires(hasGet(E))
+[[deprecated("use lvish::get(Ctx, S, I)")]]
 typename IVar<T>::GetAwaiter getIdx(ParCtx<E> Ctx, IStructure<T> &S,
                                     size_t I) {
-  return get(Ctx, S.slot(I));
+  return get(Ctx, S, I);
 }
 
 } // namespace lvish

@@ -10,8 +10,8 @@
 /// Where IMap (src/data/IMap.h) is the *scalable* variant backed by a
 /// striped concurrent hash table, PureMap follows the PureLVar recipe: the
 /// whole map is "a single, pure value in a mutable box", with insertion as
-/// a lub against the map-union lattice and \c getKeyPure as a general
-/// monotone threshold read (footnote 5). Simpler to reason about (its
+/// a lub against the map-union lattice and \c lvish::get(Ctx, Map, Key) as
+/// a general monotone threshold read (footnote 5). Simpler to reason about (its
 /// join is literally map union with per-key conflict detection), slower
 /// under contention - the same trade the Haskell library offered.
 ///
@@ -75,36 +75,52 @@ void insertPure(ParCtx<E> Ctx, PureMap<K, V> &Map, const K &Key,
                   std::move(Singleton)));
 }
 
-/// `getKey`: blocks until \p Key is bound, returns its value. A monotone
+/// Blocks until \p Key is bound, returns its value - the unified
+/// threshold-read spelling (the appendix's `getKey`). A monotone
 /// threshold function: once a key is bound its value can never change
 /// (change would be top), so the returned observation is stable.
 template <EffectSet E, typename K, typename V>
   requires(hasGet(E))
-auto getKeyPure(ParCtx<E> Ctx, PureMap<K, V> &Map, K Key) {
+auto get(ParCtx<E> Ctx, PureMap<K, V> &Map, K Key) {
   using VT = typename MapUnionLattice<K, V>::ValueType;
-  return getPureLVarWith<V>(
-      Ctx, Map, [Key = std::move(Key)](const VT &State) -> std::optional<V> {
-        if (!State)
-          return std::nullopt; // Top is unreachable (put aborts first).
-        auto It = State->find(Key);
-        if (It == State->end())
-          return std::nullopt;
-        return It->second;
-      });
+  return get(Ctx, Map,
+             [Key = std::move(Key)](const VT &State) -> std::optional<V> {
+               if (!State)
+                 return std::nullopt; // Top unreachable (put aborts first).
+               auto It = State->find(Key);
+               if (It == State->end())
+                 return std::nullopt;
+               return It->second;
+             });
+}
+
+/// Deprecated spelling of \c lvish::get(Ctx, Map, Key).
+template <EffectSet E, typename K, typename V>
+  requires(hasGet(E))
+[[deprecated("use lvish::get(Ctx, Map, Key)")]]
+auto getKeyPure(ParCtx<E> Ctx, PureMap<K, V> &Map, K Key) {
+  return get(Ctx, Map, std::move(Key));
 }
 
 /// Blocks until the map holds at least \p N bindings (cardinality is
 /// monotone; the observation returns only N itself).
 template <EffectSet E, typename K, typename V>
   requires(hasGet(E))
-auto waitPureMapSize(ParCtx<E> Ctx, PureMap<K, V> &Map, size_t N) {
+auto waitSize(ParCtx<E> Ctx, PureMap<K, V> &Map, size_t N) {
   using VT = typename MapUnionLattice<K, V>::ValueType;
-  return getPureLVarWith<size_t>(
-      Ctx, Map, [N](const VT &State) -> std::optional<size_t> {
-        if (State && State->size() >= N)
-          return N;
-        return std::nullopt;
-      });
+  return get(Ctx, Map, [N](const VT &State) -> std::optional<size_t> {
+    if (State && State->size() >= N)
+      return N;
+    return std::nullopt;
+  });
+}
+
+/// Deprecated spelling of \c lvish::waitSize(Ctx, Map, N).
+template <EffectSet E, typename K, typename V>
+  requires(hasGet(E))
+[[deprecated("use lvish::waitSize(Ctx, Map, N)")]]
+auto waitPureMapSize(ParCtx<E> Ctx, PureMap<K, V> &Map, size_t N) {
+  return waitSize(Ctx, Map, N);
 }
 
 /// Freezes and returns the exact contents (requires HasFreeze); also the

@@ -37,6 +37,12 @@ const char *obs::eventName(Event E) {
     return "explore_steps";
   case Event::ExploreShrinkRuns:
     return "explore_shrink_runs";
+  case Event::BucketScans:
+    return "bucket_scans";
+  case Event::HandlerBatchFlushes:
+    return "handler_batch_flushes";
+  case Event::NotifySkips:
+    return "notify_skips";
   }
   return "unknown";
 }

@@ -64,9 +64,14 @@ enum class Event : unsigned {
   ExploreSchedules,   ///< Explorer sessions started (one per Engine run).
   ExploreSteps,       ///< Tasks resumed under a controlled schedule.
   ExploreShrinkRuns,  ///< Candidate replays executed while shrinking.
+  BucketScans,        ///< Waiter buckets a notify actually locked/scanned.
+  HandlerBatchFlushes,///< Batched handler flush tasks spawned (one per
+                      ///< armed (pool, worker) batch, not per delta).
+  NotifySkips,        ///< Notifies that found no occupied bucket to scan,
+                      ///< plus no-op joins that skipped notify entirely.
 };
 
-inline constexpr unsigned NumEvents = 14;
+inline constexpr unsigned NumEvents = 17;
 
 /// Stable lower-snake-case name, used as the JSON key in BENCH_*.json.
 const char *eventName(Event E);

@@ -68,6 +68,13 @@ obs::WorkerCounters &Scheduler::myCounters() {
   return ExternalCounters;
 }
 
+unsigned Scheduler::callerBatchIndex() const {
+  // Under exploreRun the TLS masquerade sets WorkerIndexTL to the virtual
+  // worker of the current step, so batches stay a ScheduleCtl-visible
+  // function of the controlled schedule.
+  return WorkerSchedTL == this ? WorkerIndexTL : numWorkers();
+}
+
 SchedulerStats Scheduler::stats() const {
   SchedulerStats S;
   for (const auto &W : Workers)

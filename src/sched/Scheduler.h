@@ -78,6 +78,11 @@ public:
 
   unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
 
+  /// Index of the calling worker's per-worker slot in a [0, numWorkers()]
+  /// array, with numWorkers() for external (non-worker) callers. Used by
+  /// HandlerPool to pick the delta batch of the worker running a put.
+  unsigned callerBatchIndex() const;
+
   /// Creates (but does not schedule) a task owning coroutine \p Root.
   /// When \p Parent is non-null the child inherits session, cancellation
   /// node, scopes, and a split of every transformer layer.

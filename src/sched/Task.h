@@ -99,6 +99,11 @@ public:
   /// internal lock; read during quiescent reaping only.
   ParkSite *ParkedOn = nullptr;
 
+  /// Which waiter bucket of ParkedOn holds this task's entry (LVarBase's
+  /// slot encoding: 0 = default bucket, 1..N = key bucket, ~0u = size
+  /// heap). Written with ParkedOn; lets reaping lock only one bucket.
+  uint32_t ParkedSlot = 0;
+
   // -- Trace bookkeeping (only meaningful when tracing is enabled) --------
   uint32_t TraceId = ~0u;   ///< Task id in the trace recorder.
   uint32_t CurSlice = ~0u;  ///< Open slice id, ~0u when not in a slice.

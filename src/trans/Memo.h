@@ -84,7 +84,7 @@ Par<V> getMemo(ParCtx<E> Ctx, std::shared_ptr<Memo<K, V, FE>> M, K Key) {
   obs::count(M->Requests->containsElem(Key) ? obs::Event::MemoHits
                                             : obs::Event::MemoMisses);
   insert(Ctx, *M->Requests, Key);
-  V Val = co_await getKey(Ctx, *M->Results, Key);
+  V Val = co_await get(Ctx, *M->Results, Key);
   co_return Val;
 }
 
@@ -104,7 +104,7 @@ Par<V> getMemoRO(ParCtx<E> Ctx, std::shared_ptr<Memo<K, V, FE>> M, K Key) {
     check::BlessScope Bless(Ctx.task(), check::FxPut);
     insert(Full, *M->Requests, Key);
   }
-  V Val = co_await getKey(Ctx, *M->Results, Key);
+  V Val = co_await get(Ctx, *M->Results, Key);
   co_return Val;
 }
 

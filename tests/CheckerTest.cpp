@@ -174,7 +174,7 @@ TEST_F(CheckerTest, ThresholdReadThroughGetIsValidated) {
     auto LV = newPureLVar<DiamondLattice>(Ctx);
     putPureLVar(Ctx, *LV, 1u);
     ThresholdSets<unsigned> Sets{{1u}, {1u}};
-    size_t Idx = co_await getPureLVar(Ctx, *LV, Sets);
+    size_t Idx = co_await get(Ctx, *LV, Sets);
     EXPECT_EQ(Idx, 0u);
     co_return;
   });
@@ -318,8 +318,8 @@ TEST_F(CheckerTest, DeclaredEffectsSilentAcrossStructures) {
     insert(Ctx, *Set, 2);
     insert(Ctx, *Map, 3, 4);
     int X = co_await get(Ctx, *IV);
-    co_await waitElem(Ctx, *Set, 2);
-    int Y = co_await getKey(Ctx, *Map, 3);
+    co_await get(Ctx, *Set, 2);
+    int Y = co_await get(Ctx, *Map, 3);
     EXPECT_EQ(X + Y, 5);
     co_return;
   });

@@ -153,7 +153,7 @@ TEST(PureLVar, MaxLatticeThreshold) {
     // Unblocks once the state reaches 10; trigger index 0.
     // (Named variable: GCC 12 mis-handles braced init inside co_await.)
     ThresholdSets<unsigned long long> Th{{10ULL}};
-    size_t Idx = co_await getPureLVar(Ctx, *LV, Th);
+    size_t Idx = co_await get(Ctx, *LV, Th);
     co_return Idx;
   });
   EXPECT_EQ(Which, 0u);
@@ -273,7 +273,7 @@ TEST(Determinism, SameResultAcrossSchedules) {
         co_return;
       });
     ThresholdSets<unsigned long long> Th{{12ULL}};
-    co_return co_await getPureLVar(Ctx, *LV, Th) + 12;
+    co_return co_await get(Ctx, *LV, Th) + 12;
   };
   unsigned long long First = 0;
   bool Have = false;

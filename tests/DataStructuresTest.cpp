@@ -81,7 +81,7 @@ TEST(ISet, InsertThenWaitElem) {
       insert(C, *S, 42);
       co_return;
     });
-    co_await waitElem(Ctx, *S, 42);
+    co_await get(Ctx, *S, 42);
     EXPECT_TRUE(S->containsElem(42));
     co_return;
   });
@@ -197,7 +197,7 @@ TEST(IMap, ShoppingCartAppendixExample) {
           Cart->insertKV(Item::Shoes, 1, C.task());
           co_return;
         });
-        int N = co_await getKey(Ctx, *Cart, Item::Book);
+        int N = co_await get(Ctx, *Cart, Item::Book);
         co_return N;
       },
       SchedulerConfig{2});
@@ -209,7 +209,7 @@ TEST(IMap, EqualReinsertIsIdempotent) {
     auto M = newEmptyMap<int, int>(Ctx);
     insert(Ctx, *M, 1, 10);
     insert(Ctx, *M, 1, 10); // Same value: fine.
-    int V = co_await getKey(Ctx, *M, 1);
+    int V = co_await get(Ctx, *M, 1);
     EXPECT_EQ(V, 10);
     co_return;
   });
@@ -224,7 +224,7 @@ TEST(IMap, WaitMapSizeAndFreeze) {
             insert(C, *M, I, I * I);
             co_return;
           });
-        co_await waitMapSize(Ctx, *M, 5);
+        co_await waitSize(Ctx, *M, 5);
         co_return freezeMap(Ctx, *M);
       });
   ASSERT_EQ(Entries.size(), 5u);
@@ -269,7 +269,7 @@ TEST(Counter, ConcurrentBumpsAllLand) {
             incrCounter(Cc, *DoneCount);
             co_return;
           });
-        co_await waitCounterAtLeast(Ctx, *DoneCount, 8);
+        co_await get(Ctx, *DoneCount, 8);
         co_return freezeCounter(Ctx, *C);
       },
       SchedulerConfig{4});
@@ -286,7 +286,7 @@ TEST(Counter, ThresholdReadReturnsThresholdOnly) {
           co_return;
         });
         // Unblocks somewhere between 10 and 200; must return exactly 10.
-        uint64_t V = co_await waitCounterAtLeast(Ctx, *C, 10);
+        uint64_t V = co_await get(Ctx, *C, 10);
         co_return V;
       },
       SchedulerConfig{2});
@@ -337,11 +337,11 @@ TEST(IStructure, DataflowArray) {
         auto A = newIStructure<int>(Ctx, N);
         for (size_t I = 1; I < N; ++I)
           fork(Ctx, [A, I](ParCtx<D> C) -> Par<void> {
-            int Prev = co_await getIdx(C, *A, I - 1);
+            int Prev = co_await get(C, *A, I - 1);
             putIdx(C, *A, I, Prev + 1);
           });
         putIdx(Ctx, *A, 0, 1);
-        int V = co_await getIdx(Ctx, *A, N - 1);
+        int V = co_await get(Ctx, *A, N - 1);
         co_return V;
       },
       SchedulerConfig{4});

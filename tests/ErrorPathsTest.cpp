@@ -302,7 +302,7 @@ TEST(FaultOutcomeTest, ConflictingInsertContained) {
             [](ParCtx<D> Ctx) -> Par<void> {
               auto M = newEmptyMap<int, int>(Ctx);
               auto ForkBody = [M](ParCtx<D> C2) -> Par<void> {
-                int V = co_await getKey(C2, *M, 7);
+                int V = co_await get(C2, *M, 7);
                 insert(C2, *M, 7, V + 1); // Conflicting rebind.
               };
               fork(Ctx, ForkBody);
@@ -327,7 +327,7 @@ TEST(FaultOutcomeTest, LatticeTopContained) {
                 // (Named variable: GCC 12 mis-handles braced init inside
                 // co_await.)
                 ThresholdSets<int> Th{{1}};
-                co_await getPureLVar(C2, *LV, Th);
+                co_await get(C2, *LV, Th);
                 putPureLVar(C2, *LV, 2); // join(1,2) = 3 = top.
               };
               fork(Ctx, ForkBody);

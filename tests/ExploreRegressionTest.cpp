@@ -95,9 +95,16 @@ ParOutcome<int> cancelAndRead(const RunOptions &Opts) {
 /// insert after the freeze (put_after_freeze), or the cascade may win
 /// (ok:4). The paper's Section 2 quasi-determinism bug, distilled.
 ParOutcome<int> quiesceVsLateHandler(const RunOptions &Opts) {
+  // The handler below deliberately captures a raw pointer (capturing the
+  // shared_ptr would form the LVar->handler->LVar cycle of DESIGN.md
+  // section 11). The race under test is freeze-vs-insert, not lifetime,
+  // so park a keepalive here: it outlives the root frame and is only
+  // released once tryRunParIO has drained the whole session.
+  std::shared_ptr<ISet<int>> Keep;
   return tryRunParIO<IOE>(
-      [](ParCtx<IOE> Ctx) -> Par<int> {
+      [&Keep](ParCtx<IOE> Ctx) -> Par<int> {
         auto S = newISet<int>(Ctx);
+        Keep = S;
         auto Pool = newPool(Ctx);
         ISet<int> *Raw = S.get();
         auto Handler = [Raw](ParCtx<IOE> C, const int &V) -> Par<void> {

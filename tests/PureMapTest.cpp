@@ -26,7 +26,7 @@ TEST(PureMap, AppendixQuickstartShape) {
           insertPure(C, *Cart, std::string("Shoes"), 1);
           co_return;
         });
-        int N = co_await getKeyPure(Ctx, *Cart, std::string("Book"));
+        int N = co_await get(Ctx, *Cart, std::string("Book"));
         co_return N;
       },
       SchedulerConfig{2});
@@ -38,7 +38,7 @@ TEST(PureMap, EqualRebindIsIdempotent) {
     auto M = newEmptyPureMap<int, int>(Ctx);
     insertPure(Ctx, *M, 1, 10);
     insertPure(Ctx, *M, 1, 10);
-    int V = co_await getKeyPure(Ctx, *M, 1);
+    int V = co_await get(Ctx, *M, 1);
     EXPECT_EQ(V, 10);
     co_return;
   });
@@ -64,7 +64,7 @@ TEST(PureMap, WaitSizeThreshold) {
             insertPure(C, *M, I, I * I);
             co_return;
           });
-        size_t Seen = co_await waitPureMapSize(Ctx, *M, 6);
+        size_t Seen = co_await waitSize(Ctx, *M, 6);
         co_return Seen;
       },
       SchedulerConfig{3});
@@ -132,8 +132,7 @@ TEST(GeneralThreshold, MonotoneFunctionOnMaxLattice) {
             return 1000ULL; // Stable above the activation point.
           return std::nullopt;
         };
-        unsigned long long V = co_await getPureLVarWith<unsigned long long>(
-            Ctx, *LV, Fn);
+        unsigned long long V = co_await get(Ctx, *LV, Fn);
         co_return V;
       },
       SchedulerConfig{2});

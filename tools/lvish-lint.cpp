@@ -40,6 +40,12 @@
 ///                   mentions BenchHarness. Every bench must measure
 ///                   through bench/BenchHarness.h so it emits the uniform
 ///                   machine-readable BENCH_<name>.json.
+///  * deprecated-threshold-read - the pre-unification threshold-read
+///                   spellings (getKey, waitElem, waitCounterAtLeast, ...)
+///                   outside src/core and src/data, where the deprecated
+///                   forwarding aliases themselves live. In-repo callers
+///                   must use the unified lvish::get / lvish::waitSize
+///                   API.
 ///  * explore-rng  - raw RNG facilities (std::mt19937, random_device,
 ///                   distributions, shuffle, rand, ...) inside
 ///                   src/explore/. The schedule explorer's whole contract
@@ -109,6 +115,14 @@ const std::vector<Rule> &rules() {
        {"/core/", "/data/"},
        "direct LVar state access skips the ParCtx effect requirements and "
        "session checks"},
+      {"deprecated-threshold-read",
+       {"getKey", "waitElem", "waitMapSize", "waitCounterAtLeast",
+        "getPureLVar", "getPureLVarWith", "getKeyPure", "waitPureMapSize",
+        "getIdx"},
+       {"/core/", "/data/"},
+       "the old per-structure threshold-read spellings are deprecated "
+       "forwarding aliases; in-repo code must use the unified lvish::get "
+       "/ lvish::waitSize API"},
       {"explore-rng",
        {"std::mt19937", "std::mt19937_64", "std::random_device",
         "std::uniform_int_distribution", "std::uniform_real_distribution",
@@ -400,6 +414,17 @@ int selfTest() {
                       "int main() { return 0; }\n",
                       true),
          0, "bench-harness suppression works");
+  Expect(lintContents("src/trans/X.h",
+                      "int V = co_await getKey(Ctx, *M, K);\n", true),
+         1, "deprecated-threshold-read fires on an old spelling");
+  Expect(lintContents("src/data/IMap.h",
+                      "auto getKey(ParCtx<E> Ctx);\n", true),
+         0, "deprecated-threshold-read allows the alias definitions");
+  Expect(lintContents("src/trans/X.h",
+                      "int V = co_await get(Ctx, *M, K);\n", true),
+         0, "unified get spelling is clean");
+  Expect(lintContents("src/trans/X.h", "getKeyboard();\n", true), 0,
+         "deprecated-threshold-read respects identifier boundaries");
   Expect(lintContents("src/explore/X.cpp", "std::mt19937 G(Seed);\n", true),
          1, "explore-rng fires on raw RNG inside src/explore/");
   Expect(lintContents("src/explore/X.cpp", "int V = rand();\n", true), 1,
