@@ -225,7 +225,7 @@ int main(int argc, char **argv) {
                 insert(C, *Echo, D.first);
                 co_return;
               };
-              addHandler(WCtx, Pool, *Map, Handler);
+              [[maybe_unused]] HandlerHandle H = addHandler(WCtx, Pool, *Map, Handler);
               // One parked getter per key; each announces readiness first
               // so the putters release only once the waiter table is full.
               // Owning captures: forked tasks may outlive the root frame.

@@ -74,12 +74,13 @@ Par<std::shared_ptr<ISet<int>>> traverse(ParCtx<D> Ctx, const Graph *G,
   auto Seen = newISet<int>(Ctx);
   auto Pool = newPool(Ctx);
   ISet<int> *SeenRaw = Seen.get(); // Non-owning: handler lives inside Seen.
-  addHandler(Ctx, Pool, *Seen,
-             [G, SeenRaw](ParCtx<D> C, const int &Node) -> Par<void> {
-               for (int V : G->neighbors(Node))
-                 insert(C, *SeenRaw, V);
-               co_return;
-             });
+  [[maybe_unused]] HandlerHandle H =
+      addHandler(Ctx, Pool, *Seen,
+                 [G, SeenRaw](ParCtx<D> C, const int &Node) -> Par<void> {
+                   for (int V : G->neighbors(Node))
+                     insert(C, *SeenRaw, V);
+                   co_return;
+                 });
   insert(Ctx, *Seen, StartNode); // Kick things off.
   co_await quiesce(Ctx, Pool);
   co_return Seen;

@@ -108,7 +108,9 @@ template <EffectSet E> std::shared_ptr<HandlerPool> newPool(ParCtx<E> Ctx) {
 /// Registers \p Callback (signature `Par<void>(ParCtx<E>, const Delta&)`)
 /// to run, as a task counted by \p Pool, for the LVar's current contents
 /// and for every subsequent change. Returns a HandlerHandle naming the
-/// registration.
+/// registration; [[nodiscard]] because dropping it discards the only name
+/// the program has for the registration (and the only way to pass it to a
+/// future deregistration API) - bind it even if only to note the intent.
 ///
 /// Ownership note: the callback is stored inside the LVar for the LVar's
 /// whole lifetime. A handler that refers to its *own* LVar (the fixpoint
@@ -118,8 +120,9 @@ template <EffectSet E> std::shared_ptr<HandlerPool> newPool(ParCtx<E> Ctx) {
 /// below, which passes the LVar back into the callback by reference so
 /// there is nothing to capture.
 template <EffectSet E, typename LVarT, typename F>
-HandlerHandle addHandler(ParCtx<E> Ctx, std::shared_ptr<HandlerPool> Pool,
-                         LVarT &LV, F Callback) {
+[[nodiscard]] HandlerHandle addHandler(ParCtx<E> Ctx,
+                                       std::shared_ptr<HandlerPool> Pool,
+                                       LVarT &LV, F Callback) {
   using Delta = typename LVarT::DeltaType;
   static_assert(
       std::is_invocable_r_v<Par<void>, F, ParCtx<E>, const Delta &>,
@@ -216,8 +219,9 @@ HandlerHandle addHandler(ParCtx<E> Ctx, std::shared_ptr<HandlerPool> Pool,
 /// ownership note above: the reference is non-owning by construction and
 /// cannot form the shared_ptr cycle.
 template <EffectSet E, typename LVarT, typename F>
-HandlerHandle addHandlerRef(ParCtx<E> Ctx, std::shared_ptr<HandlerPool> Pool,
-                            LVarT &LV, F Callback) {
+[[nodiscard]] HandlerHandle addHandlerRef(ParCtx<E> Ctx,
+                                          std::shared_ptr<HandlerPool> Pool,
+                                          LVarT &LV, F Callback) {
   using Delta = typename LVarT::DeltaType;
   static_assert(
       std::is_invocable_r_v<Par<void>, F, ParCtx<E>, LVarT &, const Delta &>,

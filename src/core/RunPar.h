@@ -235,8 +235,13 @@ auto runParOnImpl(const RunOptions &Opts, F Body) {
 /// Runs \p Body and returns a ParOutcome: the body's pure result, or the
 /// session's deterministic Fault. The fault-aware front of the runPar
 /// family; every other entry point below derives from it.
+///
+/// The whole tryRunPar* family is [[nodiscard]]: discarding the
+/// ParOutcome silently swallows a session Fault, which is exactly the
+/// failure mode these entry points exist to surface (use the runPar*
+/// forms if aborting on Fault is acceptable).
 template <EffectSet E = Eff::Det, typename F>
-auto tryRunPar(F Body, const RunOptions &Opts) {
+[[nodiscard]] auto tryRunPar(F Body, const RunOptions &Opts) {
   static_assert(noFreeze(E) && noIO(E),
                 "runPar requires NoFreeze and NoIO; use runParIO or "
                 "runParThenFreeze");
@@ -245,7 +250,7 @@ auto tryRunPar(F Body, const RunOptions &Opts) {
 
 /// tryRunPar on a fresh scheduler.
 template <EffectSet E = Eff::Det, typename F>
-auto tryRunPar(F Body, SchedulerConfig Config = SchedulerConfig()) {
+[[nodiscard]] auto tryRunPar(F Body, SchedulerConfig Config = SchedulerConfig()) {
   RunOptions Opts;
   Opts.Config = Config;
   return tryRunPar<E>(std::move(Body), Opts);
@@ -253,7 +258,7 @@ auto tryRunPar(F Body, SchedulerConfig Config = SchedulerConfig()) {
 
 /// tryRunPar on an existing scheduler (one session at a time).
 template <EffectSet E = Eff::Det, typename F>
-auto tryRunParOn(Scheduler &Sched, F Body) {
+[[nodiscard]] auto tryRunParOn(Scheduler &Sched, F Body) {
   return tryRunPar<E>(std::move(Body), RunOptions::On(Sched));
 }
 
@@ -261,19 +266,19 @@ auto tryRunParOn(Scheduler &Sched, F Body) {
 /// restriction (quasi-deterministic freezes and IO-bit operations
 /// allowed).
 template <EffectSet E = Eff::FullIO, typename F>
-auto tryRunParIO(F Body, const RunOptions &Opts) {
+[[nodiscard]] auto tryRunParIO(F Body, const RunOptions &Opts) {
   return detail::runParOnImpl<E>(Opts, std::move(Body));
 }
 
 template <EffectSet E = Eff::FullIO, typename F>
-auto tryRunParIO(F Body, SchedulerConfig Config = SchedulerConfig()) {
+[[nodiscard]] auto tryRunParIO(F Body, SchedulerConfig Config = SchedulerConfig()) {
   RunOptions Opts;
   Opts.Config = Config;
   return tryRunParIO<E>(std::move(Body), Opts);
 }
 
 template <EffectSet E = Eff::FullIO, typename F>
-auto tryRunParIOOn(Scheduler &Sched, F Body) {
+[[nodiscard]] auto tryRunParIOOn(Scheduler &Sched, F Body) {
   return tryRunParIO<E>(std::move(Body), RunOptions::On(Sched));
 }
 
@@ -325,7 +330,7 @@ auto runParIOOn(Scheduler &Sched, F Body) {
 /// explorer uses this to search freeze-free programs whose results are
 /// read through the exit freeze.
 template <EffectSet E = Eff::Det, typename F>
-auto tryRunParThenFreeze(F Body, RunOptions Opts = RunOptions()) {
+[[nodiscard]] auto tryRunParThenFreeze(F Body, RunOptions Opts = RunOptions()) {
   static_assert(noFreeze(E) && noIO(E),
                 "the computation under runParThenFreeze must not freeze "
                 "explicitly");

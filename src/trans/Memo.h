@@ -65,12 +65,13 @@ auto makeMemo(ParCtx<E> Ctx, F Fn) {
   // map); that wrapper is trusted code.
   constexpr EffectSet HE = FE | Eff::Det;
   ParCtx<HE> RegCtx = detail::CtxAccess::make<HE>(Ctx.task());
-  addHandler(RegCtx, Pool, *Requests,
-             [Results, Fn](ParCtx<HE> C, const K &Key) -> Par<void> {
-               ParCtx<FE> FnCtx = C; // Subsumption: restrict to FE.
-               V Val = co_await Fn(FnCtx, Key);
-               insert(C, *Results, Key, Val);
-             });
+  [[maybe_unused]] HandlerHandle H =
+      addHandler(RegCtx, Pool, *Requests,
+                 [Results, Fn](ParCtx<HE> C, const K &Key) -> Par<void> {
+                   ParCtx<FE> FnCtx = C; // Subsumption: restrict to FE.
+                   V Val = co_await Fn(FnCtx, Key);
+                   insert(C, *Results, Key, Val);
+                 });
   return std::make_shared<Memo<K, V, FE>>(Requests, Results, Pool);
 }
 

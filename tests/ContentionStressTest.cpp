@@ -53,7 +53,7 @@ auto contendedProgram(uint64_t Keys, int Putters, RunFn Run) {
       insert(C, *Echo, D.first);
       co_return;
     };
-    addHandler(WCtx, Pool, *Map, Handler);
+    [[maybe_unused]] HandlerHandle H = addHandler(WCtx, Pool, *Map, Handler);
     // Owning captures: forked tasks may outlive the root frame.
     for (int K = 0; K < KeysI; ++K) {
       auto Getter = [Map, Sum, Done, Ready, K](ParCtx<IOE> C) -> Par<void> {

@@ -179,14 +179,15 @@ TEST(PureLVar, HandlerSeesEveryChangeAtLeastTheFinalState) {
   runParIO<Eff::FullIO>([&](ParCtx<Eff::FullIO> Ctx) -> Par<void> {
     auto LV = newPureLVar<MaxUint64Lattice>(Ctx);
     auto Pool = newPool(Ctx);
-    addHandler(Ctx, Pool, *LV,
-               [&MaxSeen](ParCtx<Eff::FullIO> C,
-                          const unsigned long long &S) -> Par<void> {
-                 unsigned long long Cur = MaxSeen.load();
-                 while (Cur < S && !MaxSeen.compare_exchange_weak(Cur, S)) {
-                 }
-                 co_return;
-               });
+    [[maybe_unused]] HandlerHandle H =
+        addHandler(Ctx, Pool, *LV,
+                   [&MaxSeen](ParCtx<Eff::FullIO> C,
+                              const unsigned long long &S) -> Par<void> {
+                     unsigned long long Cur = MaxSeen.load();
+                     while (Cur < S && !MaxSeen.compare_exchange_weak(Cur, S)) {
+                     }
+                     co_return;
+                   });
     putPureLVar(Ctx, *LV, 5ULL);
     putPureLVar(Ctx, *LV, 9ULL);
     co_await quiesce(Ctx, Pool);
@@ -203,12 +204,13 @@ TEST(Quiesce, DrainsTransitiveHandlerCascade) {
         auto A = newPureLVar<MaxUint64Lattice>(Ctx);
         auto B = newPureLVar<MaxUint64Lattice>(Ctx);
         auto Pool = newPool(Ctx);
-        addHandler(Ctx, Pool, *A,
-                   [B](ParCtx<Eff::FullIO> C,
-                       const unsigned long long &S) -> Par<void> {
-                     putPureLVar(C, *B, S * 2);
-                     co_return;
-                   });
+        [[maybe_unused]] HandlerHandle H =
+            addHandler(Ctx, Pool, *A,
+                       [B](ParCtx<Eff::FullIO> C,
+                           const unsigned long long &S) -> Par<void> {
+                         putPureLVar(C, *B, S * 2);
+                         co_return;
+                       });
         putPureLVar(Ctx, *A, 21ULL);
         co_await quiesce(Ctx, Pool);
         co_return B->peek();

@@ -131,12 +131,13 @@ TEST(ISet, HandlerDeliversEachElementExactlyOnce) {
     // Insert some elements BEFORE registration (delivered via snapshot)...
     insert(Ctx, *S, 100);
     insert(Ctx, *S, 200);
-    addHandler(Ctx, Pool, *S,
-               [&](ParCtx<Eff::FullIO> C, const int &V) -> Par<void> {
-                 Deliveries.fetch_add(1);
-                 Sum.fetch_add(V);
-                 co_return;
-               });
+    [[maybe_unused]] HandlerHandle H =
+        addHandler(Ctx, Pool, *S,
+                   [&](ParCtx<Eff::FullIO> C, const int &V) -> Par<void> {
+                     Deliveries.fetch_add(1);
+                     Sum.fetch_add(V);
+                     co_return;
+                   });
     // ...and some after (delivered by the put path).
     insert(Ctx, *S, 1);
     insert(Ctx, *S, 2);
@@ -159,10 +160,11 @@ TEST(ISet, CascadingHandlersComputeClosure) {
     // closure stored inside the set would keep the set alive forever
     // (shared_ptr cycle; see the ownership note in HandlerPool.h).
     ISet<int> *SetP = Set.get();
-    addHandler(Ctx, Pool, *Set, [SetP](ParCtx<D> C, const int &V) -> Par<void> {
-      insert(C, *SetP, (V * 2) % 100);
-      co_return;
-    });
+    [[maybe_unused]] HandlerHandle H =
+        addHandler(Ctx, Pool, *Set, [SetP](ParCtx<D> C, const int &V) -> Par<void> {
+          insert(C, *SetP, (V * 2) % 100);
+          co_return;
+        });
     insert(Ctx, *Set, 1);
     co_await quiesce(Ctx, Pool);
     co_return Set;
@@ -240,12 +242,13 @@ TEST(IMap, HandlersSeePreexistingAndNewBindings) {
     auto M = newEmptyMap<int, int>(Ctx);
     auto Pool = newPool(Ctx);
     insert(Ctx, *M, 1, 1);
-    addHandler(Ctx, Pool, *M,
-               [&Seen](ParCtx<Eff::FullIO> C,
-                       const std::pair<int, int> &KV) -> Par<void> {
-                 Seen.fetch_add(KV.second);
-                 co_return;
-               });
+    [[maybe_unused]] HandlerHandle H =
+        addHandler(Ctx, Pool, *M,
+                   [&Seen](ParCtx<Eff::FullIO> C,
+                           const std::pair<int, int> &KV) -> Par<void> {
+                     Seen.fetch_add(KV.second);
+                     co_return;
+                   });
     insert(Ctx, *M, 2, 10);
     co_await quiesce(Ctx, Pool);
     co_return;

@@ -40,11 +40,12 @@ std::vector<int> runHandlerClosure(const RunOptions &Opts) {
         auto S = newISet<int>(Ctx);
         auto Pool = newPool(Ctx);
         ISet<int> *Raw = S.get();
-        addHandler(Ctx, Pool, *S,
-                   [Raw](ParCtx<D> C, const int &V) -> Par<void> {
-                     // Collatz-flavored closure, bounded to [0, 3000).
-                     if (V % 2 == 0)
-                       insert(C, *Raw, V / 2);
+        [[maybe_unused]] HandlerHandle H =
+            addHandler(Ctx, Pool, *S,
+                       [Raw](ParCtx<D> C, const int &V) -> Par<void> {
+                         // Collatz-flavored closure, bounded to [0, 3000).
+                         if (V % 2 == 0)
+                           insert(C, *Raw, V / 2);
                      else if (3 * V + 1 < 3000)
                        insert(C, *Raw, 3 * V + 1);
                      co_return;

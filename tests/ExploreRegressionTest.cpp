@@ -112,7 +112,7 @@ ParOutcome<int> quiesceVsLateHandler(const RunOptions &Opts) {
             insert(C, *Raw, V / 2);
           co_return;
         };
-        addHandler(Ctx, Pool, *S, Handler);
+        [[maybe_unused]] HandlerHandle H = addHandler(Ctx, Pool, *S, Handler);
         insert(Ctx, *S, 8);
         co_await yield(Ctx); // NO quiesce: deliberately quasi-deterministic.
         auto Contents = freezeSet(Ctx, *S);

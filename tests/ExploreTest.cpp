@@ -395,7 +395,7 @@ TEST(ExploreTest, HandlerQuiesceProgramIsDeterministicUnderExploration) {
               insert(C, *Raw, V / 2);
             co_return;
           };
-          addHandler(Ctx, Pool, *S, Handler);
+          [[maybe_unused]] HandlerHandle H = addHandler(Ctx, Pool, *S, Handler);
           insert(Ctx, *S, 8);
           insert(Ctx, *S, 12);
           co_await quiesce(Ctx, Pool);

@@ -98,13 +98,14 @@ TEST(TaskScope, LiveModeCountsParkedTasks) {
         auto Gate = newIVar<int>(Ctx);
         auto Pool = newPool(Ctx);
         auto Trigger = newPureLVar<MaxUint64Lattice>(Ctx);
-        addHandler(Ctx, Pool, *Trigger,
-                   [Gate](ParCtx<D> C,
-                          const unsigned long long &) -> Par<void> {
-                     // Park inside the pool.
-                     int V = co_await get(C, *Gate);
-                     (void)V;
-                   });
+        [[maybe_unused]] HandlerHandle H =
+            addHandler(Ctx, Pool, *Trigger,
+                       [Gate](ParCtx<D> C,
+                              const unsigned long long &) -> Par<void> {
+                         // Park inside the pool.
+                         int V = co_await get(C, *Gate);
+                         (void)V;
+                       });
         putPureLVar(Ctx, *Trigger, 1ULL);
         // Give the handler a chance to park, then check the pool has not
         // drained (its task is parked, but alive).

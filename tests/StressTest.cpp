@@ -81,11 +81,12 @@ TEST(Stress, HandlerStormExactlyOnce) {
         auto S = newISet<int>(Ctx);
         auto Ctr = newCounter(Ctx);
         auto Pool = newPool(Ctx);
-        addHandler(Ctx, Pool, *S,
-                   [Ctr](ParCtx<Eff::FullIO> C, const int &) -> Par<void> {
-                     incrCounter(C, *Ctr);
-                     co_return;
-                   });
+        [[maybe_unused]] HandlerHandle H =
+            addHandler(Ctx, Pool, *S,
+                       [Ctr](ParCtx<Eff::FullIO> C, const int &) -> Par<void> {
+                         incrCounter(C, *Ctr);
+                         co_return;
+                       });
         auto Producer = [S](ParCtx<Eff::FullIO> C, size_t T) -> Par<void> {
           // Overlapping ranges: plenty of duplicate inserts.
           for (int I = 0; I < 250; ++I)

@@ -168,11 +168,12 @@ TEST(TelemetryTest, HandlerAndThresholdWakeupCounts) {
         auto S = newISet<int>(Ctx);
         auto Pool = newPool(Ctx);
         auto Ctr = newCounter(Ctx);
-        addHandler(Ctx, Pool, *S,
-                   [Ctr](ParCtx<Eff::FullIO> C, const int &) -> Par<void> {
-                     incrCounter(C, *Ctr);
-                     co_return;
-                   });
+        [[maybe_unused]] HandlerHandle H =
+            addHandler(Ctx, Pool, *S,
+                       [Ctr](ParCtx<Eff::FullIO> C, const int &) -> Par<void> {
+                         incrCounter(C, *Ctr);
+                         co_return;
+                       });
         for (int I = 0; I < 6; ++I)
           insert(Ctx, *S, I);
         co_await quiesce(Ctx, Pool);

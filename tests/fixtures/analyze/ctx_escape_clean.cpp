@@ -1,0 +1,24 @@
+// lvish-analyze-fixture-path: src/sim/ctx_escape_clean.cpp
+//
+// Clean fixture for the ctx-escape pass: the handler captures only plain
+// data and a raw LVar pointer (the graph-traversal idiom), and the local
+// helper lambda capturing the context never outlives the task. Scanned,
+// never compiled.
+
+namespace lvish {
+
+Par<void> cleanRegistration(ParCtx<Eff::Det> Ctx, const Graph *G,
+                            std::shared_ptr<HandlerPool> Pool,
+                            std::shared_ptr<ISet<int>> Seen) {
+  ISet<int> *SeenRaw = Seen.get();
+  addHandler(Ctx, Pool, *Seen,
+             [G, SeenRaw](ParCtx<Eff::Det> C, const int &Node) -> Par<void> {
+               for (int V : G->neighbors(Node))
+                 insert(C, *SeenRaw, V);
+               co_return;
+             });
+  auto Helper = [Ctx](IVar<int> &IV) { return put(Ctx, IV, 1); };
+  co_return;
+}
+
+} // namespace lvish

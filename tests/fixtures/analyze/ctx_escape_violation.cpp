@@ -1,0 +1,26 @@
+// lvish-analyze-fixture-path: src/sim/ctx_escape_violation.cpp
+//
+// Seeded violation for the ctx-escape pass: the registering context is
+// captured into a handler callback (which runs for the LVar's whole
+// lifetime with its OWN context parameter), and a second context is
+// captured into a static-storage lambda. Scanned, never compiled.
+
+namespace lvish {
+
+Par<void> leakyRegistration(ParCtx<Eff::Det> Ctx,
+                            std::shared_ptr<HandlerPool> Pool,
+                            std::shared_ptr<ISet<int>> Seen) {
+  addHandler(Ctx, Pool, *Seen,
+             [Ctx](ParCtx<Eff::Det> C, const int &Node) -> Par<void> {
+               // The capture above leaks the registering capability.
+               co_return;
+             });
+  co_return;
+}
+
+Par<void> staticStash(ParCtx<Eff::Det> Ctx) {
+  static auto Saved = [Ctx]() { return Ctx; };
+  co_return;
+}
+
+} // namespace lvish

@@ -1,0 +1,28 @@
+// lvish-analyze-fixture-path: src/sim/effect_clean.cpp
+//
+// Clean fixture for the effect-consistency pass: every op is covered by
+// the declared level, including a nested forked child charged against its
+// own (stronger) context. Scanned, never compiled.
+
+namespace lvish {
+
+constexpr EffectSet Bumping = Eff::DetBump;
+
+Par<int> detPipeline(ParCtx<Eff::Det> Ctx, IVar<int> &IV,
+                     Counter &C) {
+  co_await put(Ctx, IV, 7);
+  fork(Ctx, [](ParCtx<Bumping> Child, Counter &K) -> Par<void> {
+    incrCounter(Child, K, 1); // Bump granted by the child's own level
+    co_return;
+  });
+  int V = co_await get(Ctx, IV);
+  co_return V;
+}
+
+Par<void> quasiFreezer(ParCtx<Eff::QuasiDet> Ctx, ISet<int> &S) {
+  insert(Ctx, S, 3);
+  co_await freezeSet(Ctx, S);
+  co_return;
+}
+
+} // namespace lvish

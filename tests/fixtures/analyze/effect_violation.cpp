@@ -1,0 +1,22 @@
+// lvish-analyze-fixture-path: src/sim/effect_violation.cpp
+//
+// Seeded violations for the effect-consistency pass: a ReadOnly task body
+// that writes (the paper's Section 6.1 unsafe-child shape) and a
+// Det-leveled scope that freezes (needs QuasiDet). This file is scanned,
+// never compiled.
+
+namespace lvish {
+
+Par<void> readOnlyWriter(ParCtx<Eff::ReadOnly> Ctx, IVar<int> &IV) {
+  co_await put(Ctx, IV, 1); // missing Put
+  co_return;
+}
+
+constexpr EffectSet Level = Eff::Det;
+
+Par<void> detFreezer(ParCtx<Level> Ctx, IMap<int, int> &M) {
+  co_await freezeMap(Ctx, M); // missing Freeze
+  co_return;
+}
+
+} // namespace lvish

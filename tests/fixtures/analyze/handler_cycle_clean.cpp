@@ -1,0 +1,31 @@
+// lvish-analyze-fixture-path: src/sim/handler_cycle_clean.cpp
+//
+// Clean fixture for the handler-cycle pass: the sanctioned idioms - a raw
+// non-owning pointer capture, and a by-reference capture of the
+// shared_ptr (no refcount added). Scanned, never compiled.
+
+namespace lvish {
+
+Par<void> rawPointerIdiom(ParCtx<Eff::Det> Ctx,
+                          std::shared_ptr<HandlerPool> Pool,
+                          std::shared_ptr<ISet<int>> Seen) {
+  ISet<int> *SeenRaw = Seen.get();
+  addHandler(Ctx, Pool, *Seen,
+             [SeenRaw](ParCtx<Eff::Det> C, const int &Node) -> Par<void> {
+               insert(C, *SeenRaw, Node + 1);
+               co_return;
+             });
+  co_return;
+}
+
+Par<void> byRefCapture(ParCtx<Eff::Det> Ctx,
+                       std::shared_ptr<HandlerPool> Pool,
+                       std::shared_ptr<ISet<int>> Seen) {
+  addHandler(Ctx, Pool, *Seen,
+             [&Seen](ParCtx<Eff::Det> C, const int &Node) -> Par<void> {
+               co_return;
+             });
+  co_return;
+}
+
+} // namespace lvish

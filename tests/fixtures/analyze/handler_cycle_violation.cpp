@@ -1,0 +1,22 @@
+// lvish-analyze-fixture-path: src/sim/handler_cycle_violation.cpp
+//
+// Seeded violation for the handler-cycle pass: the callback captures, by
+// value, the shared_ptr that owns the LVar it is attached to. The LVar
+// stores the callback for its whole lifetime, so the capture is a
+// reference cycle C++ cannot collect (DESIGN.md footgun; Haskell's GC
+// made this a non-issue in the original). Scanned, never compiled.
+
+namespace lvish {
+
+Par<void> cyclicRegistration(ParCtx<Eff::Det> Ctx,
+                             std::shared_ptr<HandlerPool> Pool,
+                             std::shared_ptr<ISet<int>> Seen) {
+  addHandler(Ctx, Pool, *Seen,
+             [Seen](ParCtx<Eff::Det> C, const int &Node) -> Par<void> {
+               insert(C, *Seen, Node + 1);
+               co_return;
+             });
+  co_return;
+}
+
+} // namespace lvish

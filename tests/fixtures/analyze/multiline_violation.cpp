@@ -1,0 +1,19 @@
+// lvish-analyze-fixture-path: src/sim/multiline_violation.cpp
+//
+// The retired per-line lint's false negatives, locked in as seeded
+// violations: a raw-sync declaration split across lines and a deprecated
+// threshold-read whose argument list opens on the next line. Scanned,
+// never compiled.
+
+namespace lvish {
+
+std::
+    mutex SplitAcrossLines; // raw-sync must still fire
+
+Par<int> wrappedDeprecatedCall(ParCtx<Eff::Det> Ctx, IMap<int, int> &M) {
+  int V = co_await getKey
+      (Ctx, M, 3); // deprecated-threshold-read must still fire
+  co_return V;
+}
+
+} // namespace lvish

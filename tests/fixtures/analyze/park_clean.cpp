@@ -1,0 +1,28 @@
+// lvish-analyze-fixture-path: src/sched/park_clean.cpp
+//
+// Clean fixture for the park-under-lock pass: the guard is scoped to a
+// block that ends before the suspension point, and a nested lambda's
+// co_await is deferred work (the guard is not held when it runs).
+// Scanned, never compiled.
+
+namespace lvish {
+
+Par<int> lockThenPark(ParCtx<Eff::Det> Ctx, IVar<int> &IV) {
+  {
+    std::lock_guard<std::mutex> Guard(StateMutex);
+    SharedState.push_back(1);
+  }
+  int V = co_await get(Ctx, IV);
+  co_return V;
+}
+
+void deferredBody() {
+  std::unique_lock<std::mutex> Guard(StateMutex);
+  auto Task = [](ParCtx<Eff::Det> C, IVar<int> &IV) -> Par<void> {
+    co_await get(C, IV);
+    co_return;
+  };
+  Registry.push_back(Task);
+}
+
+} // namespace lvish

@@ -1,0 +1,16 @@
+// lvish-analyze-fixture-path: src/sched/park_violation.cpp
+//
+// Seeded violation for the park-under-lock pass: a coroutine suspends
+// (co_await) while a lock guard is held, keeping the mutex across an
+// arbitrary suspension - the worker that later resumes the coroutine can
+// deadlock against it. Scanned, never compiled.
+
+namespace lvish {
+
+Par<int> parkedUnderLock(ParCtx<Eff::Det> Ctx, IVar<int> &IV) {
+  std::lock_guard<std::mutex> Guard(StateMutex);
+  int V = co_await get(Ctx, IV); // suspends while Guard is held
+  co_return V;
+}
+
+} // namespace lvish

@@ -1,0 +1,18 @@
+// lvish-analyze-fixture-path: src/sim/suppression.cpp
+//
+// Suppression-comment fixture: each seeded violation carries the matching
+// `lvish-lint: allow(<rule>)` marker (same-line and previous-line forms),
+// so the whole file must analyze clean. Scanned, never compiled.
+
+namespace lvish {
+
+std::mutex Allowed; // lvish-lint: allow(raw-sync)
+
+// lvish-lint: allow(effect-consistency)
+Par<void> blessedWriter(ParCtx<Eff::ReadOnly> Ctx, IVar<int> &IV) {
+  // lvish-lint: allow(effect-consistency)
+  co_await put(Ctx, IV, 1);
+  co_return;
+}
+
+} // namespace lvish

@@ -1,0 +1,378 @@
+//===- EffectPass.cpp - Static declared-vs-used effect consistency --------===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static dual of check::EffectAuditor. An *effect scope* is any
+/// lambda or function whose ParCtx<E> parameter (or local) has a
+/// concretely-resolvable E: a task body at a fork/runPar site, a handler
+/// callback, or a plain Par-returning function. Within the scope, every
+/// call of a public LVish operation that passes that context as its first
+/// argument demands the effect bits of its `requires` clause (the
+/// src/check/EffectOps.h table); a bit absent from the declared EffectSet
+/// is an error before any schedule runs. Template-parameterized effects
+/// (generic code) are skipped conservatively - the C++ compiler's own
+/// requires-clauses cover the instantiations.
+///
+/// Call-shape precision rules (what keeps std::get and SharedPtr.get()
+/// out): the op name must not be member-accessed (no preceding `.`/`->`),
+/// a `::` qualifier is accepted only when it is `lvish`, and the first
+/// argument token must be the scope's own context name.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tools/analyze/Analyzer.h"
+
+#include "src/check/EffectOps.h"
+
+namespace lvish {
+namespace analyze {
+
+namespace {
+
+uint8_t requiredBitsOf(const std::string &Name, bool &Known) {
+  for (const check::StaticEffectOp &Op : check::StaticEffectOps)
+    if (Name == Op.Name) {
+      Known = true;
+      return Op.Required;
+    }
+  for (const char *Neutral : check::StaticNeutralOps)
+    if (Name == Neutral) {
+      Known = true;
+      return 0;
+    }
+  Known = false;
+  return 0;
+}
+
+std::string maskNames(uint8_t Mask) {
+  static const struct {
+    uint8_t Bit;
+    const char *Name;
+  } Bits[] = {{check::FxPut, "Put"},       {check::FxGet, "Get"},
+              {check::FxBump, "Bump"},     {check::FxFreeze, "Freeze"},
+              {check::FxIO, "IO"},         {check::FxST, "ST"}};
+  std::string S;
+  for (const auto &B : Bits)
+    if (Mask & B.Bit) {
+      if (!S.empty())
+        S += "|";
+      S += B.Name;
+    }
+  return S.empty() ? "none" : S;
+}
+
+/// One resolvable effect scope: a context name, its declared mask, and
+/// the token range the name is visible in.
+struct EffectScope {
+  std::string CtxName;
+  uint8_t Declared = 0;
+  size_t Begin = 0; ///< First token inside the scope.
+  size_t End = 0;   ///< One past the last token (exclusive).
+  uint32_t Line = 0;
+  std::string EffectText;
+};
+
+} // namespace
+
+void collectEffectAliases(const FileModel &M,
+                          std::map<std::string, std::string> &Raw) {
+  const std::vector<Token> &T = M.Toks;
+  for (size_t I = 0; I + 3 < T.size(); ++I) {
+    if (T[I].Text != "constexpr" || T[I + 1].Text != "EffectSet" ||
+        T[I + 2].K != Token::Ident)
+      continue;
+    const std::string &Name = T[I + 2].Text;
+    size_t J = I + 3;
+    std::string Rhs;
+    if (T[J].Text == "=")
+      ++J;
+    else if (T[J].Text != "{")
+      continue; // Function returning EffectSet etc.
+    int Depth = 0;
+    for (; J < T.size(); ++J) {
+      if (T[J].Text == ";" && Depth == 0)
+        break;
+      if (T[J].Text == "{" || T[J].Text == "(")
+        ++Depth;
+      else if (T[J].Text == "}" || T[J].Text == ")")
+        --Depth;
+      if (!Rhs.empty())
+        Rhs += ' ';
+      Rhs += T[J].Text;
+    }
+    if (!Rhs.empty())
+      Raw[Name] = Rhs;
+  }
+}
+
+bool EffectAliasTable::resolve(const std::string &EffectText,
+                               uint8_t &Mask) const {
+  std::vector<Token> T = tokenize(EffectText);
+  if (T.empty())
+    return false;
+  uint8_t Acc = 0;
+  for (size_t I = 0; I < T.size(); ++I) {
+    const std::string &S = T[I].Text;
+    if (S == "|" || S == "(" || S == ")" || S == "EffectSet")
+      continue;
+    if (S == "{") {
+      // EffectSet{Put, Get, Bump, Freeze, IO, ST} brace literal.
+      static const uint8_t Order[] = {check::FxPut,    check::FxGet,
+                                      check::FxBump,   check::FxFreeze,
+                                      check::FxIO,     check::FxST};
+      size_t Slot = 0;
+      for (++I; I < T.size() && T[I].Text != "}"; ++I) {
+        if (T[I].Text == ",")
+          continue;
+        if (Slot >= 6)
+          return false;
+        if (T[I].Text == "true" || T[I].Text == "1")
+          Acc |= Order[Slot];
+        else if (T[I].Text != "false" && T[I].Text != "0")
+          return false; // Computed field: not statically resolvable.
+        ++Slot;
+      }
+      continue;
+    }
+    if (T[I].K != Token::Ident)
+      return false;
+    // Identifier path: `Eff :: Name`, `lvish :: Eff :: Name`, or a bare
+    // alias. Resolve by the final path component.
+    std::string Last = S;
+    while (I + 2 < T.size() && T[I + 1].Text == "::" &&
+           T[I + 2].K == Token::Ident) {
+      I += 2;
+      Last = T[I].Text;
+    }
+    auto It = Masks.find(Last);
+    if (It == Masks.end())
+      return false;
+    Acc |= It->second;
+  }
+  Mask = Acc;
+  return true;
+}
+
+namespace {
+
+/// Names declared as `EffectSet <Name>` inside `template <...>` heads:
+/// non-type effect parameters of generic code. Any alias resolution for
+/// these names within the file would be a cross-file capture bug.
+std::vector<std::string> templateEffectParams(const FileModel &M) {
+  std::vector<std::string> Names;
+  const std::vector<Token> &T = M.Toks;
+  for (size_t I = 0; I + 1 < T.size(); ++I) {
+    if (T[I].Text != "template" || T[I + 1].Text != "<")
+      continue;
+    int Depth = 0;
+    for (size_t J = I + 1; J < T.size(); ++J) {
+      if (T[J].Text == "<")
+        ++Depth;
+      else if (T[J].Text == ">" && --Depth == 0)
+        break;
+      if (T[J].Text == "EffectSet" && J + 1 < T.size() &&
+          T[J + 1].K == Token::Ident)
+        Names.push_back(T[J + 1].Text);
+    }
+  }
+  return Names;
+}
+
+} // namespace
+
+EffectAliasTable fileAliasTable(const FileModel &M,
+                                const EffectAliasTable &Global) {
+  EffectAliasTable T = Global;
+  for (const std::string &Name : templateEffectParams(M))
+    T.Masks.erase(Name);
+  std::map<std::string, std::string> LocalRaw;
+  collectEffectAliases(M, LocalRaw);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &[Name, Rhs] : LocalRaw) {
+      uint8_t Mask = 0;
+      if (!T.resolve(Rhs, Mask))
+        continue;
+      auto It = T.Masks.find(Name);
+      if (It == T.Masks.end() || It->second != Mask) {
+        T.Masks[Name] = Mask;
+        Changed = true;
+      }
+    }
+  }
+  return T;
+}
+
+EffectAliasTable resolveEffectAliases(
+    const std::map<std::string, std::string> &Raw) {
+  EffectAliasTable Table;
+  for (const check::NamedEffectLevel &L : check::NamedEffectLevels)
+    Table.Masks[L.Name] = L.Mask;
+  // Iterate to a fixed point so aliases may reference each other in any
+  // definition order (and across files).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &[Name, Rhs] : Raw) {
+      if (Table.Masks.count(Name))
+        continue;
+      uint8_t Mask = 0;
+      if (Table.resolve(Rhs, Mask)) {
+        Table.Masks[Name] = Mask;
+        Changed = true;
+      }
+    }
+  }
+  return Table;
+}
+
+void runEffectConsistency(const FileModel &M, const AnalyzerConfig &Cfg,
+                          const EffectAliasTable &GlobalAliases,
+                          std::vector<Finding> &Out) {
+  const EffectAliasTable Aliases = fileAliasTable(M, GlobalAliases);
+  const std::vector<Token> &T = M.Toks;
+
+  std::vector<EffectScope> Scopes;
+  for (const Lambda &L : M.Lambdas) {
+    if (L.CtxParam.empty() || L.BodyOpen == Npos || L.BodyClose == Npos)
+      continue;
+    uint8_t Mask = 0;
+    if (!Aliases.resolve(L.CtxEffectText, Mask))
+      continue; // Template parameter / unknown alias: skip conservatively.
+    Scopes.push_back({L.CtxParam, Mask, L.BodyOpen + 1, L.BodyClose,
+                      T[L.IntroTok].Line, L.CtxEffectText});
+  }
+  for (const CtxDecl &D : M.CtxDecls) {
+    uint8_t Mask = 0;
+    if (!Aliases.resolve(D.EffectText, Mask))
+      continue;
+    size_t Begin = D.ScopeOpen == Npos ? D.DeclTok + 1 : D.ScopeOpen + 1;
+    size_t End = D.ScopeClose == Npos ? T.size() : D.ScopeClose;
+    if (Begin >= End)
+      continue;
+    Scopes.push_back({D.Name, Mask, Begin, End, D.Line, D.EffectText});
+  }
+
+  for (const EffectScope &S : Scopes) {
+    uint8_t Used = 0;
+    bool UnknownUse = false;
+    for (size_t I = S.Begin; I < S.End; ++I) {
+      // A nested lambda with its OWN ParCtx parameter is a separate effect
+      // scope (a forked task body); its operations charge its own context.
+      size_t LIdx = M.lambdaAt(I);
+      if (LIdx != Npos) {
+        const Lambda &L = M.Lambdas[LIdx];
+        if (!L.CtxParam.empty() && L.BodyClose != Npos &&
+            L.BodyClose < S.End) {
+          // The capture list may still smuggle our context inside.
+          for (const std::string &Cap : L.ValCaptures)
+            UnknownUse |= Cap == S.CtxName;
+          for (const std::string &Cap : L.RefCaptures)
+            UnknownUse |= Cap == S.CtxName;
+          for (const std::string &Use : L.CaptureUses)
+            UnknownUse |= Use == S.CtxName;
+          I = L.BodyClose;
+          continue;
+        }
+      }
+      if (T[I].K != Token::Ident || T[I].Text == S.CtxName)
+        continue;
+      // Reject member access: Obj.get(...), Ptr->insert(...).
+      if (I > 0 && (T[I - 1].Text == "." || T[I - 1].Text == "->"))
+        continue;
+      // Accept a `::` qualifier only when it is lvish::.
+      if (I > 1 && T[I - 1].Text == "::" && T[I - 2].Text != "lvish")
+        continue;
+      bool Known = false;
+      uint8_t Req = requiredBitsOf(T[I].Text, Known);
+      if (!Known)
+        continue;
+      // Call shape: optional <...> then ( with our context as first arg.
+      size_t J = I + 1;
+      if (J < S.End && T[J].Text == "<") {
+        int Depth = 0;
+        while (J < S.End) {
+          if (T[J].Text == "<")
+            ++Depth;
+          else if (T[J].Text == ">" && --Depth == 0)
+            break;
+          ++J;
+        }
+        ++J;
+      }
+      if (J >= S.End || T[J].Text != "(" || J + 1 >= S.End ||
+          T[J + 1].Text != S.CtxName)
+        continue;
+      Used |= Req;
+      uint8_t Missing = static_cast<uint8_t>(Req & ~S.Declared);
+      if (Missing != 0) {
+        uint32_t Line = T[I].Line;
+        if (M.suppressed(Line - 1, "effect-consistency"))
+          continue;
+        Finding F;
+        F.Rule = "effect-consistency";
+        F.File = M.Path;
+        F.Line = Line;
+        F.Detail = T[I].Text + ":missing:" + maskNames(Missing);
+        F.Message = "`" + T[I].Text + "(" + S.CtxName + ", ...)` requires {" +
+                    maskNames(Req) + "} but the context declared at line " +
+                    std::to_string(S.Line) + " (" + S.EffectText +
+                    ") grants only {" + maskNames(S.Declared) +
+                    "}; missing {" + maskNames(Missing) +
+                    "} - the runtime EffectAuditor would flag this on any "
+                    "schedule that reaches it";
+        Out.push_back(std::move(F));
+      }
+    }
+    // Surplus declared bits: only claimable when every use of the context
+    // in the scope was a recognized call shape (an unknown use - member
+    // access, pass-through to a helper, capture into a generic lambda -
+    // may hide an effect).
+    if (!Cfg.ReportSurplus || UnknownUse)
+      continue;
+    // Re-scan for unconsumed mentions of the context name.
+    for (size_t I = S.Begin; I < S.End && !UnknownUse; ++I) {
+      size_t LIdx = M.lambdaAt(I);
+      if (LIdx != Npos) {
+        const Lambda &L = M.Lambdas[LIdx];
+        if (!L.CtxParam.empty() && L.BodyClose != Npos && L.BodyClose < S.End)
+          I = L.BodyClose;
+        continue;
+      }
+      if (T[I].Text != S.CtxName)
+        continue;
+      // Consumed mention: `Known(` + CtxName. Anything else is unknown.
+      bool Consumed = false;
+      if (I >= 2 && T[I - 1].Text == "(" && T[I - 2].K == Token::Ident) {
+        bool Known = false;
+        requiredBitsOf(T[I - 2].Text, Known);
+        Consumed = Known;
+      }
+      UnknownUse |= !Consumed;
+    }
+    uint8_t Surplus = static_cast<uint8_t>(S.Declared & ~Used);
+    if (UnknownUse || Surplus == 0)
+      continue;
+    if (M.suppressed(S.Line - 1, "effect-consistency"))
+      continue;
+    Finding F;
+    F.Rule = "effect-consistency";
+    F.Sev = Finding::Note;
+    F.File = M.Path;
+    F.Line = S.Line;
+    F.Detail = S.CtxName + ":surplus:" + maskNames(Surplus);
+    F.Message = "context `" + S.CtxName + "` declares {" +
+                maskNames(S.Declared) + "} but the scope only exercises {" +
+                maskNames(Used) + "}; surplus {" + maskNames(Surplus) +
+                "} widens the determinism contract for no reason";
+    Out.push_back(std::move(F));
+  }
+}
+
+} // namespace analyze
+} // namespace lvish

@@ -5,9 +5,9 @@
 # cover the determinism disciplines:
 #
 #   debug    - Debug with the dynamic checkers (LVISH_CHECK=1): lattice
-#              laws, ParST disjointness shadow map, effect audit, plus the
-#              lvish-lint source scan (src/ and bench/), all as ctest
-#              cases.
+#              laws, ParST disjointness shadow map, effect audit, all as
+#              ctest cases. Exports compile_commands.json for external
+#              tooling.
 #   release  - the tier-1 configuration (RelWithDebInfo, checkers
 #              compiled out): what ROADMAP.md's verify command runs.
 #   tsan     - ThreadSanitizer (auto-selects the locked deque). Telemetry
@@ -30,13 +30,19 @@
 #              ExploreTest + ExploreRegressionTest + the explored
 #              determinism sweeps under a reduced schedule budget
 #              (LVISH_EXPLORE_SCHEDULES). Reuses the release build.
+#   analyze  - scope-aware static analysis (tools/analyze/): runs
+#              lvish-analyze over src/, bench/, examples/, and tests/
+#              against the committed tools/analyze/baseline.json, failing
+#              on any non-baselined finding. Subsumes the retired
+#              lvish-lint scan and the old deprecated-threshold-read
+#              grep. Reuses the release build.
 #   coverage - Debug + LVISH_COVERAGE=ON (gcov instrumentation): runs the
 #              suite and writes a line-coverage summary artifact to
 #              build-ci-coverage/coverage-summary.txt. Not in the default
 #              stage list (instrumented builds are slow).
 #
-# Usage: tools/ci.sh [debug|release|tsan|bench|faults|explore|coverage]...
-#        (default: debug release tsan bench faults explore)
+# Usage: tools/ci.sh [debug|release|tsan|bench|faults|explore|analyze|coverage]...
+#        (default: debug release tsan bench faults explore analyze)
 #
 #===------------------------------------------------------------------------===#
 
@@ -45,7 +51,7 @@ cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(debug release tsan bench faults explore)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(debug release tsan bench faults explore analyze)
 
 run_stage() {
   local name=$1; shift
@@ -62,21 +68,11 @@ run_stage() {
 for stage in "${STAGES[@]}"; do
   case "$stage" in
     debug)
-      run_stage debug -DCMAKE_BUILD_TYPE=Debug
-      echo "==== [debug] lvish-lint over src/ and bench/ ===="
-      ./build-ci-debug/tools/lvish-lint src bench
+      run_stage debug -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
       ;;
     release)
       run_stage release -DCMAKE_BUILD_TYPE=RelWithDebInfo
-      echo "==== [release] deprecated threshold-read spellings ===="
-      # lvish-lint covers src/ and bench/ (debug stage); this closes the
-      # gap for tests/ and examples/, which the linter does not scan.
-      if grep -rnE '\b(getKey|waitElem|waitMapSize|waitCounterAtLeast|getPureLVar|getPureLVarWith|getKeyPure|waitPureMapSize|getIdx)\s*\(' \
-          tests examples; then
-        echo "error: deprecated threshold-read spellings found above;" \
-             "use the unified lvish::get / lvish::waitSize API" >&2
-        exit 1
-      fi
       ;;
     tsan)
       run_stage tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -140,6 +136,20 @@ for stage in "${STAGES[@]}"; do
       ./build-ci-release/tests/ContentionStressTest \
         --gtest_filter='ContentionStress.Explored*'
       ;;
+    analyze)
+      # Reuse the release tree when it exists; otherwise build it.
+      if [ ! -x build-ci-release/tools/lvish-analyze ]; then
+        echo "==== [analyze] building release tree ===="
+        cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          > build-ci-release.cfg.log 2>&1 || {
+          cat build-ci-release.cfg.log; exit 1; }
+        cmake --build build-ci-release -j "$JOBS"
+      fi
+      echo "==== [analyze] lvish-analyze over src/ bench/ examples/ tests/ ===="
+      ./build-ci-release/tools/lvish-analyze \
+        --baseline tools/analyze/baseline.json \
+        src bench examples tests
+      ;;
     coverage)
       run_stage coverage -DCMAKE_BUILD_TYPE=Debug -DLVISH_COVERAGE=ON
       echo "==== [coverage] line-coverage summary ===="
@@ -170,7 +180,7 @@ for stage in "${STAGES[@]}"; do
       ;;
     *)
       echo "unknown stage '$stage' (expected debug, release, tsan, bench," \
-           "faults, explore, or coverage)" >&2
+           "faults, explore, analyze, or coverage)" >&2
       exit 2
       ;;
   esac
