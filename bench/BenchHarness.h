@@ -318,6 +318,8 @@ public:
     }
     W.key("quiesce_wait_nanos");
     W.value(T.QuiesceWaitNanos);
+    W.key("session_latency_nanos");
+    W.value(T.SessionLatencyNanos);
 #endif
     W.endObject();
     W.endObject();

@@ -39,8 +39,8 @@ struct BenchRow {
 
 BenchRow measure(bench::BenchHarness &H, SchedulerStats &Total,
                  const std::string &Name,
-                 const std::function<void(Scheduler &, Layering)> &Fn) {
-  Scheduler Sched(SchedulerConfig{1});
+                 const std::function<void(service::Runtime &, Layering)> &Fn) {
+  service::Runtime Sched({.Sched = {.NumWorkers = 1}});
   BenchRow Row;
   Row.Name = Name;
   // Warm up every configuration (first-touch page faults, allocator
@@ -72,7 +72,7 @@ BenchRow measure(bench::BenchHarness &H, SchedulerStats &Total,
                                   : 0.0);
   SP.metric("factor_vs_base",
             Row.WithST > 0 ? Row.Baseline / Row.WithST : 0.0);
-  Total += Sched.stats();
+  Total += Sched.scheduler().stats();
   return Row;
 }
 
@@ -98,30 +98,30 @@ int main(int argc, char **argv) {
 
   auto Opts = makeOptions(BsOpts, 1);
   Rows.push_back(
-      measure(H, Total, "blackscholes", [&](Scheduler &S, Layering L) {
+      measure(H, Total, "blackscholes", [&](service::Runtime &S, Layering L) {
         blackScholesPar(S, Opts, 4096, L);
       }));
 
   auto Keys = makeKeys(SortN, 2);
   Rows.push_back(
-      measure(H, Total, "mergesortFP", [&](Scheduler &S, Layering L) {
+      measure(H, Total, "mergesortFP", [&](service::Runtime &S, Layering L) {
         mergeSortFP(S, Keys, 16384, L);
       }));
 
   auto A = makeMatrix(MatN, 3);
   auto B = makeMatrix(MatN, 4);
   Rows.push_back(
-      measure(H, Total, "matmult", [&](Scheduler &S, Layering L) {
+      measure(H, Total, "matmult", [&](service::Runtime &S, Layering L) {
         matMultPar(S, A, B, MatN, 8, L);
       }));
 
   Rows.push_back(
-      measure(H, Total, "sumeuler", [&](Scheduler &S, Layering L) {
+      measure(H, Total, "sumeuler", [&](service::Runtime &S, Layering L) {
         sumEulerPar(S, EulerN, 64, L);
       }));
 
   auto Bods = makeBodies(Bodies, 5);
-  Rows.push_back(measure(H, Total, "nbody", [&](Scheduler &S, Layering L) {
+  Rows.push_back(measure(H, Total, "nbody", [&](service::Runtime &S, Layering L) {
     auto Copy = Bods;
     nBodyPar(S, Copy, 2, 1e-3, 32, L);
   }));

@@ -45,32 +45,32 @@ int main(int argc, char **argv) {
     auto Opts = makeOptions(BsOpts, 1);
     Caps.push_back(captureKernel(
         "blackscholes",
-        [Opts](Scheduler &S) { blackScholesPar(S, Opts, 4096); }, 1, Reps));
+        [Opts](service::Runtime &S) { blackScholesPar(S, Opts, 4096); }, 1, Reps));
   }
   {
     auto Keys = makeKeys(SortN, 2);
     Caps.push_back(captureKernel(
         "mergesortFP",
-        [Keys](Scheduler &S) { mergeSortFP(S, Keys, 16384); }, 1, Reps));
+        [Keys](service::Runtime &S) { mergeSortFP(S, Keys, 16384); }, 1, Reps));
   }
   {
     auto A = makeMatrix(MatN, 3);
     auto B = makeMatrix(MatN, 4);
     Caps.push_back(captureKernel(
         "matmult",
-        [A, B, MatN](Scheduler &S) { matMultPar(S, A, B, MatN, 8); }, 1,
+        [A, B, MatN](service::Runtime &S) { matMultPar(S, A, B, MatN, 8); }, 1,
         Reps));
   }
   {
     Caps.push_back(captureKernel(
-        "sumeuler", [EulerN](Scheduler &S) { sumEulerPar(S, EulerN, 64); },
+        "sumeuler", [EulerN](service::Runtime &S) { sumEulerPar(S, EulerN, 64); },
         1, Reps));
   }
   {
     auto Bods = makeBodies(Bodies, 5);
     Caps.push_back(captureKernel(
         "nbody",
-        [Bods](Scheduler &S) {
+        [Bods](service::Runtime &S) {
           auto Copy = Bods;
           nBodyPar(S, Copy, 2, 1e-3, 32);
         },

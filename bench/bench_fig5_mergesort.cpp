@@ -32,21 +32,21 @@ int main(int argc, char **argv) {
   std::vector<KernelCapture> Caps;
   Caps.push_back(captureKernel(
       "ParST/HSonly",
-      [Input, Leaf](Scheduler &S) {
+      [Input, Leaf](service::Runtime &S) {
         auto Keys = Input;
         mergeSortParST(S, Keys, Leaf, /*UseStdSortLeaf=*/false);
       },
       1, Cfg.Reps));
   Caps.push_back(captureKernel(
       "ParST/C",
-      [Input, Leaf](Scheduler &S) {
+      [Input, Leaf](service::Runtime &S) {
         auto Keys = Input;
         mergeSortParST(S, Keys, Leaf, /*UseStdSortLeaf=*/true);
       },
       1, Cfg.Reps));
   Caps.push_back(captureKernel(
       "mergesortFP",
-      [Input, Leaf](Scheduler &S) { mergeSortFP(S, Input, Leaf); }, 1,
+      [Input, Leaf](service::Runtime &S) { mergeSortFP(S, Input, Leaf); }, 1,
       Cfg.Reps));
 
   std::vector<unsigned> Threads{1, 2, 4, 6, 8, 10, 12};

@@ -13,6 +13,7 @@
 #include "bench/BenchHarness.h"
 #include "src/core/HandlerPool.h"
 #include "src/core/LVish.h"
+#include "src/service/Runtime.h"
 #include "src/data/Counter.h"
 #include "src/data/IMap.h"
 #include "src/data/ISet.h"
@@ -56,60 +57,60 @@ int main(int argc, char **argv) {
   H.noteConfig("tight_iters_per_rep", Tight);
   H.noteConfig("workers", uint64_t{1});
 
-  Scheduler Sched(SchedulerConfig{1});
+  service::Runtime RT({.Sched = {.NumWorkers = 1}});
 
   perOp(H.measure("ivar_put_get_roundtrip",
                   [&] {
                     for (uint64_t N = 0; N < Sessions; ++N)
                       Sink = static_cast<uint64_t>(
-                          runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<int> {
-                            auto IV = newIVar<int>(Ctx);
-                            put(Ctx, *IV, 1);
-                            int V = co_await get(Ctx, *IV);
-                            co_return V;
-                          }));
+                          RT.run<D>([](ParCtx<D> Ctx) -> Par<int> {
+                              auto IV = newIVar<int>(Ctx);
+                              put(Ctx, *IV, 1);
+                              int V = co_await get(Ctx, *IV);
+                              co_return V;
+                            }).valueOrAbort());
                   }),
         Sessions);
 
   perOp(H.measure("fork_join",
                   [&] {
                     for (uint64_t N = 0; N < Sessions; ++N)
-                      runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
-                        auto IV = newIVar<int>(Ctx);
-                        fork(Ctx, [IV](ParCtx<D> C) -> Par<void> {
-                          put(C, *IV, 1);
+                      RT.run<D>([](ParCtx<D> Ctx) -> Par<void> {
+                          auto IV = newIVar<int>(Ctx);
+                          fork(Ctx, [IV](ParCtx<D> C) -> Par<void> {
+                            put(C, *IV, 1);
+                            co_return;
+                          });
+                          int V = co_await get(Ctx, *IV);
+                          Sink = static_cast<uint64_t>(V);
                           co_return;
-                        });
-                        int V = co_await get(Ctx, *IV);
-                        Sink = static_cast<uint64_t>(V);
-                        co_return;
-                      });
+                        }).valueOrAbort();
                   }),
         Sessions);
 
   perOp(H.measure("counter_bump",
                   [&] {
                     for (uint64_t N = 0; N < Sessions; ++N)
-                      Sink = runParIOOn<Eff::FullIO>(
-                          Sched,
-                          [](ParCtx<Eff::FullIO> Ctx) -> Par<uint64_t> {
-                            auto C = newCounter(Ctx);
-                            for (int I = 0; I < 1000; ++I)
-                              incrCounter(Ctx, *C);
-                            co_return freezeCounter(Ctx, *C);
-                          });
+                      Sink = RT.runIO<Eff::FullIO>(
+                                   [](ParCtx<Eff::FullIO> Ctx) -> Par<uint64_t> {
+                                     auto C = newCounter(Ctx);
+                                     for (int I = 0; I < 1000; ++I)
+                                       incrCounter(Ctx, *C);
+                                     co_return freezeCounter(Ctx, *C);
+                                   })
+                                 .valueOrAbort();
                   }),
         Sessions * 1000);
 
   perOp(H.measure("iset_insert_fresh",
                   [&] {
                     for (uint64_t N = 0; N < Sessions; ++N)
-                      runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
-                        auto S = newISet<int>(Ctx);
-                        for (int I = 0; I < 1000; ++I)
-                          insert(Ctx, *S, I);
-                        co_return;
-                      });
+                      RT.run<D>([](ParCtx<D> Ctx) -> Par<void> {
+                          auto S = newISet<int>(Ctx);
+                          for (int I = 0; I < 1000; ++I)
+                            insert(Ctx, *S, I);
+                          co_return;
+                        }).valueOrAbort();
                   }),
         Sessions * 1000);
 
@@ -117,34 +118,34 @@ int main(int argc, char **argv) {
   perOp(H.measure("iset_insert_duplicate",
                   [&] {
                     for (uint64_t N = 0; N < Sessions; ++N)
-                      runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
-                        auto S = newISet<int>(Ctx);
-                        insert(Ctx, *S, 7);
-                        for (int I = 0; I < 1000; ++I)
+                      RT.run<D>([](ParCtx<D> Ctx) -> Par<void> {
+                          auto S = newISet<int>(Ctx);
                           insert(Ctx, *S, 7);
-                        co_return;
-                      });
+                          for (int I = 0; I < 1000; ++I)
+                            insert(Ctx, *S, 7);
+                          co_return;
+                        }).valueOrAbort();
                   }),
         Sessions * 1000);
 
   perOp(H.measure("pure_lvar_put",
                   [&] {
                     for (uint64_t N = 0; N < Sessions; ++N)
-                      runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
-                        auto LV = newPureLVar<MaxUint64Lattice>(Ctx);
-                        for (unsigned long long I = 0; I < 1000; ++I)
-                          putPureLVar(Ctx, *LV, I);
-                        co_return;
-                      });
+                      RT.run<D>([](ParCtx<D> Ctx) -> Par<void> {
+                          auto LV = newPureLVar<MaxUint64Lattice>(Ctx);
+                          for (unsigned long long I = 0; I < 1000; ++I)
+                            putPureLVar(Ctx, *LV, I);
+                          co_return;
+                        }).valueOrAbort();
                   }),
         Sessions * 1000);
 
-  // Cost of an empty runPar session on a persistent scheduler.
+  // Cost of an empty session on a persistent service runtime.
   perOp(H.measure("session_startup",
                   [&] {
                     for (uint64_t N = 0; N < Sessions; ++N)
-                      runParOn<D>(Sched,
-                                  [](ParCtx<D> Ctx) -> Par<void> { co_return; });
+                      RT.run<D>([](ParCtx<D> Ctx) -> Par<void> { co_return; })
+                          .valueOrAbort();
                   }),
         Sessions);
 
@@ -205,11 +206,12 @@ int main(int argc, char **argv) {
     const uint64_t Keys = H.config().pick<uint64_t>(256, 32);
     const uint64_t Rounds = H.config().pick<uint64_t>(20, 2);
     const int Putters = 8;
-    Scheduler Contended(SchedulerConfig{8});
+    service::Runtime Contended({.Sched = {.NumWorkers = 8}});
     bench::Series &S = H.measure("contended_put_wake_8w", [&] {
       for (uint64_t R = 0; R < Rounds; ++R)
-        Sink = runParIOOn<IOE>(
-            Contended, [Keys, Putters](ParCtx<IOE> Ctx) -> Par<uint64_t> {
+        Sink = Contended
+                   .runIO<IOE>([Keys, Putters](
+                                   ParCtx<IOE> Ctx) -> Par<uint64_t> {
               const int KeysI = static_cast<int>(Keys);
               auto Map = newEmptyMap<int, int>(Ctx);
               auto Echo = newISet<int>(Ctx);
@@ -251,7 +253,8 @@ int main(int argc, char **argv) {
               co_await waitSize(Ctx, *Echo, Keys);
               co_await quiesce(Ctx, Pool);
               co_return Keys;
-            });
+                   })
+                   .valueOrAbort();
     });
     S.config("keys", Keys);
     S.config("putters", static_cast<uint64_t>(Putters));
@@ -259,6 +262,6 @@ int main(int argc, char **argv) {
     perOp(S, Rounds * Keys);
   }
 
-  H.recordStats(Sched.stats());
+  H.recordStats(RT.scheduler().stats());
   return H.finish();
 }

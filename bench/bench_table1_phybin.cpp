@@ -57,19 +57,19 @@ Row runScale(bench::BenchHarness &H, SchedulerStats &Total, size_t NumTrees,
   R.HashRFSec = SH.medianSec();
 
   {
-    Scheduler Sched(SchedulerConfig{1});
+    service::Runtime RT({.Sched = {.NumWorkers = 1}});
     bench::Series &SP = H.measure("phybin_par_1core" + Suffix,
-                                  [&] { rfHashRFParallelOn(Sched, TS); });
+                                  [&] { rfHashRFParallelOn(RT, TS); });
     R.PhyBin1Sec = SP.medianSec();
-    Total += Sched.stats();
+    Total += RT.scheduler().stats();
   }
   {
-    SchedulerConfig Cfg;
-    Cfg.NumWorkers = 1;
-    Cfg.EnableTracing = true;
-    Scheduler Sched(Cfg);
-    rfHashRFParallelOn(Sched, TS);
-    sim::TaskGraph G = sim::TaskGraph::fromTrace(*Sched.trace());
+    service::RuntimeConfig Cfg;
+    Cfg.Sched.NumWorkers = 1;
+    Cfg.Sched.EnableTracing = true;
+    service::Runtime RT(Cfg);
+    rfHashRFParallelOn(RT, TS);
+    sim::TaskGraph G = sim::TaskGraph::fromTrace(*RT.scheduler().trace());
     sim::MachineModel Model;
     unsigned Cores[4] = {1, 2, 4, 8};
     double Base = sim::simulate(G, 1, Model).MakespanSeconds;
@@ -77,7 +77,7 @@ Row runScale(bench::BenchHarness &H, SchedulerStats &Total, size_t NumTrees,
     for (int I = 0; I < 4; ++I)
       R.Sim[I] =
           sim::simulate(G, Cores[I], Model).MakespanSeconds * Scale;
-    Total += Sched.stats();
+    Total += RT.scheduler().stats();
   }
 
   // Cross-check correctness while we are here.

@@ -1,4 +1,4 @@
-//===- RunPar.h - Session entry points --------------------------*- C++ -*-===//
+//===- RunPar.h - One-shot session entry points -----------------*- C++ -*-===//
 //
 // Part of lvish-cpp, a C++ reproduction of the LVish deterministic
 // parallelism library (Kuper et al., PLDI 2014).
@@ -17,22 +17,29 @@
 /// `runParThenFreeze` runs to full quiescence, then freezes the returned
 /// LVar so its exact contents can be read deterministically.
 ///
-/// Every entry point is a thin wrapper over one front door,
-/// detail::runParOnImpl, parameterized by a RunOptions struct: scheduler
-/// config or a borrowed Scheduler&, the freeze-on-exit flag, and an
-/// optional SchedulerStats out-pointer filled after the session quiesces.
-/// The effect level E is what distinguishes the named wrappers; RunOptions
-/// carries everything orthogonal to effects.
+/// Every entry point here is a ONE-SHOT wrapper: it spins up a private
+/// service::Runtime (src/service/Runtime.h), runs the body as that
+/// Runtime's single session, and tears the pool down. Long-lived callers
+/// - benches amortizing worker startup, services multiplexing concurrent
+/// sessions - should hold a service::Runtime and use Runtime::run /
+/// Runtime::submit directly. The old borrowed-scheduler surface
+/// (RunOptions::Borrowed, RunOptions::On, the *On wrappers) is
+/// deprecated: it predates per-session isolation, admits exactly one
+/// session at a time by caller discipline, and is superseded by the
+/// Runtime's admission control. The shims below still forward (a session
+/// on a borrowed scheduler bypasses Runtime admission entirely) so
+/// out-of-tree callers keep building, but in-repo code must not use them
+/// (lvish-analyze rule deprecated-borrowed-scheduler).
 ///
 /// Sessions run to *full* quiescence before returning: every forked task
 /// has either finished or is permanently blocked (and is then reaped; see
 /// Scheduler.h).
 ///
-/// Fault containment (DESIGN.md Section 8): runParOnImpl returns a
+/// Fault containment (DESIGN.md Section 8): each session returns a
 /// ParOutcome - the body's value, or the session's deterministic Fault.
 /// A contract violation inside the session (conflicting put, put after
 /// freeze, cancelled-and-read future, checker violation, injected
-/// failure) records the lattice-least Fault on the scheduler, cancels the
+/// failure) records the lattice-least Fault on the session, cancels its
 /// remaining tasks transitively through the session root's CancelNode,
 /// lets the session quiesce, and surfaces here. A root that never
 /// produced a value without any recorded fault is a deterministic
@@ -52,13 +59,11 @@
 
 #include "src/core/Par.h"
 #include "src/obs/SchedulerStats.h"
-#include "src/obs/Telemetry.h"
+#include "src/service/Runtime.h"
 #include "src/support/Fault.h"
 
-#include <memory>
-#include <optional>
-#include <string>
 #include <type_traits>
+#include <utility>
 
 namespace lvish {
 
@@ -68,30 +73,49 @@ namespace lvish {
 ///   SchedulerStats Stats;
 ///   auto R = runPar(Body, RunOptions::CollectStats(Stats));
 ///   // Stats.TasksCreated, Stats.Steals, ... now describe the run.
+// The implicitly-defined constructors touch Borrowed's initializer; merely
+// constructing RunOptions is not an opt-in to the deprecated surface, so
+// suppress the diagnostic for the definition itself. Assigning or reading
+// Borrowed at a call site still warns there.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct RunOptions {
-  /// Configuration for the session's own scheduler. Ignored when
+  /// Configuration for the session's private scheduler pool. Ignored when
   /// \c Borrowed is set.
   SchedulerConfig Config{};
-  /// Run on this existing scheduler instead of constructing one (one
-  /// session at a time; amortizes worker startup across sessions).
+  /// DEPRECATED: run on this existing scheduler instead of a private
+  /// Runtime - one session at a time, by caller discipline, with no
+  /// admission control. Hold a service::Runtime and use Runtime::run /
+  /// Runtime::submit instead.
+  [[deprecated("use service::Runtime::run/submit instead of a borrowed "
+               "Scheduler")]]
   Scheduler *Borrowed = nullptr;
   /// After quiescence, markFrozen() the returned LVar handle - the
   /// always-deterministic freeze-on-the-way-out of runParThenFreeze.
   /// Requires the body to return a (shared_ptr to an) LVar structure.
   bool FreezeOnExit = false;
-  /// When non-null, receives Scheduler::stats() after the session has
-  /// quiesced. Note the counters are cumulative per scheduler: with
-  /// \c Borrowed they include earlier sessions on that scheduler.
+  /// When non-null, receives the session's scheduler-stats DELTA after it
+  /// quiesces: the pool's counters at session start subtracted from the
+  /// counters at session end (Scheduler::sessionStats). For the one-shot
+  /// wrappers the delta equals the private pool's whole history; on a
+  /// shared Runtime it isolates this session (exactly, when no other
+  /// session overlaps it).
   SchedulerStats *StatsOut = nullptr;
 
-  /// Options that run on \p Sched instead of a fresh scheduler.
+  /// DEPRECATED: options that run on \p Sched instead of a private
+  /// Runtime; see \c Borrowed.
+  [[deprecated("use service::Runtime::run/submit instead of a borrowed "
+               "Scheduler")]]
   static RunOptions On(Scheduler &Sched) {
     RunOptions O;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     O.Borrowed = &Sched;
+#pragma GCC diagnostic pop
     return O;
   }
 
-  /// Options that deposit the post-run scheduler stats into \p Out.
+  /// Options that deposit the session's stats delta into \p Out.
   static RunOptions CollectStats(SchedulerStats &Out) {
     RunOptions O;
     O.StatsOut = &Out;
@@ -112,122 +136,35 @@ struct RunOptions {
     return O;
   }
 };
+#pragma GCC diagnostic pop
 
 namespace detail {
 
-template <typename P> struct ParValue;
-template <typename T> struct ParValue<Par<T>> {
-  using type = T;
-};
-
-/// Root coroutine: materializes the session context and funnels the result
-/// out to the caller's stack (which outlives the session).
-template <EffectSet E, typename F, typename R>
-Par<void> rootBody(F Body, std::optional<R> *Out) {
-  ParCtx<E> Ctx = CtxAccess::make<E>(Scheduler::currentTask());
-  *Out = co_await Body(Ctx);
-}
-
-template <EffectSet E, typename F>
-Par<void> rootBodyVoid(F Body, bool *Done) {
-  ParCtx<E> Ctx = CtxAccess::make<E>(Scheduler::currentTask());
-  co_await Body(Ctx);
-  *Done = true;
-}
-
-/// Builds the deadlock Fault for a session whose root never produced a
-/// value and never recorded a fault. \p Leftover counts every task reaped
-/// at quiescence, *including* the blocked root, so Leftover <= 1 means the
-/// scheduler fully drained (only the root was stuck) and Leftover > 1
-/// means other blocked tasks leaked alongside it - two different bugs in
-/// user code, hence two Fault codes.
-inline Fault makeDeadlockFault(size_t Leftover, uint64_t SessionId) {
-  Fault F;
-  F.Code = Leftover <= 1 ? FaultCode::DeadlockDrained
-                         : FaultCode::DeadlockLeakedTasks;
-  F.SessionId = SessionId;
-  F.Worker = -1;       // Detected on the session thread, not a worker.
-  F.Pedigree.clear();  // The root's pedigree is the empty path.
-  std::string Msg = "runPar: deterministic deadlock (the main computation "
-                    "blocked forever; ";
-  if (Leftover <= 1)
-    Msg += "scheduler drained: no other task remained";
-  else
-    Msg += std::to_string(Leftover - 1) + " other blocked task(s) leaked";
-  Msg += ") [code=";
-  Msg += faultCodeName(F.Code);
-  Msg += ", session=" + std::to_string(SessionId) + ", pedigree=<root>]";
-  F.Message = std::move(Msg);
-  return F;
-}
-
 /// The one session front door every runPar* wrapper funnels into.
-/// Returns the body's value or the session's deterministic Fault.
+/// Translates RunOptions into a service session: on a private one-shot
+/// Runtime normally, or directly on the borrowed scheduler through the
+/// deprecated shim path. Returns the body's value or the session's
+/// deterministic Fault.
 template <EffectSet E, typename F>
 auto runParOnImpl(const RunOptions &Opts, F Body) {
-  using RetPar = std::invoke_result_t<F, ParCtx<E>>;
-  using R = typename ParValue<RetPar>::type;
-
-  // Scheduler is neither copyable nor movable, so the owned case lives in
-  // an optional constructed in place.
-  std::optional<Scheduler> Owned;
-  Scheduler &Sched =
-      Opts.Borrowed ? *Opts.Borrowed : Owned.emplace(Opts.Config);
-
-  uint64_t SessionId = 0;
-  size_t Leftover = 0;
-  auto Launch = [&](Par<void> RootPar) {
-    Task *Root = installTaskRoot(Sched, std::move(RootPar), nullptr);
-    SessionId = Root->SessionId = Sched.newSessionId();
-    Root->Cancel = std::make_shared<CancelNode>();
-    // Arm the fault scope with the root's CancelNode: a raised fault
-    // cancels the whole session transitively through it.
-    Sched.beginSessionFaultScope(Root->Cancel);
-    check::declareTaskEffects(Root, check::effectMask(E));
-    Sched.schedule(Root);
-    Sched.waitSessionQuiescent();
-    Leftover = Sched.finishSession();
-    if (Opts.StatsOut)
-      *Opts.StatsOut = Sched.stats();
-  };
-
-  // Resolves the session's failure, if any: a recorded fault wins (even if
-  // the root produced a value before a sibling faulted); otherwise a
-  // root that never produced a value is a deterministic deadlock.
-  auto FinishFault = [&](bool Produced) -> std::optional<Fault> {
-    std::optional<Fault> Flt = Sched.takeSessionFault();
-    if (!Flt && !Produced) {
-      Flt = makeDeadlockFault(Leftover, SessionId);
-      obs::count(obs::Event::FaultsRaised); // Not routed via raiseFault.
-    }
-    if (Flt)
-      obs::count(obs::Event::FaultsContained);
-    return Flt;
-  };
-
-  if constexpr (std::is_void_v<R>) {
-    assert(!Opts.FreezeOnExit &&
-           "FreezeOnExit requires the body to return an LVar handle");
-    bool Done = false;
-    Launch(rootBodyVoid<E>(std::move(Body), &Done));
-    if (std::optional<Fault> Flt = FinishFault(Done))
-      return ParOutcome<void>::failure(std::move(*Flt));
-    return ParOutcome<void>::success();
-  } else {
-    std::optional<R> Slot;
-    Launch(rootBody<E, F, R>(std::move(Body), &Slot));
-    if (std::optional<Fault> Flt = FinishFault(Slot.has_value()))
-      return ParOutcome<R>::failure(std::move(*Flt));
-    if constexpr (requires { (*Slot)->markFrozen(); }) {
-      // The session is fully quiescent: freezing here cannot race a put.
-      if (Opts.FreezeOnExit)
-        (*Slot)->markFrozen();
-    } else {
-      assert(!Opts.FreezeOnExit &&
-             "FreezeOnExit requires the body to return an LVar handle");
-    }
-    return ParOutcome<R>::success(std::move(*Slot));
+  service::SessionOptions SOpts;
+  SOpts.FreezeOnExit = Opts.FreezeOnExit;
+  SOpts.StatsOut = Opts.StatsOut;
+  SOpts.Explore = Opts.Config.Explore;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Scheduler *Borrowed = Opts.Borrowed;
+#pragma GCC diagnostic pop
+  if (Borrowed) {
+    // Deprecated shim semantics: no Runtime, no admission - the caller
+    // guarantees one session at a time on that scheduler.
+    return service::detail::runSessionOn<E>(*Borrowed, std::move(Body),
+                                            SOpts);
   }
+  service::RuntimeConfig RC;
+  RC.Sched = Opts.Config;
+  service::Runtime RT(RC);
+  return RT.runSession<E>(std::move(Body), SOpts);
 }
 
 } // namespace detail
@@ -248,7 +185,7 @@ template <EffectSet E = Eff::Det, typename F>
   return detail::runParOnImpl<E>(Opts, std::move(Body));
 }
 
-/// tryRunPar on a fresh scheduler.
+/// tryRunPar on a fresh one-shot Runtime.
 template <EffectSet E = Eff::Det, typename F>
 [[nodiscard]] auto tryRunPar(F Body, SchedulerConfig Config = SchedulerConfig()) {
   RunOptions Opts;
@@ -256,10 +193,15 @@ template <EffectSet E = Eff::Det, typename F>
   return tryRunPar<E>(std::move(Body), Opts);
 }
 
-/// tryRunPar on an existing scheduler (one session at a time).
+/// DEPRECATED: tryRunPar on a borrowed scheduler (one session at a time,
+/// caller's discipline). Use service::Runtime::run instead.
 template <EffectSet E = Eff::Det, typename F>
+[[deprecated("use service::Runtime::run instead of a borrowed Scheduler")]]
 [[nodiscard]] auto tryRunParOn(Scheduler &Sched, F Body) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   return tryRunPar<E>(std::move(Body), RunOptions::On(Sched));
+#pragma GCC diagnostic pop
 }
 
 /// Fault-aware runParIO: like tryRunPar but without the purity
@@ -277,9 +219,15 @@ template <EffectSet E = Eff::FullIO, typename F>
   return tryRunParIO<E>(std::move(Body), Opts);
 }
 
+/// DEPRECATED: tryRunParIO on a borrowed scheduler. Use
+/// service::Runtime::runIO instead.
 template <EffectSet E = Eff::FullIO, typename F>
+[[deprecated("use service::Runtime::runIO instead of a borrowed Scheduler")]]
 [[nodiscard]] auto tryRunParIOOn(Scheduler &Sched, F Body) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   return tryRunParIO<E>(std::move(Body), RunOptions::On(Sched));
+#pragma GCC diagnostic pop
 }
 
 /// Runs \p Body with explicit options and returns its pure result,
@@ -291,7 +239,7 @@ auto runPar(F Body, const RunOptions &Opts) {
   return tryRunPar<E>(std::move(Body), Opts).valueOrAbort();
 }
 
-/// Runs \p Body on a fresh scheduler and returns its pure result.
+/// Runs \p Body on a fresh one-shot Runtime and returns its pure result.
 template <EffectSet E = Eff::Det, typename F>
 auto runPar(F Body, SchedulerConfig Config = SchedulerConfig()) {
   RunOptions Opts;
@@ -299,11 +247,15 @@ auto runPar(F Body, SchedulerConfig Config = SchedulerConfig()) {
   return runPar<E>(std::move(Body), Opts);
 }
 
-/// Runs \p Body on an existing scheduler (one session at a time). Useful
-/// for benchmarks that amortize worker startup.
+/// DEPRECATED: runPar on a borrowed scheduler. Hold a service::Runtime
+/// and call Runtime::run to amortize worker startup across sessions.
 template <EffectSet E = Eff::Det, typename F>
+[[deprecated("use service::Runtime::run instead of a borrowed Scheduler")]]
 auto runParOn(Scheduler &Sched, F Body) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   return runPar<E>(std::move(Body), RunOptions::On(Sched));
+#pragma GCC diagnostic pop
 }
 
 /// Like runPar but without the purity restriction: quasi-deterministic
@@ -320,9 +272,15 @@ auto runParIO(F Body, SchedulerConfig Config = SchedulerConfig()) {
   return runParIO<E>(std::move(Body), Opts);
 }
 
+/// DEPRECATED: runParIO on a borrowed scheduler. Use
+/// service::Runtime::runIO instead.
 template <EffectSet E = Eff::FullIO, typename F>
+[[deprecated("use service::Runtime::runIO instead of a borrowed Scheduler")]]
 auto runParIOOn(Scheduler &Sched, F Body) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   return runParIO<E>(std::move(Body), RunOptions::On(Sched));
+#pragma GCC diagnostic pop
 }
 
 /// Fault-aware runParThenFreeze: quiesce, freeze the returned LVar handle
@@ -353,21 +311,27 @@ auto runParThenFreeze(F Body, SchedulerConfig Config = SchedulerConfig()) {
   return detail::runParOnImpl<E>(Opts, std::move(Body)).valueOrAbort();
 }
 
-/// runParThenFreeze with explicit options (explore mode, stats, borrowed
-/// scheduler); aborts on a session Fault like the classic signature.
+/// runParThenFreeze with explicit options (explore mode, stats); aborts
+/// on a session Fault like the classic signature.
 template <EffectSet E = Eff::Det, typename F>
 auto runParThenFreeze(F Body, RunOptions Opts) {
   return tryRunParThenFreeze<E>(std::move(Body), std::move(Opts))
       .valueOrAbort();
 }
 
-/// runParThenFreeze on an existing scheduler.
+/// DEPRECATED: runParThenFreeze on a borrowed scheduler. Use
+/// service::Runtime::runThenFreeze instead.
 template <EffectSet E = Eff::Det, typename F>
+[[deprecated("use service::Runtime::runThenFreeze instead of a borrowed "
+             "Scheduler")]]
 auto runParThenFreezeOn(Scheduler &Sched, F Body) {
   static_assert(noFreeze(E) && noIO(E),
                 "the computation under runParThenFreeze must not freeze "
                 "explicitly");
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   RunOptions Opts = RunOptions::On(Sched);
+#pragma GCC diagnostic pop
   Opts.FreezeOnExit = true;
   return detail::runParOnImpl<E>(Opts, std::move(Body)).valueOrAbort();
 }

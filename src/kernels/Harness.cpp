@@ -9,33 +9,34 @@ using namespace lvish;
 using namespace lvish::kernels;
 
 KernelCapture kernels::captureKernel(
-    const std::string &Name, const std::function<void(Scheduler &)> &Fn,
-    unsigned Workers, int Reps) {
+    const std::string &Name,
+    const std::function<void(service::Runtime &)> &Fn, unsigned Workers,
+    int Reps) {
   KernelCapture Out;
   Out.Name = Name;
   {
-    SchedulerConfig Cfg;
-    Cfg.NumWorkers = Workers;
-    Scheduler Sched(Cfg);
+    service::RuntimeConfig Cfg;
+    Cfg.Sched.NumWorkers = Workers;
+    service::Runtime RT(Cfg);
     for (int I = 0; I < Reps; ++I) {
       WallTimer T;
-      Fn(Sched);
+      Fn(RT);
       Out.RepSeconds.push_back(T.elapsedSeconds());
     }
     std::vector<double> Sorted = Out.RepSeconds;
     std::sort(Sorted.begin(), Sorted.end());
     Out.RealSeconds = Sorted[Sorted.size() / 2];
-    Out.Stats = Sched.stats();
+    Out.Stats = RT.scheduler().stats();
   }
   {
-    SchedulerConfig Cfg;
-    Cfg.NumWorkers = 1; // Contention-free slice durations.
-    Cfg.EnableTracing = true;
-    Scheduler Sched(Cfg);
+    service::RuntimeConfig Cfg;
+    Cfg.Sched.NumWorkers = 1; // Contention-free slice durations.
+    Cfg.Sched.EnableTracing = true;
+    service::Runtime RT(Cfg);
     WallTimer T;
-    Fn(Sched);
+    Fn(RT);
     Out.TracedSeconds = T.elapsedSeconds();
-    Out.Graph = sim::TaskGraph::fromTrace(*Sched.trace());
+    Out.Graph = sim::TaskGraph::fromTrace(*RT.scheduler().trace());
   }
   return Out;
 }

@@ -16,7 +16,7 @@
 #define LVISH_KERNELS_HARNESS_H
 
 #include "src/obs/SchedulerStats.h"
-#include "src/sched/Scheduler.h"
+#include "src/service/Runtime.h"
 #include "src/sim/Simulator.h"
 #include "src/support/Timer.h"
 
@@ -37,12 +37,13 @@ struct KernelCapture {
   SchedulerStats Stats;     ///< Timing scheduler's counters after the reps.
 };
 
-/// Runs \p Fn (which takes the scheduler to use) untraced for timing, then
-/// once more with tracing on to capture the DAG. \p Workers sets the real
-/// worker count for the timing runs (the traced run always uses one worker
-/// so measured slice durations are contention-free).
+/// Runs \p Fn (which takes the service Runtime to submit through)
+/// untraced for timing, then once more with tracing on to capture the
+/// DAG. \p Workers sets the real worker count for the timing runs (the
+/// traced run always uses one worker so measured slice durations are
+/// contention-free).
 KernelCapture captureKernel(const std::string &Name,
-                            const std::function<void(Scheduler &)> &Fn,
+                            const std::function<void(service::Runtime &)> &Fn,
                             unsigned Workers = 1, int Reps = 5);
 
 /// Prints a "Figure 4/5"-shaped speedup table: one row per kernel, one

@@ -100,21 +100,21 @@ kernels::blackScholesSeq(const std::vector<Option> &Opts) {
   return Prices;
 }
 
-std::vector<double> kernels::blackScholesPar(Scheduler &Sched,
+std::vector<double> kernels::blackScholesPar(service::Runtime &RT,
                                              const std::vector<Option> &Opts,
                                              size_t Grain, Layering Layers) {
   std::vector<double> Prices(Opts.size());
   const Option *In = Opts.data();
   double *Out = Prices.data();
   size_t N = Opts.size();
-  runParOn<KernelEff>(
-      Sched, [In, Out, N, Grain, Layers](ParCtx<KernelEff> Ctx) -> Par<void> {
+  RT.run<KernelEff>(
+      [In, Out, N, Grain, Layers](ParCtx<KernelEff> Ctx) -> Par<void> {
         auto Work = [In, Out, N, Grain](ParCtx<KernelEff> C) -> Par<void> {
           auto Body = [In, Out](size_t I) { Out[I] = priceOne(In[I]); };
           co_await parallelFor(C, 0, N, Grain, Body);
         };
         co_await withLayering(Ctx, Layers, Work);
-      });
+      }).valueOrAbort();
   return Prices;
 }
 
@@ -152,12 +152,12 @@ uint64_t kernels::sumEulerSeq(uint32_t N) {
   return Sum;
 }
 
-uint64_t kernels::sumEulerPar(Scheduler &Sched, uint32_t N, size_t Grain,
+uint64_t kernels::sumEulerPar(service::Runtime &RT, uint32_t N, size_t Grain,
                               Layering Layers) {
   uint64_t Result = 0;
   uint64_t *Out = &Result;
-  runParOn<KernelEff>(
-      Sched, [N, Grain, Layers, Out](ParCtx<KernelEff> Ctx) -> Par<void> {
+  RT.run<KernelEff>(
+      [N, Grain, Layers, Out](ParCtx<KernelEff> Ctx) -> Par<void> {
         auto Work = [N, Grain, Out](ParCtx<KernelEff> C) -> Par<void> {
           auto Leaf = [](size_t I) {
             return totient(static_cast<uint32_t>(I));
@@ -168,7 +168,7 @@ uint64_t kernels::sumEulerPar(Scheduler &Sched, uint32_t N, size_t Grain,
               uint64_t(0));
         };
         co_await withLayering(Ctx, Layers, Work);
-      });
+      }).valueOrAbort();
   return Result;
 }
 
@@ -210,7 +210,7 @@ std::vector<double> kernels::matMultSeq(const std::vector<double> &A,
   return C;
 }
 
-std::vector<double> kernels::matMultPar(Scheduler &Sched,
+std::vector<double> kernels::matMultPar(service::Runtime &RT,
                                         const std::vector<double> &A,
                                         const std::vector<double> &B,
                                         size_t N, size_t RowGrain,
@@ -219,8 +219,7 @@ std::vector<double> kernels::matMultPar(Scheduler &Sched,
   const double *AP = A.data();
   const double *BP = B.data();
   double *CP = C.data();
-  runParOn<KernelEff>(
-      Sched,
+  RT.run<KernelEff>(
       [AP, BP, CP, N, RowGrain, Layers](ParCtx<KernelEff> Ctx) -> Par<void> {
         auto Work = [AP, BP, CP, N, RowGrain](ParCtx<KernelEff> C1)
             -> Par<void> {
@@ -237,7 +236,7 @@ std::vector<double> kernels::matMultPar(Scheduler &Sched,
           co_await parallelForPar(C1, 0, N, RowGrain, Body);
         };
         co_await withLayering(Ctx, Layers, Work);
-      });
+      }).valueOrAbort();
   return C;
 }
 
@@ -303,15 +302,14 @@ void kernels::nBodySeq(std::vector<Body> &Bodies, int Steps, double Dt) {
   }
 }
 
-void kernels::nBodyPar(Scheduler &Sched, std::vector<Body> &Bodies,
+void kernels::nBodyPar(service::Runtime &RT, std::vector<Body> &Bodies,
                        int Steps, double Dt, size_t Grain, Layering Layers) {
   size_t N = Bodies.size();
   std::vector<double> Acc(3 * N);
   Body *BP = Bodies.data();
   double *AP = Acc.data();
   for (int S = 0; S < Steps; ++S) {
-    runParOn<KernelEff>(
-        Sched,
+    RT.run<KernelEff>(
         [BP, AP, N, Grain, Layers](ParCtx<KernelEff> Ctx) -> Par<void> {
           auto Work = [BP, AP, N, Grain](ParCtx<KernelEff> C) -> Par<void> {
             // Force phase: reads all bodies, writes a disjoint slot each.
@@ -322,7 +320,7 @@ void kernels::nBodyPar(Scheduler &Sched, std::vector<Body> &Bodies,
             co_await parallelFor(C, 0, N, Grain, Body);
           };
           co_await withLayering(Ctx, Layers, Work);
-        });
+        }).valueOrAbort();
     integrate(BP, AP, N, Dt);
   }
 }
@@ -403,20 +401,20 @@ Par<std::vector<int64_t>> msFP(ParCtx<KernelEff> Ctx,
 
 } // namespace
 
-std::vector<int64_t> kernels::mergeSortFP(Scheduler &Sched,
+std::vector<int64_t> kernels::mergeSortFP(service::Runtime &RT,
                                           std::vector<int64_t> Keys,
                                           size_t LeafSize, Layering Layers) {
   auto KeysPtr = std::make_shared<std::vector<int64_t>>(std::move(Keys));
   auto OutPtr = std::make_shared<std::vector<int64_t>>();
-  runParOn<KernelEff>(
-      Sched, [KeysPtr, OutPtr, LeafSize,
-              Layers](ParCtx<KernelEff> Ctx) -> Par<void> {
+  RT.run<KernelEff>(
+      [KeysPtr, OutPtr, LeafSize,
+       Layers](ParCtx<KernelEff> Ctx) -> Par<void> {
         auto Work = [KeysPtr, OutPtr,
                      LeafSize](ParCtx<KernelEff> C) -> Par<void> {
           *OutPtr = co_await msFP(C, std::move(*KeysPtr), LeafSize);
         };
         co_await withLayering(Ctx, Layers, Work);
-      });
+      }).valueOrAbort();
   return std::move(*OutPtr);
 }
 
@@ -525,12 +523,12 @@ Par<void> msST(ParCtx<SortEff> C, VecView<int64_t> Data,
 
 } // namespace
 
-void kernels::mergeSortParST(Scheduler &Sched, std::vector<int64_t> &Keys,
+void kernels::mergeSortParST(service::Runtime &RT, std::vector<int64_t> &Keys,
                              size_t LeafSize, bool UseStdSortLeaf) {
   int64_t *Raw = Keys.data();
   size_t N = Keys.size();
-  runParOn<KernelEff>(Sched, [Raw, N, LeafSize, UseStdSortLeaf](
-                                 ParCtx<KernelEff> Ctx) -> Par<void> {
+  RT.run<KernelEff>([Raw, N, LeafSize, UseStdSortLeaf](
+                        ParCtx<KernelEff> Ctx) -> Par<void> {
     // Zoom out: pair the caller's storage with a scratch buffer. The
     // caller's vector is the "recipe-created" state: we wrap it in a view
     // directly since runParVec would copy.
@@ -555,5 +553,5 @@ void kernels::mergeSortParST(Scheduler &Sched, std::vector<int64_t> &Keys,
     DC.releaseExtent(Raw, Gen.get());
     Gen->fetch_add(1, std::memory_order_acq_rel);
     co_return;
-  });
+  }).valueOrAbort();
 }

@@ -25,7 +25,7 @@
 #define LVISH_KERNELS_KERNELS_H
 
 #include "src/core/LVish.h"
-#include "src/sched/Scheduler.h"
+#include "src/service/Runtime.h"
 
 #include <cstdint>
 #include <vector>
@@ -63,7 +63,7 @@ std::vector<Option> makeOptions(size_t N, uint64_t Seed);
 std::vector<double> blackScholesSeq(const std::vector<Option> &Opts);
 
 /// LVish-parallel pricing.
-std::vector<double> blackScholesPar(Scheduler &Sched,
+std::vector<double> blackScholesPar(service::Runtime &RT,
                                     const std::vector<Option> &Opts,
                                     size_t Grain = 1024,
                                     Layering Layers = Layering::None);
@@ -74,7 +74,7 @@ std::vector<double> blackScholesPar(Scheduler &Sched,
 uint64_t sumEulerSeq(uint32_t N);
 
 /// LVish-parallel via parallelReduce.
-uint64_t sumEulerPar(Scheduler &Sched, uint32_t N, size_t Grain = 64,
+uint64_t sumEulerPar(service::Runtime &RT, uint32_t N, size_t Grain = 64,
                      Layering Layers = Layering::None);
 
 // -- matmult -----------------------------------------------------------
@@ -85,7 +85,7 @@ std::vector<double> makeMatrix(size_t N, uint64_t Seed);
 std::vector<double> matMultSeq(const std::vector<double> &A,
                                const std::vector<double> &B, size_t N);
 
-std::vector<double> matMultPar(Scheduler &Sched,
+std::vector<double> matMultPar(service::Runtime &RT,
                                const std::vector<double> &A,
                                const std::vector<double> &B, size_t N,
                                size_t RowGrain = 8,
@@ -105,7 +105,7 @@ std::vector<Body> makeBodies(size_t N, uint64_t Seed);
 void nBodySeq(std::vector<Body> &Bodies, int Steps, double Dt = 1e-3);
 
 /// LVish-parallel (parallel force phase per step).
-void nBodyPar(Scheduler &Sched, std::vector<Body> &Bodies, int Steps,
+void nBodyPar(service::Runtime &RT, std::vector<Body> &Bodies, int Steps,
               double Dt = 1e-3, size_t Grain = 32,
               Layering Layers = Layering::None);
 
@@ -120,7 +120,7 @@ void mergeSortSeq(std::vector<int64_t> &Keys);
 /// Purely functional (copying) parallel merge sort: each recursive call
 /// returns a fresh vector; merging appends/copies - Figure 4's
 /// "mergesortFP", the kernel that stops scaling first.
-std::vector<int64_t> mergeSortFP(Scheduler &Sched, std::vector<int64_t> Keys,
+std::vector<int64_t> mergeSortFP(service::Runtime &RT, std::vector<int64_t> Keys,
                                  size_t LeafSize = 8192,
                                  Layering Layers = Layering::None);
 
@@ -129,7 +129,7 @@ std::vector<int64_t> mergeSortFP(Scheduler &Sched, std::vector<int64_t> Keys,
 /// round the output ends up back in the original buffer". \p UseStdSortLeaf
 /// selects the std::sort leaf (the "C leaf" variant) instead of the
 /// hand-written one.
-void mergeSortParST(Scheduler &Sched, std::vector<int64_t> &Keys,
+void mergeSortParST(service::Runtime &RT, std::vector<int64_t> &Keys,
                     size_t LeafSize = 8192, bool UseStdSortLeaf = false);
 
 } // namespace kernels

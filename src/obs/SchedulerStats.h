@@ -57,6 +57,23 @@ struct SchedulerStats {
     NumWorkers = std::max(NumWorkers, O.NumWorkers);
     return *this;
   }
+
+  /// Delta between two snapshots of the SAME scheduler (this = later,
+  /// \p Start = earlier): event counters subtract, giving the activity in
+  /// between - what Scheduler::sessionStats reports per session.
+  /// MaxDequeDepth and NumWorkers are not differences; the later
+  /// snapshot's (cumulative) values carry through.
+  SchedulerStats operator-(const SchedulerStats &Start) const {
+    SchedulerStats D = *this;
+    D.TasksCreated -= Start.TasksCreated;
+    D.TasksExecuted -= Start.TasksExecuted;
+    D.LocalPops -= Start.LocalPops;
+    D.StealAttempts -= Start.StealAttempts;
+    D.Steals -= Start.Steals;
+    D.Parks -= Start.Parks;
+    D.Wakes -= Start.Wakes;
+    return D;
+  }
 };
 
 namespace obs {

@@ -43,6 +43,12 @@ const char *obs::eventName(Event E) {
     return "handler_batch_flushes";
   case Event::NotifySkips:
     return "notify_skips";
+  case Event::SessionsSubmitted:
+    return "sessions_submitted";
+  case Event::SessionsCompleted:
+    return "sessions_completed";
+  case Event::SessionsRejected:
+    return "sessions_rejected";
   }
   return "unknown";
 }
@@ -57,6 +63,7 @@ const char *obs::gitRevision() { return LVISH_GIT_REV; }
 
 obs::detail::TelemetryStripe obs::detail::Stripes[NumStripes];
 std::atomic<uint64_t> obs::detail::QuiesceWaitNanosTotal{0};
+std::atomic<uint64_t> obs::detail::SessionLatencyNanosTotal{0};
 
 unsigned obs::detail::assignStripe() {
   static std::atomic<unsigned> Next{0};
@@ -70,6 +77,8 @@ TelemetrySnapshot obs::telemetrySnapshot() {
       S.Counts[E] += Stripe.Counts[E].load(std::memory_order_relaxed);
   S.QuiesceWaitNanos =
       detail::QuiesceWaitNanosTotal.load(std::memory_order_relaxed);
+  S.SessionLatencyNanos =
+      detail::SessionLatencyNanosTotal.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -78,6 +87,7 @@ void obs::resetTelemetry() {
     for (unsigned E = 0; E < NumEvents; ++E)
       Stripe.Counts[E].store(0, std::memory_order_relaxed);
   detail::QuiesceWaitNanosTotal.store(0, std::memory_order_relaxed);
+  detail::SessionLatencyNanosTotal.store(0, std::memory_order_relaxed);
 }
 
 namespace {

@@ -69,9 +69,15 @@ enum class Event : unsigned {
                       ///< armed (pool, worker) batch, not per delta).
   NotifySkips,        ///< Notifies that found no occupied bucket to scan,
                       ///< plus no-op joins that skipped notify entirely.
+  SessionsSubmitted,  ///< Sessions launched on a scheduler (blocking runs
+                      ///< and async submissions alike).
+  SessionsCompleted,  ///< Sessions finalized with an outcome (value or
+                      ///< contained Fault).
+  SessionsRejected,   ///< Sessions refused by Runtime admission (e.g.
+                      ///< explore-mode sessions on a busy shared pool).
 };
 
-inline constexpr unsigned NumEvents = 17;
+inline constexpr unsigned NumEvents = 20;
 
 /// Stable lower-snake-case name, used as the JSON key in BENCH_*.json.
 const char *eventName(Event E);
@@ -98,6 +104,9 @@ inline constexpr bool TelemetryEnabled = true;
 struct TelemetrySnapshot {
   uint64_t Counts[NumEvents] = {};
   uint64_t QuiesceWaitNanos = 0;
+  /// Summed submit-to-outcome latency over SessionsCompleted sessions
+  /// (divide for the mean; benches report full percentiles themselves).
+  uint64_t SessionLatencyNanos = 0;
 
   uint64_t count(Event E) const { return Counts[static_cast<unsigned>(E)]; }
 };
@@ -114,6 +123,7 @@ struct alignas(64) TelemetryStripe {
 inline constexpr unsigned NumStripes = 16;
 extern TelemetryStripe Stripes[NumStripes];
 extern std::atomic<uint64_t> QuiesceWaitNanosTotal;
+extern std::atomic<uint64_t> SessionLatencyNanosTotal;
 
 /// Round-robin stripe assignment, cached per thread.
 unsigned assignStripe();
@@ -137,6 +147,13 @@ inline void count(Event E, uint64_t N = 1) {
 /// QuiesceWaits count bump at the park site).
 inline void addQuiesceWaitNanos(uint64_t Nanos) {
   detail::QuiesceWaitNanosTotal.fetch_add(Nanos, std::memory_order_relaxed);
+}
+
+/// Accumulates one session's submit-to-outcome latency (paired with a
+/// SessionsCompleted count bump at finalization).
+inline void addSessionLatencyNanos(uint64_t Nanos) {
+  detail::SessionLatencyNanosTotal.fetch_add(Nanos,
+                                             std::memory_order_relaxed);
 }
 
 /// Sums all stripes into one snapshot. Relaxed reads: exact once the
@@ -177,6 +194,7 @@ struct TelemetrySnapshot {};
 
 inline void count(Event, uint64_t = 1) {}
 inline void addQuiesceWaitNanos(uint64_t) {}
+inline void addSessionLatencyNanos(uint64_t) {}
 inline TelemetrySnapshot telemetrySnapshot() { return {}; }
 inline void resetTelemetry() {}
 

@@ -153,18 +153,21 @@ Par<DistanceMatrix> rfParallelBody(ParCtx<PhyBinEff> Ctx,
 
 } // namespace
 
-DistanceMatrix phybin::rfHashRFParallelOn(Scheduler &Sched,
+DistanceMatrix phybin::rfHashRFParallelOn(service::Runtime &RT,
                                           const TreeSet &Trees) {
   const TreeSet *Ptr = &Trees;
-  return runParIOOn<PhyBinEff>(
-      Sched, [Ptr](ParCtx<PhyBinEff> Ctx) -> Par<DistanceMatrix> {
-        DistanceMatrix D = co_await rfParallelBody(Ctx, Ptr);
-        co_return D;
-      });
+  return RT.runIO<PhyBinEff>([Ptr](ParCtx<PhyBinEff> Ctx)
+                                 -> Par<DistanceMatrix> {
+           DistanceMatrix D = co_await rfParallelBody(Ctx, Ptr);
+           co_return D;
+         })
+      .valueOrAbort();
 }
 
 DistanceMatrix phybin::rfHashRFParallel(const TreeSet &Trees,
                                         const SchedulerConfig &Config) {
-  Scheduler Sched(Config);
-  return rfHashRFParallelOn(Sched, Trees);
+  service::RuntimeConfig RC;
+  RC.Sched = Config;
+  service::Runtime RT(RC);
+  return rfHashRFParallelOn(RT, Trees);
 }

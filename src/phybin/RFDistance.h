@@ -30,7 +30,7 @@
 #define LVISH_PHYBIN_RFDISTANCE_H
 
 #include "src/phybin/PhyloTree.h"
-#include "src/sched/Scheduler.h"
+#include "src/service/Runtime.h"
 
 #include <cstdint>
 #include <vector>
@@ -73,7 +73,8 @@ DistanceMatrix rfHashRFParallel(const TreeSet &Trees,
 
 /// Same, reusing an existing scheduler (for benchmarking without worker
 /// startup costs).
-DistanceMatrix rfHashRFParallelOn(Scheduler &Sched, const TreeSet &Trees);
+DistanceMatrix rfHashRFParallelOn(service::Runtime &RT,
+                                  const TreeSet &Trees);
 
 } // namespace phybin
 } // namespace lvish

@@ -33,33 +33,59 @@ int Scheduler::currentWorkerIndex() {
   return WorkerIndexTL == ~0u ? -1 : static_cast<int>(WorkerIndexTL);
 }
 
-void Scheduler::beginSessionFaultScope(
+std::shared_ptr<SessionState> Scheduler::beginSession(
     std::shared_ptr<CancelNode> SessionRoot) {
-  std::lock_guard<std::mutex> Lock(FaultMutex);
-  SessionFault.reset();
-  SessionCancelRoot = std::move(SessionRoot);
+  auto S = std::make_shared<SessionState>();
+  S->Id = NextSessionId.fetch_add(1, std::memory_order_relaxed);
+  S->CancelRoot = std::move(SessionRoot);
+  S->StartStats = stats();
+  std::lock_guard<std::mutex> Lock(SessionsMutex);
+  Sessions.emplace(S->Id, S);
+  return S;
+}
+
+void Scheduler::setSessionObserver(SessionState &S,
+                                   std::function<void()> OnQuiescent) {
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  assert(!S.ObserverFired && "observer installed after quiescence");
+  S.Observer = std::move(OnQuiescent);
 }
 
 void Scheduler::raiseFault(Fault F) {
   obs::count(obs::Event::FaultsRaised);
+  std::shared_ptr<SessionState> S;
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    auto It = Sessions.find(F.SessionId);
+    if (It != Sessions.end())
+      S = It->second;
+  }
+  // A fault for a session that already finished has nothing left to
+  // cancel or report into; drop it.
+  if (!S)
+    return;
   std::shared_ptr<CancelNode> Root;
   {
-    std::lock_guard<std::mutex> Lock(FaultMutex);
-    if (!SessionFault || faultLess(F, *SessionFault))
-      SessionFault = std::move(F);
-    Root = SessionCancelRoot;
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    if (!S->SessionFault || faultLess(F, *S->SessionFault))
+      S->SessionFault = std::move(F);
+    Root = S->CancelRoot;
   }
-  // Cancel outside FaultMutex: the cancel tree takes its own node locks.
+  // Cancel outside the session lock: the cancel tree takes its own node
+  // locks, and only THIS session's subtree hangs off Root.
   if (Root)
     Root->cancel();
 }
 
-std::optional<Fault> Scheduler::takeSessionFault() {
-  std::lock_guard<std::mutex> Lock(FaultMutex);
-  std::optional<Fault> F = std::move(SessionFault);
-  SessionFault.reset();
-  SessionCancelRoot.reset();
+std::optional<Fault> Scheduler::takeSessionFault(SessionState &S) {
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  std::optional<Fault> F = std::move(S.SessionFault);
+  S.SessionFault.reset();
   return F;
+}
+
+SchedulerStats Scheduler::sessionStats(const SessionState &S) const {
+  return stats() - S.StartStats;
 }
 
 obs::WorkerCounters &Scheduler::myCounters() {
@@ -87,7 +113,8 @@ SchedulerStats Scheduler::stats() const {
 explore::ScheduleCtl::~ScheduleCtl() = default;
 
 Scheduler::Scheduler(SchedulerConfig Config)
-    : Tracing(Config.EnableTracing), ExploreCtl(Config.Explore) {
+    : Tracing(Config.EnableTracing), ExploreCtl(Config.Explore),
+      FairnessStride(Config.FairnessStride) {
   unsigned N = Config.NumWorkers;
   if (N == 0)
     N = std::max(1u, std::thread::hardware_concurrency());
@@ -123,6 +150,7 @@ Task *Scheduler::createTask(std::coroutine_handle<> Root, Task *Parent) {
   if (Parent) {
     assert(Parent->Sched == this && "cross-scheduler fork");
     T->SessionId = Parent->SessionId;
+    T->Session = Parent->Session;
     T->Cancel = Parent->Cancel;
     // Effect-audit default: inherit the parent's declared level; spawn
     // wrappers that know their body's exact effect level overwrite this
@@ -161,14 +189,13 @@ Task *Scheduler::createTask(std::coroutine_handle<> Root, Task *Parent) {
 void Scheduler::schedule(Task *T) {
   assert(T->DebugQueued.exchange(1, std::memory_order_acq_rel) == 0 &&
          "task scheduled while already queued or running");
-  addPending();
+  addPending(T);
   if (WorkerSchedTL == this) {
     Worker &W = *Workers[WorkerIndexTL];
     W.Deque.push(T);
     W.Counters.noteDepth(W.Deque.sizeApprox());
   } else {
-    std::lock_guard<std::mutex> Lock(InjectMutex);
-    Injected.push_back(T);
+    pushInjected(T);
   }
   if (SleeperCount.load(std::memory_order_acquire) > 0)
     IdleCV.notify_one();
@@ -190,13 +217,10 @@ void Scheduler::wakeKeepPending(Task *T) {
   assert(T->DebugQueued.exchange(1, std::memory_order_acq_rel) == 0 &&
          "task requeued while already queued");
   sliceEnd(T);
-  // Yields go to the back of the *global* queue, not the worker's own
+  // Yields go to the back of the *inject* queue, not the worker's own
   // LIFO deque: re-pushing locally would pop the yielder right back and
   // starve its freshly forked siblings (workers prefer their own deque).
-  {
-    std::lock_guard<std::mutex> Lock(InjectMutex);
-    Injected.push_back(T);
-  }
+  pushInjected(T);
   if (SleeperCount.load(std::memory_order_acquire) > 0)
     IdleCV.notify_one();
 }
@@ -205,14 +229,17 @@ void Scheduler::onTaskParked(Task *T) {
   obs::WorkerCounters::bump(myCounters().Parks);
   sliceEnd(T);
   T->scopesOnPark();
-  removePending();
+  removePending(T);
 }
 
 void Scheduler::onTaskFinished(Task *T) {
   LVISH_TRACE3("finished task=%p\n", (void *)T);
   obs::WorkerCounters::bump(myCounters().TasksExecuted);
+  // retire() destroys T; keep the session state alive for the decrement
+  // (which may fire the session's quiescence observer).
+  std::shared_ptr<SessionState> S = T->Session;
   retire(T);
-  removePending();
+  removePendingFor(S);
 }
 
 void Scheduler::deferRetire(Task *T) {
@@ -231,16 +258,16 @@ void Scheduler::retire(Task *T) {
   delete T;
 }
 
-void Scheduler::waitSessionQuiescent() {
+void Scheduler::waitSessionQuiescent(SessionState &S) {
   if (ExploreCtl) {
     // Explore mode: nothing runs until we step it; "waiting" IS running
     // the session, single-threaded, under the controller's decisions.
     exploreRun();
     return;
   }
-  std::unique_lock<std::mutex> Lock(SessionMutex);
-  SessionCV.wait(Lock, [this] {
-    return PendingWork.load(std::memory_order_acquire) == 0;
+  std::unique_lock<std::mutex> Lock(S.Mutex);
+  S.CV.wait(Lock, [&S] {
+    return S.Pending.load(std::memory_order_acquire) == 0;
   });
 }
 
@@ -278,7 +305,7 @@ void Scheduler::exploreRun() {
     bool HaveInjected;
     {
       std::lock_guard<std::mutex> Lock(InjectMutex);
-      HaveInjected = !Injected.empty();
+      HaveInjected = InjectedCount > 0;
     }
     for (unsigned W = 0; W < N; ++W) {
       if (Workers[W]->Deque.sizeApprox() > 0) {
@@ -328,8 +355,9 @@ void Scheduler::exploreRun() {
     ExploreCtl->onResume(T->Ped);
 
     if (T->isCancelled()) {
+      std::shared_ptr<SessionState> Sess = T->Session;
       retire(T);
-      removePending();
+      removePendingFor(Sess);
       continue;
     }
     CurrentTaskTL = T;
@@ -341,8 +369,9 @@ void Scheduler::exploreRun() {
     CurrentTaskTL = nullptr;
     if (Task *R = Me.PendingRetire) {
       Me.PendingRetire = nullptr;
+      std::shared_ptr<SessionState> Sess = R->Session;
       retire(R);
-      removePending();
+      removePendingFor(Sess);
     }
   }
   WorkerSchedTL = SavedSched;
@@ -350,18 +379,22 @@ void Scheduler::exploreRun() {
   CurrentTaskTL = SavedTask;
 }
 
-size_t Scheduler::finishSession() {
-  assert(PendingWork.load(std::memory_order_acquire) == 0 &&
-         "finishSession before quiescence");
-  // Phase 0: snapshot the registry.
+size_t Scheduler::finishSession(SessionState &S) {
+  assert(S.Pending.load(std::memory_order_acquire) == 0 &&
+         "finishSession before the session quiesced");
+  // Phase 0: snapshot THIS session's leftover tasks from the registry.
+  // Sibling sessions' tasks stay registered and running.
   std::vector<Task *> Leftover;
   {
     std::lock_guard<std::mutex> Lock(RegistryMutex);
     for (Task *T = RegistryHead; T; T = T->RegNext)
-      Leftover.push_back(T);
+      if (T->Session.get() == &S)
+        Leftover.push_back(T);
   }
   // Phase 1: detach every leftover task from its park site while all task
-  // frames (and therefore all LVars) are still alive.
+  // frames (and therefore all LVars) are still alive. LVars are session-
+  // local (LVarBase::checkSession), so these park sites hold only this
+  // session's waiters.
   for (Task *T : Leftover) {
     assert(T->ParkedOn && "finishSession found a non-parked leftover task "
                           "(premature quiescence?)");
@@ -373,18 +406,46 @@ size_t Scheduler::finishSession() {
   // wakes cannot reschedule anything (removeParkedTask emptied the lists).
   for (Task *T : Leftover)
     retire(T);
+  // Unregister: raiseFault for this session id is a no-op from here on.
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    Sessions.erase(S.Id);
+  }
   return Leftover.size();
 }
 
-void Scheduler::addPending() {
+void Scheduler::addPending(Task *T) {
   PendingWork.fetch_add(1, std::memory_order_acq_rel);
+  if (T->Session)
+    T->Session->Pending.fetch_add(1, std::memory_order_acq_rel);
 }
 
-void Scheduler::removePending() {
-  if (PendingWork.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard<std::mutex> Lock(SessionMutex);
-    SessionCV.notify_all();
+void Scheduler::removePending(Task *T) { removePendingFor(T->Session); }
+
+void Scheduler::removePendingFor(const std::shared_ptr<SessionState> &S) {
+  PendingWork.fetch_sub(1, std::memory_order_acq_rel);
+  if (!S)
+    return;
+  if (S->Pending.fetch_sub(1, std::memory_order_acq_rel) != 1)
+    return;
+  // This session just quiesced. Wake blocking waiters and fire the
+  // (one-shot) observer. The notify runs under S->Mutex so a waiter
+  // cannot miss it between its predicate check and its wait; the
+  // observer runs after the unlock and may itself run under a park-site
+  // lock (the decrement can come from onTaskParked), so it must only
+  // enqueue (see SessionState::Observer).
+  std::function<void()> Obs;
+  {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    S->CV.notify_all();
+    if (S->Observer && !S->ObserverFired) {
+      S->ObserverFired = true;
+      Obs = std::move(S->Observer);
+      S->Observer = nullptr;
+    }
   }
+  if (Obs)
+    Obs();
 }
 
 void Scheduler::registryAdd(Task *T) {
@@ -433,12 +494,34 @@ uint32_t Scheduler::sliceCut(Task *T) {
   return Ended;
 }
 
+void Scheduler::pushInjected(Task *T) {
+  uint64_t Sid = T->Session ? T->Session->Id : 0;
+  std::lock_guard<std::mutex> Lock(InjectMutex);
+  std::deque<Task *> &Q = InjectBySession[Sid];
+  if (Q.empty())
+    InjectOrder.push_back(Sid);
+  Q.push_back(T);
+  ++InjectedCount;
+}
+
 Task *Scheduler::tryInjected() {
   std::lock_guard<std::mutex> Lock(InjectMutex);
-  if (Injected.empty())
+  if (InjectedCount == 0)
     return nullptr;
-  Task *T = Injected.front();
-  Injected.pop_front();
+  // Deficit round-robin, quantum 1: take one task from the front
+  // session, then rotate it behind the other queued sessions.
+  assert(!InjectOrder.empty() && "inject count/order out of sync");
+  uint64_t Sid = InjectOrder.front();
+  InjectOrder.pop_front();
+  auto It = InjectBySession.find(Sid);
+  assert(It != InjectBySession.end() && !It->second.empty());
+  Task *T = It->second.front();
+  It->second.pop_front();
+  if (It->second.empty())
+    InjectBySession.erase(It);
+  else
+    InjectOrder.push_back(Sid);
+  --InjectedCount;
   return T;
 }
 
@@ -449,6 +532,15 @@ Task *Scheduler::findWork(unsigned Index) {
     // perturbs interleavings, never outcomes).
     if (fault::planActive())
       fault::maybeDelay(fault::Point::Steal);
+  }
+  // Multi-session fairness: periodically let injected work (session
+  // roots, yields - round-robin across sessions) preempt the local
+  // deque, so one session's deep fan-out cannot starve its siblings'
+  // submissions. Off (stride 0) this compiles to one predictable branch.
+  if (FairnessStride && ++Me.InjectStreak >= FairnessStride) {
+    Me.InjectStreak = 0;
+    if (Task *T = tryInjected())
+      return T;
   }
   if (Task *T = Me.Deque.pop()) {
     obs::WorkerCounters::bump(Me.Counters.LocalPops);
@@ -502,8 +594,9 @@ void Scheduler::workerLoop(unsigned Index) {
     if (T->isCancelled()) {
       // A cancelled task is destroyed instead of resumed; the scheduler
       // polls liveness at every action, as in Section 6.1 of the paper.
+      std::shared_ptr<SessionState> Sess = T->Session;
       retire(T);
-      removePending();
+      removePendingFor(Sess);
       continue;
     }
 
@@ -520,8 +613,9 @@ void Scheduler::workerLoop(unsigned Index) {
     CurrentTaskTL = nullptr;
     if (Task *R = Me.PendingRetire) {
       Me.PendingRetire = nullptr;
+      std::shared_ptr<SessionState> Sess = R->Session;
       retire(R);
-      removePending();
+      removePendingFor(Sess);
     }
   }
 }

@@ -13,16 +13,28 @@
 /// threshold read parks its task on the LVar's waiter list and the worker
 /// moves on, so blocking never occupies an OS thread.
 ///
-/// Session protocol (driven by runPar in src/core/RunPar.h):
-///   1. create a root task, assign a fresh session id, schedule it;
-///   2. waitSessionQuiescent() blocks until no task is runnable or running;
-///   3. finishSession() reaps permanently parked tasks. A task that is
-///      still parked at quiescence can never be woken (only tasks perform
-///      puts), so destroying it cannot change any observable outcome; this
-///      is how cancelled-and-forgotten or speculatively blocked tasks are
-///      collected, matching GC of blocked green threads in the Haskell
-///      original. If the *root* never produced a result, the program has a
-///      deterministic deadlock, which runPar reports as a fatal error.
+/// Session protocol (driven by the service runtime in src/service, which
+/// runPar wraps):
+///   1. beginSession() allocates a SessionState (id, per-session pending
+///      count, fault slot, cancel root); the root task is tagged with it
+///      and scheduled;
+///   2. waitSessionQuiescent(S) blocks until no task OF THAT SESSION is
+///      runnable or running - sibling sessions sharing the pool keep
+///      running; async submitters install a quiescence observer instead;
+///   3. finishSession(S) reaps the session's permanently parked tasks. A
+///      task that is still parked at quiescence can never be woken (only
+///      tasks perform puts, and LVars are session-local), so destroying it
+///      cannot change any observable outcome; this is how cancelled-and-
+///      forgotten or speculatively blocked tasks are collected, matching
+///      GC of blocked green threads in the Haskell original. If the *root*
+///      never produced a result, the program has a deterministic deadlock,
+///      which the session driver reports as a Fault.
+///
+/// Fairness across sessions: externally submitted and yielded tasks land
+/// in per-session inject queues drained round-robin (one task per session
+/// per turn), and every FairnessStride-th dispatch a worker checks the
+/// inject queues BEFORE its own deque, so a fan-out-heavy session whose
+/// deques never drain cannot starve injected siblings.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +43,7 @@
 
 #include "src/obs/SchedulerStats.h"
 #include "src/sched/ExploreHooks.h"
+#include "src/sched/SessionState.h"
 #include "src/sched/Task.h"
 #include "src/sched/Trace.h"
 #include "src/sched/WorkStealingDeque.h"
@@ -42,10 +55,12 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace lvish {
@@ -58,6 +73,12 @@ struct SchedulerConfig {
   bool EnableTracing = false;
   /// Seed for the (non-semantic) steal-victim randomization.
   uint64_t StealSeed = 0x6c76697368ULL; // "lvish"
+  /// Multi-session fairness: every FairnessStride-th dispatch a worker
+  /// checks the (round-robin, per-session) inject queues before its own
+  /// deque, bounding how long a fan-out-heavy session can starve injected
+  /// siblings. 0 disables the preemption check (single-tenant behavior);
+  /// the stride only matters when several sessions share the pool.
+  unsigned FairnessStride = 61;
   /// Controlled-scheduling test mode (DESIGN.md Section 12): when
   /// non-null, no worker threads are spawned and the session thread
   /// single-steps NumWorkers *virtual* workers, delegating every
@@ -66,8 +87,9 @@ struct SchedulerConfig {
   explore::ScheduleCtl *Explore = nullptr;
 };
 
-/// Work-stealing scheduler; see file comment. One scheduler may run many
-/// sessions, but only one session at a time.
+/// Work-stealing scheduler; see file comment. One scheduler runs many
+/// sessions, concurrently: each session carries its own SessionState, so
+/// quiescence, faults, and stats deltas are all session-scoped.
 class Scheduler {
 public:
   explicit Scheduler(SchedulerConfig Config = SchedulerConfig());
@@ -112,15 +134,26 @@ public:
   /// worker loop, immediately after the current resume slice unwinds.
   void deferRetire(Task *T);
 
-  /// Allocates a fresh session id.
-  uint64_t newSessionId() {
-    return NextSessionId.fetch_add(1, std::memory_order_relaxed);
-  }
+  /// Opens a new session: allocates an id, snapshots the stats baseline,
+  /// and registers the state in the session table so raiseFault can route
+  /// to it. \p SessionRoot is the root CancelNode a contained fault
+  /// cancels. Call BEFORE creating the session's root task so the root's
+  /// creation lands inside the session's stats delta; then stamp the root
+  /// (Task::Session / Task::SessionId / Task::Cancel) before scheduling.
+  std::shared_ptr<SessionState> beginSession(
+      std::shared_ptr<CancelNode> SessionRoot);
 
-  /// Blocks the calling (non-worker) thread until no task is runnable or
-  /// running. In explore mode this is where the session actually executes:
-  /// the calling thread single-steps the virtual workers to quiescence.
-  void waitSessionQuiescent();
+  /// Installs \p OnQuiescent to fire exactly once when the session's
+  /// pending count first reaches zero. Must be installed before the
+  /// session's root is scheduled. The callback may run under a park-site
+  /// lock: it must only enqueue (see SessionState::Observer).
+  void setSessionObserver(SessionState &S, std::function<void()> OnQuiescent);
+
+  /// Blocks the calling (non-worker) thread until no task of session \p S
+  /// is runnable or running; sibling sessions keep executing. In explore
+  /// mode this is where the session actually executes: the calling thread
+  /// single-steps the virtual workers to quiescence.
+  void waitSessionQuiescent(SessionState &S);
 
   /// Explore mode: reorders a batch of tasks about to be woken together
   /// (multi-task threshold wakeups, handler-pool drains) by repeatedly
@@ -131,24 +164,33 @@ public:
   /// The session's schedule controller, or null outside explore mode.
   explore::ScheduleCtl *exploreCtl() const { return ExploreCtl; }
 
-  /// Reaps every task still registered (all are permanently parked at this
-  /// point) and returns how many were reaped.
-  size_t finishSession();
+  /// Reaps every task of session \p S still registered (all are
+  /// permanently parked at this point), unregisters the session from the
+  /// table, and returns how many tasks were reaped. Requires the session
+  /// to be quiescent (Pending == 0). Sibling sessions are untouched:
+  /// LVars are session-local (LVarBase::checkSession), so reaping one
+  /// session's park sites can never wake another's waiters.
+  size_t finishSession(SessionState &S);
 
-  /// Opens the session's fault scope: clears any previously recorded
-  /// fault and remembers the session root's cancellation node (what
-  /// raiseFault cancels). Called by runPar before scheduling the root.
-  void beginSessionFaultScope(std::shared_ptr<CancelNode> SessionRoot);
-
-  /// Records \p F as the session's fault - keeping whichever of the old
-  /// and new fault is least under faultLess, so the winner under a fault
-  /// race is deterministic - and transitively cancels the session via its
-  /// root CancelNode. Thread-safe; called from workers mid-violation.
+  /// Records \p F as its session's fault - routed by F.SessionId through
+  /// the session table, keeping whichever of the old and new fault is
+  /// least under faultLess, so the winner under a fault race is
+  /// deterministic - and transitively cancels THAT SESSION ONLY via its
+  /// root CancelNode. Thread-safe; called from workers mid-violation. A
+  /// fault for an already-finished session is dropped.
   void raiseFault(Fault F);
 
-  /// Takes (and clears) the fault recorded for the just-finished session,
-  /// if any. Called by runPar after finishSession.
-  std::optional<Fault> takeSessionFault();
+  /// Takes (and clears) the fault recorded for session \p S, if any.
+  /// Called by the session driver after finishSession.
+  std::optional<Fault> takeSessionFault(SessionState &S);
+
+  /// The session's scheduler-stats delta: stats() minus the baseline
+  /// snapshotted at beginSession. Counters are exact once the session has
+  /// quiesced AND no sibling session ran concurrently; with overlapping
+  /// sessions the delta attributes shared-pool activity approximately.
+  /// MaxDequeDepth and NumWorkers are not differences: the current
+  /// (cumulative) values are reported.
+  SchedulerStats sessionStats(const SessionState &S) const;
 
   /// The task currently executing on this thread (null on non-workers).
   static Task *currentTask();
@@ -162,9 +204,9 @@ public:
 
   /// Aggregates every worker's counter block (plus the shared block for
   /// off-worker events) into one snapshot. Counters are cumulative over
-  /// the scheduler's lifetime; the snapshot is exact once the session has
-  /// quiesced, approximate while workers run. RunOptions::StatsOut (see
-  /// src/core/RunPar.h) delivers this automatically after a run.
+  /// the scheduler's lifetime; the snapshot is exact once all sessions
+  /// have quiesced, approximate while workers run. Per-session deltas
+  /// (what SessionOptions::StatsOut delivers) come from sessionStats().
   SchedulerStats stats() const;
 
   /// \deprecated Pre-stats() accessors, kept as wrappers for out-of-tree
@@ -184,6 +226,9 @@ private:
     SplitMix64 StealRng;
     Task *PendingRetire = nullptr;
     std::thread Thread;
+    /// Dispatches since this worker last checked the inject queues ahead
+    /// of its own deque (see SchedulerConfig::FairnessStride).
+    unsigned InjectStreak = 0;
     /// This worker's private counter block (its own cache line).
     obs::WorkerCounters Counters;
   };
@@ -198,8 +243,16 @@ private:
   /// roots and wakes arrive from non-worker threads).
   obs::WorkerCounters &myCounters();
   Task *tryInjected();
-  void addPending();
-  void removePending();
+  /// Enqueues \p T on its session's inject queue (round-robin drained).
+  void pushInjected(Task *T);
+  /// Bumps the global pending count and \p T's session count.
+  void addPending(Task *T);
+  /// Drops both counts for a still-live task (park path).
+  void removePending(Task *T);
+  /// Drops both counts when the task may already be destroyed (retire
+  /// paths capture the shared session state first). Fires the session's
+  /// quiescence CV/observer when its count hits zero.
+  void removePendingFor(const std::shared_ptr<SessionState> &S);
   void retire(Task *T);
   void registryAdd(Task *T);
   void registryRemove(Task *T);
@@ -211,13 +264,15 @@ private:
 
   const bool Tracing;
   explore::ScheduleCtl *const ExploreCtl;
+  const unsigned FairnessStride;
   TraceRecorder Recorder;
 
   std::vector<std::unique_ptr<Worker>> Workers;
   std::atomic<bool> Shutdown{false};
 
-  /// Tasks that are runnable or currently running. Zero means session
-  /// quiescence: nothing can ever create work again.
+  /// Tasks that are runnable or currently running, across ALL sessions.
+  /// Zero means full-pool quiescence; the explore driver loops on it.
+  /// Per-session quiescence is SessionState::Pending.
   std::atomic<int64_t> PendingWork{0};
 
   std::atomic<uint64_t> NextSessionId{1};
@@ -225,23 +280,24 @@ private:
   /// Counter block for events raised off the worker threads.
   obs::WorkerCounters ExternalCounters;
 
-  // External submission queue (runPar roots; wakes from non-worker threads).
+  // External submission queues (session roots; yields; wakes from
+  // non-worker threads), one per session, drained round-robin: each turn
+  // takes ONE task from the front session's queue, then rotates that
+  // session to the back - deficit round-robin with quantum 1. A single
+  // session degenerates to the old FIFO.
   std::mutex InjectMutex;
-  std::deque<Task *> Injected;
+  std::unordered_map<uint64_t, std::deque<Task *>> InjectBySession;
+  std::deque<uint64_t> InjectOrder;
+  size_t InjectedCount = 0;
 
   // Idle workers sleep here.
   std::mutex IdleMutex;
   std::condition_variable IdleCV;
   std::atomic<int> SleeperCount{0};
 
-  // Session-quiescence handoff to the runPar caller.
-  std::mutex SessionMutex;
-  std::condition_variable SessionCV;
-
-  // Session fault scope (see beginSessionFaultScope/raiseFault).
-  std::mutex FaultMutex;
-  std::optional<Fault> SessionFault;
-  std::shared_ptr<CancelNode> SessionCancelRoot;
+  // Live sessions, keyed by id (raiseFault routes through this).
+  mutable std::mutex SessionsMutex;
+  std::unordered_map<uint64_t, std::shared_ptr<SessionState>> Sessions;
 
   // Registry of all live tasks (intrusive list through Task::RegPrev/Next).
   std::mutex RegistryMutex;

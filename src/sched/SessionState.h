@@ -1,0 +1,86 @@
+//===- SessionState.h - Per-session scheduler accounting --------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One \c SessionState per in-flight runPar session on a scheduler. The
+/// paper's `s` type parameter scopes every LVar to one session; the service
+/// runtime (src/service) additionally multiplexes many *concurrent*
+/// sessions onto one worker pool, so the bookkeeping that used to be
+/// scheduler-global - the outstanding-task count whose zero means
+/// quiescence, the recorded fault and the cancellation root it fires, the
+/// quiescence condition variable - lives here, one instance per session.
+///
+/// Lifetime: created by Scheduler::beginSession, shared (shared_ptr)
+/// between the scheduler's session table, every Task of the session, and
+/// the submitter's completion plumbing. Tasks hold a shared_ptr so the
+/// retire path can decrement \c Pending after the task is destroyed even
+/// if the session table entry is concurrently erased.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_SCHED_SESSIONSTATE_H
+#define LVISH_SCHED_SESSIONSTATE_H
+
+#include "src/obs/SchedulerStats.h"
+#include "src/sched/CancelNode.h"
+#include "src/support/Fault.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+namespace lvish {
+
+/// Per-session scheduler state; see file comment. Fields are manipulated
+/// by the owning Scheduler only (callers go through the Scheduler's
+/// session API).
+class SessionState {
+public:
+  /// Session id, also stamped on every Task and LVar of the session.
+  uint64_t Id = 0;
+
+  /// Tasks of THIS session that are runnable or running. Zero means the
+  /// session is quiescent: nothing of this session can ever create work
+  /// again. The scheduler's global PendingWork counts all sessions (the
+  /// explore driver loops on it); this one scopes quiescence per session.
+  std::atomic<int64_t> Pending{0};
+
+  /// The session root's cancellation node: what raiseFault cancels to
+  /// contain a fault to this session.
+  std::shared_ptr<CancelNode> CancelRoot;
+
+  /// Scheduler::stats() snapshot taken at beginSession; the session's
+  /// stats delta is the current snapshot minus this one. Exact when
+  /// sessions run back-to-back; approximate while sessions overlap
+  /// (concurrent sessions' events land in the same worker counters).
+  SchedulerStats StartStats;
+
+  /// Guards SessionFault / Observer / ObserverFired and backs CV.
+  std::mutex Mutex;
+
+  /// Signalled when Pending hits zero (see Scheduler::removePendingFor).
+  std::condition_variable CV;
+
+  /// Lattice-least fault recorded for this session, if any.
+  std::optional<Fault> SessionFault;
+
+  /// Fired exactly once when Pending first hits zero, AFTER Mutex is
+  /// released. May run under a park-site lock (the last task of a session
+  /// can park while holding one), so it must only enqueue - the service
+  /// runtime pushes the session onto its completion queue here; heavy
+  /// finalization (finishSession) happens on the finalizer thread.
+  std::function<void()> Observer;
+  bool ObserverFired = false;
+};
+
+} // namespace lvish
+
+#endif // LVISH_SCHED_SESSIONSTATE_H

@@ -22,6 +22,7 @@
 
 #include "src/sched/CancelNode.h"
 #include "src/sched/ParkSite.h"
+#include "src/sched/SessionState.h"
 #include "src/support/Fault.h"
 #include "src/support/Pedigree.h"
 
@@ -73,10 +74,17 @@ public:
 
   Scheduler *Sched = nullptr;
 
-  /// Session id of the enclosing runPar; LVar accesses assert that the
+  /// Session id of the enclosing session; LVar accesses assert that the
   /// task's session matches the LVar's (the runtime check standing in for
   /// the paper's `s` type parameter).
   uint64_t SessionId = 0;
+
+  /// Shared per-session accounting (pending count, fault slot, quiescence
+  /// CV/observer). Stamped on the root by the session launcher before it
+  /// is scheduled; inherited by children on fork. Shared ownership keeps
+  /// the state alive through the retire-then-decrement ordering even when
+  /// the scheduler's session table entry is gone.
+  std::shared_ptr<SessionState> Session;
 
   /// Cancellation-tree node (always non-null once attached to a scheduler;
   /// the root task gets a fresh always-live node).

@@ -1,0 +1,144 @@
+//===- Runtime.cpp - Multi-tenant service runtime -------------------------===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+//
+// The untemplated half of the Runtime: admission control (slot
+// accounting, FIFO queueing, explore exclusivity) and the finalizer
+// thread that turns quiescence observations into session outcomes.
+//
+// Lock discipline: Mu guards only the Runtime's own bookkeeping (Active,
+// the two queues, shutdown flags). Launch and finalize closures always
+// run with Mu RELEASED - they re-enter the Scheduler (beginSession,
+// schedule, finishSession), and a worker finishing the session's last
+// task calls back into enqueueCompletion, which needs Mu.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/service/Runtime.h"
+
+using namespace lvish;
+using namespace lvish::service;
+
+Runtime::Runtime(RuntimeConfig Config)
+    : Sched(Config.Sched), MaxActive(Config.MaxActiveSessions) {}
+
+Runtime::~Runtime() {
+  drain();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+    WorkCV.notify_all();
+  }
+  if (Finalizer.joinable())
+    Finalizer.join();
+}
+
+const char *Runtime::acquireSlotOrVeto(explore::ScheduleCtl *WantExplore) {
+  explore::ScheduleCtl *PoolCtl = Sched.exploreCtl();
+  if (WantExplore && PoolCtl != WantExplore)
+    return PoolCtl ? "session demands a different schedule controller than "
+                     "the Runtime's"
+                   : "explore-mode session on a Runtime without controlled "
+                     "scheduling";
+  std::unique_lock<std::mutex> Lock(Mu);
+  if (PoolCtl) {
+    if (Active > 0 || !AdmitQueue.empty() || !DoneQueue.empty())
+      return "controlled-scheduling sessions need the Runtime to "
+             "themselves and it is busy";
+    Active = 1;
+    return nullptr;
+  }
+  SlotCV.wait(Lock, [this] { return !MaxActive || Active < MaxActive; });
+  ++Active;
+  return nullptr;
+}
+
+void Runtime::releaseSlot() {
+  std::function<void()> Next;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    assert(Active > 0 && "releaseSlot without a held slot");
+    --Active;
+    if (!AdmitQueue.empty() && (!MaxActive || Active < MaxActive)) {
+      Next = std::move(AdmitQueue.front());
+      AdmitQueue.pop_front();
+      ++Active;
+    }
+    SlotCV.notify_all();
+  }
+  if (Next)
+    Next();
+}
+
+void Runtime::routeSubmission(std::function<void()> Launch) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ensureFinalizerLocked();
+    if (MaxActive && Active >= MaxActive) {
+      AdmitQueue.push_back(std::move(Launch));
+      return;
+    }
+    ++Active;
+  }
+  Launch();
+}
+
+void Runtime::enqueueCompletion(std::function<void()> Fin) {
+  // May run under a park-site lock (the session's last pending-count
+  // decrement can happen inside TaskScope/LVar park bookkeeping), so this
+  // must only enqueue - never touch the Scheduler.
+  std::lock_guard<std::mutex> Lock(Mu);
+  DoneQueue.push_back(std::move(Fin));
+  WorkCV.notify_one();
+}
+
+void Runtime::ensureFinalizerLocked() {
+  if (FinalizerStarted)
+    return;
+  FinalizerStarted = true;
+  Finalizer = std::thread([this] { finalizerLoop(); });
+}
+
+void Runtime::finalizerLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    WorkCV.wait(Lock, [this] { return ShuttingDown || !DoneQueue.empty(); });
+    if (DoneQueue.empty()) {
+      if (ShuttingDown)
+        return;
+      continue;
+    }
+    std::function<void()> Fin = std::move(DoneQueue.front());
+    DoneQueue.pop_front();
+    // The finalized session's slot stays held through Fin (finishSession,
+    // fault take, outcome publication), so drain() cannot complete while
+    // a finalization is mid-flight.
+    Lock.unlock();
+    Fin();
+    std::function<void()> Next;
+    Lock.lock();
+    assert(Active > 0 && "finalized a session without a held slot");
+    --Active;
+    if (!AdmitQueue.empty() && (!MaxActive || Active < MaxActive)) {
+      Next = std::move(AdmitQueue.front());
+      AdmitQueue.pop_front();
+      ++Active;
+    }
+    SlotCV.notify_all();
+    if (Next) {
+      Lock.unlock();
+      Next();
+      Lock.lock();
+    }
+  }
+}
+
+void Runtime::drain() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  SlotCV.wait(Lock, [this] {
+    return Active == 0 && AdmitQueue.empty() && DoneQueue.empty();
+  });
+}

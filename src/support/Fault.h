@@ -53,6 +53,8 @@ enum class FaultCode : uint8_t {
   DeadlockLeakedTasks, ///< Root blocked forever; other tasks also blocked.
   CheckerViolation,    ///< A dynamic checker (src/check) fired in-session.
   InjectedFailure,     ///< Raised by the LVISH_FAULTS injection harness.
+  SessionRejected,     ///< Runtime admission refused the session (e.g. an
+                       ///< explore-mode session on a busy shared Runtime).
 };
 
 /// Stable lower-snake-case name (JSON/telemetry-friendly).
@@ -76,6 +78,8 @@ inline const char *faultCodeName(FaultCode C) {
     return "checker_violation";
   case FaultCode::InjectedFailure:
     return "injected_failure";
+  case FaultCode::SessionRejected:
+    return "session_rejected";
   }
   return "unknown";
 }

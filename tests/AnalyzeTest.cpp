@@ -128,6 +128,19 @@ TEST(Analyze, MultiLineShapesStillMatch) {
   EXPECT_EQ(totalErrors(Fs), 2);
 }
 
+TEST(Analyze, DeprecatedBorrowedSchedulerSeededViolations) {
+  auto Fs = analyzeFixture("borrowed_violation.cpp");
+  EXPECT_EQ(errorsOfRule(Fs, "deprecated-borrowed-scheduler"), 8)
+      << "field assignment x2, On() factory, and all five *On wrappers";
+  EXPECT_EQ(totalErrors(Fs), 8);
+}
+
+TEST(Analyze, DeprecatedBorrowedSchedulerCleanFixture) {
+  auto Fs = analyzeFixture("borrowed_clean.cpp");
+  EXPECT_EQ(totalErrors(Fs), 0)
+      << "Runtime::run/submit and the runParOnImpl funnel must not match";
+}
+
 TEST(Analyze, SuppressionComments) {
   auto Fs = analyzeFixture("suppression.cpp");
   EXPECT_EQ(totalErrors(Fs), 0)

@@ -90,10 +90,10 @@ TEST(ContentionStress, ThreadedEightWorkersAllWakesDelivered) {
   // ordering bug in the sharded table shows up as a lost wakeup
   // (deterministic deadlock) or a wrong sum.
   const uint64_t Keys = 96;
-  Scheduler Sched(SchedulerConfig{8});
+  service::Runtime RT({.Sched = {.NumWorkers = 8}});
   for (int Round = 0; Round < 5; ++Round) {
     uint64_t Total = contendedProgram(Keys, 8, [&](auto Body) {
-      return runParIOOn<IOE>(Sched, Body);
+      return RT.runIO<IOE>(Body).valueOrAbort();
     });
     EXPECT_EQ(Total, Keys * (Keys - 1)) << "round " << Round;
   }

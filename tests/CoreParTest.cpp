@@ -250,16 +250,16 @@ TEST(Yield, CooperativeYieldRoundTrip) {
 }
 
 TEST(RunPar, ManySessionsOnOneScheduler) {
-  Scheduler Sched(SchedulerConfig{2});
+  service::Runtime RT({.Sched = {.NumWorkers = 2}});
   for (int I = 0; I < 20; ++I) {
-    int R = runParOn<D>(Sched, [I](ParCtx<D> Ctx) -> Par<int> {
+    int R = RT.run<D>([I](ParCtx<D> Ctx) -> Par<int> {
       auto IV = newIVar<int>(Ctx);
       fork(Ctx, [IV, I](ParCtx<D> C) -> Par<void> {
         put(C, *IV, I);
         co_return;
       });
       co_return co_await get(Ctx, *IV);
-    });
+    }).valueOrAbort();
     EXPECT_EQ(R, I);
   }
 }

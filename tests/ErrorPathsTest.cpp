@@ -510,9 +510,11 @@ TEST(FaultOutcomeTest, SuccessfulSessionReturnsValue) {
 }
 
 /// Sessions after a contained fault must start from a clean fault scope -
-/// on a *borrowed* scheduler too.
+/// on a shared Runtime pool too.
 TEST(FaultOutcomeTest, SchedulerReusableAfterFault) {
-  Scheduler Sched(faultConfig());
+  service::RuntimeConfig RC;
+  RC.Sched = faultConfig();
+  service::Runtime RT(RC);
   auto Bad = [](ParCtx<D> Ctx) -> Par<void> {
     auto IV = newIVar<int>(Ctx);
     put(Ctx, *IV, 1);
@@ -520,13 +522,13 @@ TEST(FaultOutcomeTest, SchedulerReusableAfterFault) {
     co_return;
   };
   auto Good = [](ParCtx<D> Ctx) -> Par<int> { co_return 7; };
-  auto O1 = tryRunParOn<D>(Sched, Bad);
+  auto O1 = RT.run<D>(Bad);
   EXPECT_FALSE(O1.ok());
   EXPECT_EQ(O1.fault().Code, FaultCode::ConflictingPut);
-  auto O2 = tryRunParOn<D>(Sched, Good);
+  auto O2 = RT.run<D>(Good);
   ASSERT_TRUE(O2.ok());
   EXPECT_EQ(O2.value(), 7);
-  auto O3 = tryRunParOn<D>(Sched, Bad);
+  auto O3 = RT.run<D>(Bad);
   EXPECT_FALSE(O3.ok());
   EXPECT_EQ(O3.fault().Code, FaultCode::ConflictingPut);
 }

@@ -16,8 +16,8 @@ namespace {
 TEST(BlackScholes, ParMatchesSeq) {
   auto Opts = makeOptions(5000, 7);
   auto Seq = blackScholesSeq(Opts);
-  Scheduler Sched(SchedulerConfig{3});
-  auto Par = blackScholesPar(Sched, Opts, 256);
+  service::Runtime RT({.Sched = {.NumWorkers = 3}});
+  auto Par = blackScholesPar(RT, Opts, 256);
   ASSERT_EQ(Seq.size(), Par.size());
   for (size_t I = 0; I < Seq.size(); ++I)
     EXPECT_DOUBLE_EQ(Seq[I], Par[I]);
@@ -39,9 +39,9 @@ TEST(SumEuler, ParMatchesSeqAndKnownValues) {
   // Known: sum of phi(i) for i=1..10 is 32; for 1..100 is 3044.
   EXPECT_EQ(sumEulerSeq(10), 32u);
   EXPECT_EQ(sumEulerSeq(100), 3044u);
-  Scheduler Sched(SchedulerConfig{3});
-  EXPECT_EQ(sumEulerPar(Sched, 100, 8), 3044u);
-  EXPECT_EQ(sumEulerPar(Sched, 1000, 32), sumEulerSeq(1000));
+  service::Runtime RT({.Sched = {.NumWorkers = 3}});
+  EXPECT_EQ(sumEulerPar(RT, 100, 8), 3044u);
+  EXPECT_EQ(sumEulerPar(RT, 1000, 32), sumEulerSeq(1000));
 }
 
 TEST(MatMult, ParMatchesSeq) {
@@ -49,8 +49,8 @@ TEST(MatMult, ParMatchesSeq) {
   auto A = makeMatrix(N, 1);
   auto B = makeMatrix(N, 2);
   auto Seq = matMultSeq(A, B, N);
-  Scheduler Sched(SchedulerConfig{3});
-  auto Par = matMultPar(Sched, A, B, N, 4);
+  service::Runtime RT({.Sched = {.NumWorkers = 3}});
+  auto Par = matMultPar(RT, A, B, N, 4);
   ASSERT_EQ(Seq.size(), Par.size());
   for (size_t I = 0; I < Seq.size(); ++I)
     EXPECT_DOUBLE_EQ(Seq[I], Par[I]);
@@ -71,8 +71,8 @@ TEST(NBody, ParMatchesSeqBitForBit) {
   auto B1 = makeBodies(64, 11);
   auto B2 = B1;
   nBodySeq(B1, 3);
-  Scheduler Sched(SchedulerConfig{3});
-  nBodyPar(Sched, B2, 3);
+  service::Runtime RT({.Sched = {.NumWorkers = 3}});
+  nBodyPar(RT, B2, 3);
   for (size_t I = 0; I < B1.size(); ++I) {
     EXPECT_DOUBLE_EQ(B1[I].X, B2[I].X);
     EXPECT_DOUBLE_EQ(B1[I].VX, B2[I].VX);
@@ -108,8 +108,8 @@ TEST(MergeSort, FunctionalCopyingSorts) {
   auto Keys = makeKeys(50000, 17);
   auto Ref = Keys;
   std::sort(Ref.begin(), Ref.end());
-  Scheduler Sched(SchedulerConfig{3});
-  auto Sorted = mergeSortFP(Sched, std::move(Keys), 1024);
+  service::Runtime RT({.Sched = {.NumWorkers = 3}});
+  auto Sorted = mergeSortFP(RT, std::move(Keys), 1024);
   EXPECT_EQ(Sorted, Ref);
 }
 
@@ -118,8 +118,8 @@ TEST(MergeSort, ParSTInPlaceSorts) {
     auto Keys = makeKeys(N, 19);
     auto Ref = Keys;
     std::sort(Ref.begin(), Ref.end());
-    Scheduler Sched(SchedulerConfig{3});
-    mergeSortParST(Sched, Keys, 512, /*UseStdSortLeaf=*/false);
+    service::Runtime RT({.Sched = {.NumWorkers = 3}});
+    mergeSortParST(RT, Keys, 512, /*UseStdSortLeaf=*/false);
     EXPECT_EQ(Keys, Ref) << "N=" << N;
   }
 }
@@ -128,8 +128,8 @@ TEST(MergeSort, ParSTWithStdSortLeaf) {
   auto Keys = makeKeys(30000, 23);
   auto Ref = Keys;
   std::sort(Ref.begin(), Ref.end());
-  Scheduler Sched(SchedulerConfig{2});
-  mergeSortParST(Sched, Keys, 512, /*UseStdSortLeaf=*/true);
+  service::Runtime RT({.Sched = {.NumWorkers = 2}});
+  mergeSortParST(RT, Keys, 512, /*UseStdSortLeaf=*/true);
   EXPECT_EQ(Keys, Ref);
 }
 
@@ -139,20 +139,20 @@ TEST(MergeSort, AlreadySortedAndReversedInputs) {
     Up[I] = static_cast<int64_t>(I);
     Down[I] = static_cast<int64_t>(Up.size() - I);
   }
-  Scheduler Sched(SchedulerConfig{2});
+  service::Runtime RT({.Sched = {.NumWorkers = 2}});
   auto UpRef = Up;
-  mergeSortParST(Sched, Up, 128);
+  mergeSortParST(RT, Up, 128);
   EXPECT_EQ(Up, UpRef);
-  mergeSortParST(Sched, Down, 128);
+  mergeSortParST(RT, Down, 128);
   EXPECT_TRUE(std::is_sorted(Down.begin(), Down.end()));
 }
 
 // -- Harness capture ------------------------------------------------------
 
 TEST(Harness, CaptureProducesUsableGraph) {
-  auto Fn = [](Scheduler &Sched) {
+  auto Fn = [](service::Runtime &RT) {
     auto Keys = makeKeys(20000, 3);
-    mergeSortParST(Sched, Keys, 1024);
+    mergeSortParST(RT, Keys, 1024);
   };
   KernelCapture Cap = captureKernel("sort", Fn, 1, 1);
   EXPECT_GT(Cap.RealSeconds, 0);

@@ -18,14 +18,14 @@ TEST(Scheduler, StartsAndStopsCleanly) {
 }
 
 TEST(Scheduler, CountsSpawnedTasks) {
-  Scheduler Sched(SchedulerConfig{2});
-  runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
-    for (int I = 0; I < 10; ++I)
-      fork(Ctx, [](ParCtx<D> C) -> Par<void> { co_return; });
-    co_return;
-  });
+  service::Runtime RT({.Sched = {.NumWorkers = 2}});
+  RT.run<D>([](ParCtx<D> Ctx) -> Par<void> {
+      for (int I = 0; I < 10; ++I)
+        fork(Ctx, [](ParCtx<D> C) -> Par<void> { co_return; });
+      co_return;
+    }).valueOrAbort();
   // Root + 10 children.
-  EXPECT_GE(Sched.stats().TasksCreated, 11u);
+  EXPECT_GE(RT.scheduler().stats().TasksCreated, 11u);
 }
 
 TEST(Scheduler, ManyFireAndForgetTasksAllRunBeforeSessionEnds) {
@@ -61,21 +61,21 @@ TEST(Scheduler, OrphanedBlockedTaskIsReapedNotDeadlocked) {
 }
 
 TEST(Scheduler, TraceRecordsSpawnTreeAndWakeEdges) {
-  SchedulerConfig Cfg;
-  Cfg.NumWorkers = 2;
-  Cfg.EnableTracing = true;
-  Scheduler Sched(Cfg);
-  runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
-    auto IV = newIVar<int>(Ctx);
-    fork(Ctx, [IV](ParCtx<D> C) -> Par<void> {
-      put(C, *IV, 1);
+  service::RuntimeConfig Cfg;
+  Cfg.Sched.NumWorkers = 2;
+  Cfg.Sched.EnableTracing = true;
+  service::Runtime RT(Cfg);
+  RT.run<D>([](ParCtx<D> Ctx) -> Par<void> {
+      auto IV = newIVar<int>(Ctx);
+      fork(Ctx, [IV](ParCtx<D> C) -> Par<void> {
+        put(C, *IV, 1);
+        co_return;
+      });
+      int V = co_await get(Ctx, *IV);
+      (void)V;
       co_return;
-    });
-    int V = co_await get(Ctx, *IV);
-    (void)V;
-    co_return;
-  });
-  TraceRecorder *T = Sched.trace();
+    }).valueOrAbort();
+  TraceRecorder *T = RT.scheduler().trace();
   ASSERT_NE(T, nullptr);
   EXPECT_EQ(T->numTasks(), 2u); // Root + one child.
   // The fork produced at least: root slice (cut at the fork), the child's

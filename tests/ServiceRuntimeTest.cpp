@@ -1,0 +1,265 @@
+//===- ServiceRuntimeTest.cpp - Multi-tenant session isolation -------------===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service::Runtime contracts (DESIGN.md Section 15): N concurrent
+/// sessions on one shared pool produce exactly the N sequential results;
+/// a session's quiescence never waits on a sibling's work; a doomed
+/// session faults alone, tagged with its own session id, while its
+/// neighbors finish untouched; explore-mode sessions either own the
+/// Runtime's scheduling outright or are rejected deterministically; and
+/// MaxActiveSessions really bounds concurrency with FIFO admission.
+///
+/// The ci.sh `service` stage reruns this binary under ThreadSanitizer -
+/// the cross-session code paths (shared waiter buckets, per-session
+/// inject queues, the finalizer thread) are exactly where a data race
+/// would hide.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/core/LVish.h"
+#include "src/data/ISet.h"
+#include "src/explore/SchedulePlan.h"
+#include "src/service/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+using namespace lvish;
+
+namespace {
+
+constexpr EffectSet D = Eff::Det;
+constexpr EffectSet IOE = Eff::FullIO;
+
+/// Fork-join sum of I*I over [Lo, Hi): a small task tree so concurrent
+/// sessions genuinely interleave on the shared pool.
+Par<uint64_t> sumSquares(ParCtx<D> Ctx, uint64_t Lo, uint64_t Hi) {
+  if (Hi - Lo <= 8) {
+    uint64_t S = 0;
+    for (uint64_t I = Lo; I < Hi; ++I)
+      S += I * I;
+    co_return S;
+  }
+  uint64_t Mid = Lo + (Hi - Lo) / 2;
+  auto Left = newIVar<uint64_t>(Ctx);
+  auto LeftBody = [Left, Lo, Mid](ParCtx<D> C) -> Par<void> {
+    uint64_t V = co_await sumSquares(C, Lo, Mid);
+    put(C, *Left, V);
+  };
+  fork(Ctx, LeftBody);
+  uint64_t Right = co_await sumSquares(Ctx, Mid, Hi);
+  uint64_t LeftV = co_await get(Ctx, *Left);
+  co_return LeftV + Right;
+}
+
+uint64_t sumSquaresSeq(uint64_t Lo, uint64_t Hi) {
+  uint64_t S = 0;
+  for (uint64_t I = Lo; I < Hi; ++I)
+    S += I * I;
+  return S;
+}
+
+TEST(ServiceRuntime, ConcurrentSessionsMatchSequential) {
+  constexpr int N = 12;
+  service::Runtime RT({.Sched = {.NumWorkers = 4}});
+  std::vector<service::SessionFuture<uint64_t>> Futures;
+  for (int I = 0; I < N; ++I) {
+    uint64_t Hi = 100 + 17 * static_cast<uint64_t>(I);
+    Futures.push_back(RT.submit<D>([Hi](ParCtx<D> Ctx) -> Par<uint64_t> {
+      co_return co_await sumSquares(Ctx, 0, Hi);
+    }));
+  }
+  std::set<uint64_t> Ids;
+  for (int I = 0; I < N; ++I) {
+    auto O = Futures[I].get();
+    ASSERT_TRUE(O.ok()) << "session " << I << ": " << O.fault().Message;
+    uint64_t Hi = 100 + 17 * static_cast<uint64_t>(I);
+    EXPECT_EQ(O.value(), sumSquaresSeq(0, Hi)) << "session " << I;
+    uint64_t Id = Futures[I].sessionId();
+    EXPECT_NE(Id, 0u);
+    Ids.insert(Id);
+    EXPECT_GT(Futures[I].latencyNanos(), 0u);
+  }
+  EXPECT_EQ(Ids.size(), static_cast<size_t>(N)) << "session ids collide";
+}
+
+TEST(ServiceRuntime, QuiesceScopesAreSessionLocal) {
+  // Session A keeps tasks pending until released from outside; session B
+  // runs to completion meanwhile. If quiescence were pool-global (the old
+  // borrowed-Scheduler world), B's blocking run() could not return while
+  // A still has work in flight.
+  service::Runtime RT({.Sched = {.NumWorkers = 2}});
+  std::atomic<bool> Release{false};
+  auto FA = RT.submitIO<IOE>([&Release](ParCtx<IOE> Ctx) -> Par<int> {
+    while (!Release.load(std::memory_order_acquire))
+      co_await yield(Ctx);
+    co_return 42;
+  });
+  for (int I = 0; I < 20; ++I) {
+    auto O = RT.run<D>([I](ParCtx<D> Ctx) -> Par<uint64_t> {
+      co_return co_await sumSquares(Ctx, 0, 64 + static_cast<uint64_t>(I));
+    });
+    ASSERT_TRUE(O.ok()) << O.fault().Message;
+    EXPECT_EQ(O.value(), sumSquaresSeq(0, 64 + static_cast<uint64_t>(I)));
+  }
+  // A is still parked in its spin loop: its outcome cannot exist yet.
+  EXPECT_FALSE(FA.ready())
+      << "a sibling's quiescence completed session A's scope";
+  Release.store(true, std::memory_order_release);
+  auto OA = FA.get();
+  ASSERT_TRUE(OA.ok()) << OA.fault().Message;
+  EXPECT_EQ(OA.value(), 42);
+}
+
+TEST(ServiceRuntime, DoomedSessionFaultsAloneOnSharedPool) {
+  service::Runtime RT({.Sched = {.NumWorkers = 4}});
+  // The doomed tenant: a deterministic ConflictingPut.
+  auto Bad = RT.submit<D>([](ParCtx<D> Ctx) -> Par<int> {
+    auto IV = newIVar<int>(Ctx, "doomed-ivar");
+    put(Ctx, *IV, 1);
+    put(Ctx, *IV, 2);
+    co_return co_await get(Ctx, *IV);
+  });
+  // Healthy tenants sharing the pool while Bad is cancelled and drained.
+  std::vector<service::SessionFuture<uint64_t>> Good;
+  for (int I = 0; I < 6; ++I)
+    Good.push_back(RT.submit<D>([I](ParCtx<D> Ctx) -> Par<uint64_t> {
+      co_return co_await sumSquares(Ctx, 0, 200 + static_cast<uint64_t>(I));
+    }));
+  auto OBad = Bad.get();
+  ASSERT_FALSE(OBad.ok()) << "the conflicting put must fault";
+  EXPECT_EQ(OBad.fault().Code, FaultCode::ConflictingPut);
+  EXPECT_EQ(OBad.fault().SessionId, Bad.sessionId())
+      << "the fault must be tagged with the doomed session's own id";
+  for (int I = 0; I < 6; ++I) {
+    auto O = Good[I].get();
+    ASSERT_TRUE(O.ok()) << "neighbor " << I
+                        << " infected by the doomed session: "
+                        << O.fault().Message;
+    EXPECT_EQ(O.value(), sumSquaresSeq(0, 200 + static_cast<uint64_t>(I)));
+  }
+  // The pool itself survives: the next tenant is unaffected.
+  auto After = RT.run<D>(
+      [](ParCtx<D> Ctx) -> Par<uint64_t> { co_return co_await sumSquares(
+                                               Ctx, 0, 100); });
+  ASSERT_TRUE(After.ok()) << After.fault().Message;
+  EXPECT_EQ(After.value(), sumSquaresSeq(0, 100));
+}
+
+TEST(ServiceRuntime, ExploreSessionRejectedDeterministically) {
+  explore::Engine Eng = explore::Engine::random(5, 2);
+  service::SessionOptions Want;
+  Want.Explore = &Eng;
+  // A threaded Runtime cannot grant a controller every scheduling
+  // decision: deterministic rejection, bit-identical across attempts.
+  service::Runtime RT({.Sched = {.NumWorkers = 2}});
+  auto O1 = RT.runIO<IOE>(
+      [](ParCtx<IOE> Ctx) -> Par<int> { co_return 1; }, Want);
+  auto O2 = RT.runIO<IOE>(
+      [](ParCtx<IOE> Ctx) -> Par<int> { co_return 1; }, Want);
+  ASSERT_FALSE(O1.ok());
+  ASSERT_FALSE(O2.ok());
+  EXPECT_EQ(O1.fault().Code, FaultCode::SessionRejected);
+  EXPECT_EQ(O1.fault().Message, O2.fault().Message)
+      << "rejection must be bit-identical run to run";
+
+  // A controller mismatch on an explore Runtime is an equally
+  // deterministic refusal - never a silent run under the wrong engine.
+  explore::Engine PoolEng = explore::Engine::random(9, 2);
+  service::RuntimeConfig RC;
+  RC.Sched.NumWorkers = 2;
+  RC.Sched.Explore = &PoolEng;
+  service::Runtime ExploreRT(RC);
+  auto O3 = ExploreRT.runIO<IOE>(
+      [](ParCtx<IOE> Ctx) -> Par<int> { co_return 1; }, Want);
+  ASSERT_FALSE(O3.ok());
+  EXPECT_EQ(O3.fault().Code, FaultCode::SessionRejected);
+  EXPECT_NE(O3.fault().Message, O1.fault().Message)
+      << "distinct rejection reasons must stay distinguishable";
+}
+
+TEST(ServiceRuntime, ExploreSessionOwnsAMatchingRuntime) {
+  explore::Engine Eng = explore::Engine::random(3, 2);
+  service::RuntimeConfig RC;
+  RC.Sched.NumWorkers = 2;
+  RC.Sched.Explore = &Eng;
+  service::Runtime RT(RC);
+  service::SessionOptions Want;
+  Want.Explore = &Eng;
+  auto O = RT.runIO<IOE>(
+      [](ParCtx<IOE> Ctx) -> Par<uint64_t> {
+        co_return co_await sumSquares(Ctx, 0, 40);
+      },
+      Want);
+  ASSERT_TRUE(O.ok()) << O.fault().Message;
+  EXPECT_EQ(O.value(), sumSquaresSeq(0, 40));
+}
+
+TEST(ServiceRuntime, MaxActiveSessionsBoundsConcurrency) {
+  constexpr unsigned Bound = 2;
+  service::Runtime RT(
+      {.Sched = {.NumWorkers = 4}, .MaxActiveSessions = Bound});
+  std::atomic<int> Cur{0};
+  std::atomic<int> MaxSeen{0};
+  std::vector<service::SessionFuture<int>> Futures;
+  for (int I = 0; I < 10; ++I)
+    Futures.push_back(RT.submitIO<IOE>([&](ParCtx<IOE> Ctx) -> Par<int> {
+      int Now = 1 + Cur.fetch_add(1, std::memory_order_acq_rel);
+      int Prev = MaxSeen.load(std::memory_order_relaxed);
+      while (Now > Prev &&
+             !MaxSeen.compare_exchange_weak(Prev, Now,
+                                            std::memory_order_relaxed)) {
+      }
+      for (int Y = 0; Y < 50; ++Y)
+        co_await yield(Ctx);
+      Cur.fetch_sub(1, std::memory_order_acq_rel);
+      co_return Now;
+    }));
+  RT.drain();
+  for (auto &F : Futures) {
+    ASSERT_TRUE(F.ready()) << "drain() returned with a session unfinished";
+    auto O = F.get();
+    ASSERT_TRUE(O.ok()) << O.fault().Message;
+    EXPECT_LE(O.value(), static_cast<int>(Bound));
+  }
+  EXPECT_LE(MaxSeen.load(), static_cast<int>(Bound))
+      << "admission let more than MaxActiveSessions run at once";
+  EXPECT_GT(MaxSeen.load(), 0);
+}
+
+TEST(ServiceRuntime, PerSessionStatsDeltasOnSharedPool) {
+  service::Runtime RT({.Sched = {.NumWorkers = 2}});
+  SchedulerStats A, B;
+  service::SessionOptions OA;
+  OA.StatsOut = &A;
+  service::SessionOptions OB;
+  OB.StatsOut = &B;
+  // Non-overlapping sessions: the deltas are exact. Root + 3 forks each.
+  auto Body = [](ParCtx<D> Ctx) -> Par<uint64_t> {
+    auto Done = newISet<int>(Ctx);
+    for (int I = 0; I < 3; ++I)
+      fork(Ctx, [Done, I](ParCtx<D> C) -> Par<void> {
+        insert(C, *Done, I);
+        co_return;
+      });
+    co_await waitSize(Ctx, *Done, 3);
+    co_return 3;
+  };
+  ASSERT_TRUE(RT.run<D>(Body, OA).ok());
+  ASSERT_TRUE(RT.run<D>(Body, OB).ok());
+  EXPECT_EQ(A.TasksCreated, 4u);
+  EXPECT_EQ(B.TasksCreated, 4u);
+  EXPECT_EQ(RT.scheduler().stats().TasksCreated, 8u)
+      << "pool cumulative stats keep the whole history";
+}
+
+} // namespace

@@ -23,12 +23,12 @@ constexpr EffectSet D = Eff::Det;
 
 /// Builds a trace by actually running a Par program with tracing on.
 template <typename F> TaskGraph record(F Body) {
-  SchedulerConfig Cfg;
-  Cfg.NumWorkers = 1;
-  Cfg.EnableTracing = true;
-  Scheduler Sched(Cfg);
-  runParOn<D>(Sched, Body);
-  return TaskGraph::fromTrace(*Sched.trace());
+  service::RuntimeConfig Cfg;
+  Cfg.Sched.NumWorkers = 1;
+  Cfg.Sched.EnableTracing = true;
+  service::Runtime RT(Cfg);
+  RT.run<D>(Body).valueOrAbort();
+  return TaskGraph::fromTrace(*RT.scheduler().trace());
 }
 
 /// CPU-burning helper so slices have measurable durations.

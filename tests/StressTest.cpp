@@ -40,9 +40,9 @@ TEST(Stress, ThousandsOfTasksPerSession) {
 }
 
 TEST(Stress, ManySessionsReuseOneScheduler) {
-  Scheduler Sched(SchedulerConfig{4});
+  service::Runtime RT({.Sched = {.NumWorkers = 4}});
   for (int Round = 0; Round < 200; ++Round) {
-    long R = runParOn<D>(Sched, [Round](ParCtx<D> Ctx) -> Par<long> {
+    long R = RT.run<D>([Round](ParCtx<D> Ctx) -> Par<long> {
       auto Leaf = [Round](size_t I) {
         return static_cast<long>(I) + Round;
       };
@@ -50,10 +50,10 @@ TEST(Stress, ManySessionsReuseOneScheduler) {
       long S = co_await parallelReduce<long>(Ctx, 0, 64, 4, Leaf, Combine,
                                              0L);
       co_return S;
-    });
+    }).valueOrAbort();
     EXPECT_EQ(R, 64L * 63 / 2 + 64L * Round);
   }
-  EXPECT_GE(Sched.stats().TasksCreated, 200u);
+  EXPECT_GE(RT.scheduler().stats().TasksCreated, 200u);
 }
 
 TEST(Stress, DeepSequentialAwaitChain) {
@@ -156,9 +156,9 @@ TEST(Stress, RandomForkTreesWithJoins) {
 TEST(Stress, OrphanRichSessionsShutDownCleanly) {
   // Sessions that leave many permanently blocked tasks behind: the reaper
   // must collect them all, repeatedly.
-  Scheduler Sched(SchedulerConfig{3});
+  service::Runtime RT({.Sched = {.NumWorkers = 3}});
   for (int Round = 0; Round < 50; ++Round) {
-    int R = runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<int> {
+    int R = RT.run<D>([](ParCtx<D> Ctx) -> Par<int> {
       auto Never = newIVar<int>(Ctx);
       for (int I = 0; I < 20; ++I)
         fork(Ctx, [Never](ParCtx<D> C) -> Par<void> {
@@ -166,7 +166,7 @@ TEST(Stress, OrphanRichSessionsShutDownCleanly) {
           (void)V;
         });
       co_return 5;
-    });
+    }).valueOrAbort();
     EXPECT_EQ(R, 5);
   }
 }

@@ -1,9 +1,9 @@
 //===- TelemetryTest.cpp - Telemetry, stats, and JSON tests ----------------===//
 //
 // Covers the src/obs/ subsystem: SchedulerStats exactness on a single
-// worker (where counts are deterministic), stats monotonicity across
-// sessions, the LVar/session telemetry counters (when compiled in), the
-// JSON writer/parser round trip, and the BenchHarness document schema.
+// worker (where counts are deterministic), per-session stats deltas on a
+// shared Runtime, the LVar/session telemetry counters (when compiled in),
+// the JSON writer/parser round trip, and the BenchHarness document schema.
 // The compiled-out telemetry configuration (LVISH_TELEMETRY=0, exercised
 // by the tsan CI stage) asserts the zero-size/no-op contract.
 //
@@ -65,28 +65,34 @@ TEST(SchedulerStatsTest, SingleWorkerCountsAreExact) {
   EXPECT_GE(Stats.MaxDequeDepth, 1u);
 }
 
-TEST(SchedulerStatsTest, CumulativeAndMonotonicAcrossSessions) {
-  Scheduler Sched(SchedulerConfig{2});
-  auto Session = [&] {
-    runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
-      for (int I = 0; I < 8; ++I)
-        fork(Ctx, [](ParCtx<D>) -> Par<void> { co_return; });
-      co_return;
-    });
+TEST(SchedulerStatsTest, PerSessionDeltasOnASharedRuntime) {
+  // StatsOut is a per-session DELTA: back-to-back sessions on one shared
+  // Runtime each report exactly their own task counts, while the pool's
+  // own counters stay cumulative and monotonic.
+  service::Runtime RT({.Sched = {.NumWorkers = 2}});
+  auto Session = [&](SchedulerStats &Out) {
+    service::SessionOptions Opts;
+    Opts.StatsOut = &Out;
+    RT.run<D>([](ParCtx<D> Ctx) -> Par<void> {
+        for (int I = 0; I < 8; ++I)
+          fork(Ctx, [](ParCtx<D>) -> Par<void> { co_return; });
+        co_return;
+      },
+      Opts).valueOrAbort();
   };
-  Session();
-  SchedulerStats A = Sched.stats();
-  Session();
-  SchedulerStats B = Sched.stats();
+  SchedulerStats A, B;
+  Session(A);
+  Session(B);
+  // Exact per-session isolation: each delta sees its own root + 8 forks,
+  // not the pool history.
   EXPECT_EQ(A.TasksCreated, 9u);
-  EXPECT_EQ(B.TasksCreated, 18u);
-  EXPECT_GE(B.TasksExecuted, A.TasksExecuted);
-  EXPECT_GE(B.LocalPops, A.LocalPops);
-  EXPECT_GE(B.StealAttempts, A.StealAttempts);
-  EXPECT_GE(B.Steals, A.Steals);
-  EXPECT_GE(B.Parks, A.Parks);
-  EXPECT_GE(B.Wakes, A.Wakes);
-  EXPECT_GE(B.MaxDequeDepth, A.MaxDequeDepth);
+  EXPECT_EQ(B.TasksCreated, 9u);
+  EXPECT_EQ(A.TasksExecuted, 9u);
+  EXPECT_EQ(B.TasksExecuted, 9u);
+  // The pool itself keeps the cumulative view.
+  SchedulerStats Pool = RT.scheduler().stats();
+  EXPECT_EQ(Pool.TasksCreated, 18u);
+  EXPECT_GE(Pool.TasksExecuted, 18u);
 }
 
 TEST(SchedulerStatsTest, AccumulateMergesAndMaxes) {
@@ -103,12 +109,10 @@ TEST(SchedulerStatsTest, AccumulateMergesAndMaxes) {
   EXPECT_EQ(A.NumWorkers, 4u);
 }
 
-TEST(RunOptionsTest, BorrowedSchedulerIsUsed) {
-  Scheduler Sched(SchedulerConfig{1});
+TEST(RunOptionsTest, CollectStatsReportsSessionDelta) {
   SchedulerStats Stats;
-  RunOptions Opts = RunOptions::On(Sched);
-  Opts.StatsOut = &Stats;
-  uint64_t Before = Sched.stats().TasksCreated;
+  RunOptions Opts = RunOptions::CollectStats(Stats);
+  Opts.Config = SchedulerConfig{1};
   int R = runPar<D>(
       [](ParCtx<D> Ctx) -> Par<int> {
         (void)Ctx;
@@ -116,22 +120,23 @@ TEST(RunOptionsTest, BorrowedSchedulerIsUsed) {
       },
       Opts);
   EXPECT_EQ(R, 7);
-  EXPECT_EQ(Stats.TasksCreated, Before + 1);
-  EXPECT_EQ(Sched.stats().TasksCreated, Before + 1);
+  EXPECT_EQ(Stats.TasksCreated, 1u);
+  EXPECT_EQ(Stats.TasksExecuted, 1u);
 }
 
-TEST(RunOptionsTest, RunParThenFreezeOnFreezesResult) {
-  Scheduler Sched(SchedulerConfig{2});
-  auto Set = runParThenFreezeOn(Sched, [](ParCtx<D> Ctx) -> Par<
-                                            std::shared_ptr<ISet<int>>> {
-    auto S = newISet<int>(Ctx);
-    for (int I = 0; I < 5; ++I)
-      fork(Ctx, [S, I](ParCtx<D> C) -> Par<void> {
-        insert(C, *S, I);
-        co_return;
-      });
-    co_return S;
-  });
+TEST(RunOptionsTest, RuntimeRunThenFreezeFreezesResult) {
+  service::Runtime RT({.Sched = {.NumWorkers = 2}});
+  auto Set = RT.runThenFreeze([](ParCtx<D> Ctx) -> Par<
+                                  std::shared_ptr<ISet<int>>> {
+                 auto S = newISet<int>(Ctx);
+                 for (int I = 0; I < 5; ++I)
+                   fork(Ctx, [S, I](ParCtx<D> C) -> Par<void> {
+                     insert(C, *S, I);
+                     co_return;
+                   });
+                 co_return S;
+               })
+                 .valueOrAbort();
   EXPECT_TRUE(Set->isFrozen());
   EXPECT_EQ(Set->toSortedVector().size(), 5u);
 }
@@ -186,8 +191,9 @@ TEST(TelemetryTest, HandlerAndThresholdWakeupCounts) {
   EXPECT_EQ(T.count(obs::Event::HandlerInvocations), 6u);
   // Quiescence may or may not have had to wait, but if it waited the
   // latency accumulator must have registered.
-  if (T.count(obs::Event::QuiesceWaits) > 0)
+  if (T.count(obs::Event::QuiesceWaits) > 0) {
     EXPECT_GT(T.QuiesceWaitNanos, 0u);
+  }
 }
 
 TEST(TelemetryTest, MemoHitAndMissCounts) {
@@ -210,6 +216,28 @@ TEST(TelemetryTest, MemoHitAndMissCounts) {
   obs::TelemetrySnapshot T = obs::telemetrySnapshot();
   EXPECT_EQ(T.count(obs::Event::MemoMisses), 3u);
   EXPECT_EQ(T.count(obs::Event::MemoHits), 6u);
+}
+
+TEST(TelemetryTest, SessionCountersAndLatencyAccumulate) {
+  obs::resetTelemetry();
+  {
+    service::Runtime RT({.Sched = {.NumWorkers = 2}});
+    auto F1 = RT.submit([](ParCtx<D> Ctx) -> Par<int> {
+      (void)Ctx;
+      co_return 1;
+    });
+    auto F2 = RT.submit([](ParCtx<D> Ctx) -> Par<int> {
+      (void)Ctx;
+      co_return 2;
+    });
+    EXPECT_EQ(F1.get().value() + F2.get().value(), 3);
+  }
+  obs::TelemetrySnapshot T = obs::telemetrySnapshot();
+  EXPECT_EQ(T.count(obs::Event::SessionsSubmitted), 2u);
+  EXPECT_EQ(T.count(obs::Event::SessionsCompleted), 2u);
+  EXPECT_EQ(T.count(obs::Event::SessionsRejected), 0u);
+  // Submit-to-outcome latency summed over both sessions.
+  EXPECT_GT(T.SessionLatencyNanos, 0u);
 }
 
 TEST(TelemetryTest, SpansAreRecorded) {
@@ -329,12 +357,12 @@ TEST(BenchHarnessTest, EmitsSchemaValidDocument) {
   H.measure("noop", [&] { ++Calls; }).metric("calls", Calls);
   EXPECT_EQ(Calls, 3);
 
-  Scheduler Sched(SchedulerConfig{1});
-  runParOn<D>(Sched, [](ParCtx<D> Ctx) -> Par<void> {
-    (void)Ctx;
-    co_return;
-  });
-  H.recordStats(Sched.stats());
+  service::Runtime RT({.Sched = {.NumWorkers = 1}});
+  RT.run<D>([](ParCtx<D> Ctx) -> Par<void> {
+      (void)Ctx;
+      co_return;
+    }).valueOrAbort();
+  H.recordStats(RT.scheduler().stats());
 
   obs::JsonValue Doc;
   std::string Err;

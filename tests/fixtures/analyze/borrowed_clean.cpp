@@ -1,0 +1,26 @@
+// lvish-analyze-fixture-path: tests/borrowed_clean.cpp
+//
+// The replacement surface: sessions submitted through a service::Runtime.
+// None of these spellings may trip the deprecated-borrowed-scheduler rule;
+// in particular the internal funnel name `runParOnImpl` is a distinct
+// identifier token and must not match the `runParOn` sequence. Scanned,
+// never compiled.
+
+namespace lvish {
+
+void runtimeSessions() {
+  service::Runtime RT({.Sched = {.NumWorkers = 2}});
+  int V = RT.run<Eff::Det>(nullptr).valueOrAbort();
+  auto F = RT.submit<Eff::Det>(nullptr);
+  (void)V;
+  (void)F;
+}
+
+// A caller may still name the one-shot wrappers and the detail funnel.
+void oneShotWrappers() {
+  runPar<Eff::Det>(nullptr);
+  tryRunParIO<Eff::FullIO>(nullptr);
+  detail::runParOnImpl<Eff::Det>(RunOptions{}, nullptr);
+}
+
+} // namespace lvish

@@ -1,0 +1,34 @@
+// lvish-analyze-fixture-path: tests/borrowed_violation.cpp
+//
+// Seeded violations of the deprecated-borrowed-scheduler rule: every
+// spelling of the retired borrowed-Scheduler session surface. tests/ is
+// deliberately NOT exempt for this rule - the deprecation campaign's
+// whole point is that no in-repo caller borrows a scheduler anymore.
+// Scanned, never compiled.
+
+namespace lvish {
+
+void borrowedField(Scheduler &Sched) {
+  RunOptions Opts;
+  Opts.Borrowed = &Sched; // fires: .Borrowed
+}
+
+void borrowedFieldThroughPointer(Scheduler &Sched, RunOptions *Opts) {
+  Opts->Borrowed = &Sched; // fires: ->Borrowed
+}
+
+void onFactory(Scheduler &Sched) {
+  auto Opts = RunOptions::On(Sched); // fires: RunOptions::On
+  (void)Opts;
+}
+
+void onWrappers(Scheduler &Sched) {
+  runParOn<Eff::Det>(Sched, nullptr);       // fires: runParOn
+  tryRunParOn<Eff::Det>(Sched, nullptr);    // fires: tryRunParOn
+  runParIOOn<Eff::FullIO>(Sched, nullptr);  // fires: runParIOOn
+  tryRunParIOOn<Eff::FullIO>(
+      Sched, nullptr);                      // fires even when wrapped
+  runParThenFreezeOn<Eff::Det>(Sched, nullptr); // fires
+}
+
+} // namespace lvish

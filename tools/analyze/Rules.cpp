@@ -63,8 +63,8 @@ const std::vector<TokenRule> &tokenRules() {
        seqsOf({"std::thread", "std::jthread", "std::mutex",
                "std::shared_mutex", "std::recursive_mutex",
                "std::condition_variable"}),
-       {"/sched/", "/core/", "/support/", "/check/", "/obs/", "tests/",
-        "examples/"},
+       {"/sched/", "/core/", "/service/", "/support/", "/check/", "/obs/",
+        "tests/", "examples/"},
        "parallelism and blocking must flow through the scheduler so the "
        "effect audit and cancellation polling see it",
        /*LimitDirs=*/{}},
@@ -76,7 +76,7 @@ const std::vector<TokenRule> &tokenRules() {
        /*LimitDirs=*/{}},
       {"ctx-forge",
        seqsOf({"CtxAccess::make"}),
-       {"/core/", "/trans/", "tests/", "examples/"},
+       {"/core/", "/service/", "/trans/", "tests/", "examples/"},
        "forging a stronger ParCtx bypasses the static effect discipline; "
        "only trusted transformer internals may bless effects",
        /*LimitDirs=*/{}},
@@ -92,7 +92,7 @@ const std::vector<TokenRule> &tokenRules() {
                ".insertKV", "->insertKV", ".bump", "->bump", ".bumpAt",
                "->bumpAt", ".modifyKey", "->modifyKey", ".markFrozen",
                "->markFrozen", ".addHandlerRaw", "->addHandlerRaw"}),
-       {"/core/", "/data/", "tests/", "examples/"},
+       {"/core/", "/data/", "/service/", "tests/", "examples/"},
        "direct LVar state access skips the ParCtx effect requirements and "
        "session checks",
        /*LimitDirs=*/{}},
@@ -107,6 +107,20 @@ const std::vector<TokenRule> &tokenRules() {
        "the old per-structure threshold-read spellings are deprecated "
        "forwarding aliases; in-repo code must use the unified lvish::get "
        "/ lvish::waitSize API",
+       /*LimitDirs=*/{}},
+      {"deprecated-borrowed-scheduler",
+       // Both the field spellings and the *On wrappers. `runParOn` is a
+       // full identifier token, so the internal `runParOnImpl` funnel
+       // (a distinct token) never matches. Unlike the other library
+       // rules, tests/ and examples/ are NOT exempt: the whole point is
+       // that no in-repo caller borrows a scheduler anymore.
+       seqsOf({"RunOptions::On", ".Borrowed", "->Borrowed", "runParOn",
+               "tryRunParOn", "runParIOOn", "tryRunParIOOn",
+               "runParThenFreezeOn"}),
+       {"/core/"},
+       "the borrowed-Scheduler session surface is deprecated; hold a "
+       "service::Runtime and submit sessions through Runtime::run / "
+       "Runtime::submit instead",
        /*LimitDirs=*/{}},
       {"explore-rng",
        seqsOf({"std::mt19937", "std::mt19937_64", "std::random_device",

@@ -30,6 +30,13 @@
 #              ExploreTest + ExploreRegressionTest + the explored
 #              determinism sweeps under a reduced schedule budget
 #              (LVISH_EXPLORE_SCHEDULES). Reuses the release build.
+#   service  - multi-tenant service runtime: re-runs ServiceRuntimeTest
+#              under ThreadSanitizer (cross-session isolation is where a
+#              data race would hide), smoke-runs the open-loop traffic
+#              bench with --json, validates the document, and prints a
+#              non-fatal bench-report diff against the committed
+#              bench/baselines/service_traffic.json. Reuses the tsan and
+#              release builds.
 #   analyze  - scope-aware static analysis (tools/analyze/): runs
 #              lvish-analyze over src/, bench/, examples/, and tests/
 #              against the committed tools/analyze/baseline.json, failing
@@ -41,8 +48,9 @@
 #              build-ci-coverage/coverage-summary.txt. Not in the default
 #              stage list (instrumented builds are slow).
 #
-# Usage: tools/ci.sh [debug|release|tsan|bench|faults|explore|analyze|coverage]...
-#        (default: debug release tsan bench faults explore analyze)
+# Usage: tools/ci.sh
+#        [debug|release|tsan|bench|faults|explore|service|analyze|coverage]...
+#        (default: debug release tsan bench faults explore service analyze)
 #
 #===------------------------------------------------------------------------===#
 
@@ -51,7 +59,8 @@ cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(debug release tsan bench faults explore analyze)
+[ ${#STAGES[@]} -eq 0 ] && \
+  STAGES=(debug release tsan bench faults explore service analyze)
 
 run_stage() {
   local name=$1; shift
@@ -136,6 +145,45 @@ for stage in "${STAGES[@]}"; do
       ./build-ci-release/tests/ContentionStressTest \
         --gtest_filter='ContentionStress.Explored*'
       ;;
+    service)
+      # Reuse the tsan tree when it exists; otherwise build it.
+      if [ ! -x build-ci-tsan/tests/ServiceRuntimeTest ]; then
+        echo "==== [service] building tsan tree ===="
+        cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DLVISH_SANITIZE=thread -DLVISH_TELEMETRY=OFF \
+          > build-ci-tsan.cfg.log 2>&1 || {
+          cat build-ci-tsan.cfg.log; exit 1; }
+        cmake --build build-ci-tsan -j "$JOBS"
+      fi
+      echo "==== [service] ServiceRuntimeTest under ThreadSanitizer ===="
+      # Concurrent sessions share the waiter table, the per-session inject
+      # queues, and the finalizer thread - the exact surfaces where a
+      # cross-session data race would hide from the single-session suite.
+      ./build-ci-tsan/tests/ServiceRuntimeTest
+      # Reuse the release tree for the traffic bench.
+      if [ ! -x build-ci-release/bench/bench_service_traffic ]; then
+        echo "==== [service] building release tree ===="
+        cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          > build-ci-release.cfg.log 2>&1 || {
+          cat build-ci-release.cfg.log; exit 1; }
+        cmake --build build-ci-release -j "$JOBS"
+      fi
+      echo "==== [service] open-loop traffic smoke ===="
+      mkdir -p build-ci-release/bench-json
+      ./build-ci-release/bench/bench_service_traffic --smoke \
+        --json build-ci-release/bench-json/BENCH_service_traffic.json
+      ./build-ci-release/tools/bench-report validate \
+        build-ci-release/bench-json/BENCH_service_traffic.json
+      echo "==== [service] baseline drift report (informational) ===="
+      # Non-fatal, and the smoke run uses reduced sizes - the diff shows a
+      # reviewer the tracked latency/throughput columns next to the
+      # committed full-rep baseline without gating on load-sensitive
+      # numbers.
+      ./build-ci-release/tools/bench-report diff \
+        bench/baselines/service_traffic.json \
+        build-ci-release/bench-json/BENCH_service_traffic.json \
+        || echo "bench-report diff failed (non-fatal)"
+      ;;
     analyze)
       # Reuse the release tree when it exists; otherwise build it.
       if [ ! -x build-ci-release/tools/lvish-analyze ]; then
@@ -180,7 +228,7 @@ for stage in "${STAGES[@]}"; do
       ;;
     *)
       echo "unknown stage '$stage' (expected debug, release, tsan, bench," \
-           "faults, explore, analyze, or coverage)" >&2
+           "faults, explore, service, analyze, or coverage)" >&2
       exit 2
       ;;
   esac
