@@ -161,7 +161,7 @@ int main(int argc, char **argv) {
         break;
       }
     }
-    RT.drain();
+    RT.awaitIdle();
     double Elapsed = T.elapsedSeconds();
     uint64_t Ok = 0;
     for (auto &F : Futures) {
@@ -201,6 +201,83 @@ int main(int argc, char **argv) {
   SL.metric("p50_sec", quantileSec(LatNanos, 0.50));
   SL.metric("p99_sec", quantileSec(LatNanos, 0.99));
   SL.metric("max_sec", quantileSec(LatNanos, 1.0));
+
+  // --- Overload phase ------------------------------------------------------
+  // A deliberately undersized admission pipeline (small MaxActive, bounded
+  // queue, tight deadline) hit with a full-speed burst: what the
+  // robustness layer (DESIGN.md Section 16) is FOR. Reported: how fast
+  // the runtime disposes of the burst, how the refusals split between
+  // Shed and DeadlineExceeded, and the latency of the sessions that did
+  // complete. Refusal counts are load-dependent (they measure real wall
+  // time), so bench-report treats their drift as informational.
+  const uint64_t Burst = H.config().pick<uint64_t>(600, 64);
+  const unsigned OvActive = 4;
+  const unsigned OvQueued = 16;
+  const uint64_t OvDeadlineNanos = 2'000'000; // 2 ms
+  H.noteConfig("overload_burst", Burst);
+  H.noteConfig("overload_max_active", uint64_t{OvActive});
+  H.noteConfig("overload_max_queued", uint64_t{OvQueued});
+  H.noteConfig("overload_deadline_nanos", OvDeadlineNanos);
+
+  service::RuntimeConfig ORC;
+  ORC.Sched.NumWorkers = Workers;
+  ORC.MaxActiveSessions = OvActive;
+  ORC.MaxQueuedSessions = OvQueued;
+  ORC.SubmitDeadlineNanos = OvDeadlineNanos;
+  service::Runtime ORT(ORC);
+
+  std::vector<double> OvWall;
+  std::vector<uint64_t> OvLatNanos;
+  uint64_t OvOk = 0, OvShed = 0, OvDeadline = 0;
+  for (int Round = 0; Round < Rounds; ++Round) {
+    const bool Recorded = Round >= H.config().Warmup;
+    std::vector<service::SessionFuture<uint64_t>> Futures;
+    Futures.reserve(Burst);
+    WallTimer T;
+    // No pacing: the burst arrives as fast as submit() returns.
+    for (uint64_t N = 0; N < Burst; ++N)
+      Futures.push_back(ORT.submit<D>([](ParCtx<D> Ctx) -> Par<uint64_t> {
+        co_return co_await sumSquares(Ctx, 0, 2048);
+      }));
+    ORT.awaitIdle();
+    double Elapsed = T.elapsedSeconds();
+    for (auto &F : Futures) {
+      uint64_t L = F.latencyNanos();
+      auto O = F.get();
+      if (!Recorded)
+        continue;
+      if (O.ok()) {
+        ++OvOk;
+        Sink = O.value();
+        OvLatNanos.push_back(L);
+      } else if (O.fault().Code == FaultCode::Shed) {
+        ++OvShed;
+      } else if (O.fault().Code == FaultCode::DeadlineExceeded) {
+        ++OvDeadline;
+      }
+    }
+    if (Recorded)
+      OvWall.push_back(Elapsed);
+  }
+
+  const double RecordedReps = static_cast<double>(H.config().Reps);
+  bench::Series &SO = H.addSeries("overload_wall", OvWall);
+  SO.config("burst", Burst);
+  SO.config("max_active", uint64_t{OvActive});
+  SO.config("max_queued", uint64_t{OvQueued});
+  SO.metric("completed_per_rep", static_cast<double>(OvOk) / RecordedReps);
+  SO.metric("shed_per_rep", static_cast<double>(OvShed) / RecordedReps);
+  SO.metric("deadline_per_rep",
+            static_cast<double>(OvDeadline) / RecordedReps);
+
+  std::vector<double> OvLatSec;
+  OvLatSec.reserve(OvLatNanos.size());
+  for (uint64_t L : OvLatNanos)
+    OvLatSec.push_back(static_cast<double>(L) * 1e-9);
+  bench::Series &SOL = H.addSeries("overload_latency", OvLatSec);
+  SOL.config("samples", static_cast<uint64_t>(OvLatSec.size()));
+  SOL.metric("p50_sec", quantileSec(OvLatNanos, 0.50));
+  SOL.metric("p99_sec", quantileSec(OvLatNanos, 0.99));
 
   H.recordStats(RT.scheduler().stats());
   return H.finish();

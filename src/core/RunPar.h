@@ -101,6 +101,11 @@ struct RunOptions {
   /// shared Runtime it isolates this session (exactly, when no other
   /// session overlaps it).
   SchedulerStats *StatsOut = nullptr;
+  /// Deterministic step budget forwarded to SessionOptions::MaxSteps: the
+  /// session is killed with FaultCode::BudgetExceeded after this many
+  /// scheduler decisions. Steps, not wall clock, so budget kills replay
+  /// bit-for-bit under Explore (DESIGN.md Section 16). 0 = unlimited.
+  uint64_t SessionBudget = 0;
 
   /// DEPRECATED: options that run on \p Sched instead of a private
   /// Runtime; see \c Borrowed.
@@ -151,6 +156,7 @@ auto runParOnImpl(const RunOptions &Opts, F Body) {
   SOpts.FreezeOnExit = Opts.FreezeOnExit;
   SOpts.StatsOut = Opts.StatsOut;
   SOpts.Explore = Opts.Config.Explore;
+  SOpts.MaxSteps = Opts.SessionBudget;
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   Scheduler *Borrowed = Opts.Borrowed;

@@ -49,6 +49,14 @@ const char *obs::eventName(Event E) {
     return "sessions_completed";
   case Event::SessionsRejected:
     return "sessions_rejected";
+  case Event::SessionsShed:
+    return "sessions_shed";
+  case Event::DeadlineFaults:
+    return "deadline_faults";
+  case Event::BudgetFaults:
+    return "budget_faults";
+  case Event::DrainWaits:
+    return "drain_waits";
   }
   return "unknown";
 }

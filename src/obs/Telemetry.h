@@ -75,9 +75,19 @@ enum class Event : unsigned {
                       ///< contained Fault).
   SessionsRejected,   ///< Sessions refused by Runtime admission (e.g.
                       ///< explore-mode sessions on a busy shared pool).
+                      ///< Counted for every refusal, including the three
+                      ///< specialized refusals below.
+  SessionsShed,       ///< Submissions refused because the admission queue
+                      ///< was at RuntimeConfig::MaxQueuedSessions.
+  DeadlineFaults,     ///< Sessions resolved with DeadlineExceeded because
+                      ///< no slot freed within SubmitDeadlineNanos.
+  BudgetFaults,       ///< Sessions killed by their deterministic step
+                      ///< budget (FaultCode::BudgetExceeded).
+  DrainWaits,         ///< Runtime::drain() calls that actually had to
+                      ///< wait for in-flight sessions to finish.
 };
 
-inline constexpr unsigned NumEvents = 20;
+inline constexpr unsigned NumEvents = 24;
 
 /// Stable lower-snake-case name, used as the JSON key in BENCH_*.json.
 const char *eventName(Event E);

@@ -77,6 +77,33 @@ void Scheduler::raiseFault(Fault F) {
     Root->cancel();
 }
 
+void Scheduler::chargeBudgetStep(Task *T) {
+  SessionState *S = T->Session.get();
+  if (!S || S->StepBudget == 0)
+    return;
+  // Every pop of a session task - including reaps of already-cancelled
+  // ones - is one scheduler decision. Exactly the charge that first
+  // crosses the budget raises the fault; later charges see Used >
+  // Budget + 1 and do nothing, so the kill is raised once even when
+  // several workers pop tasks of the session concurrently.
+  uint64_t Used = S->StepsUsed.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Used != S->StepBudget + 1)
+    return;
+  Fault F;
+  F.Code = FaultCode::BudgetExceeded;
+  F.SessionId = S->Id;
+  F.Worker = currentWorkerIndex();
+  F.Pedigree = T->pedigreeString();
+  // Deterministic message: budget, session, pedigree only - no timings.
+  F.Message = "Scheduler: session step budget exceeded (" +
+              std::to_string(S->StepBudget) +
+              " scheduler steps) [code=budget_exceeded, session=" +
+              std::to_string(S->Id) + ", pedigree=" +
+              (F.Pedigree.empty() ? "<root>" : F.Pedigree) + "]";
+  obs::count(obs::Event::BudgetFaults);
+  raiseFault(std::move(F));
+}
+
 std::optional<Fault> Scheduler::takeSessionFault(SessionState &S) {
   std::lock_guard<std::mutex> Lock(S.Mutex);
   std::optional<Fault> F = std::move(S.SessionFault);
@@ -353,6 +380,7 @@ void Scheduler::exploreRun() {
     assert(T->DebugQueued.exchange(0, std::memory_order_acq_rel) == 1 &&
            "popped task was not queued");
     ExploreCtl->onResume(T->Ped);
+    chargeBudgetStep(T);
 
     if (T->isCancelled()) {
       std::shared_ptr<SessionState> Sess = T->Session;
@@ -446,6 +474,14 @@ void Scheduler::removePendingFor(const std::shared_ptr<SessionState> &S) {
   }
   if (Obs)
     Obs();
+}
+
+void Scheduler::bindSessionRoot(Task *Root, std::shared_ptr<SessionState> S,
+                                std::shared_ptr<CancelNode> Cancel) {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  Root->SessionId = S->Id;
+  Root->Session = std::move(S);
+  Root->Cancel = std::move(Cancel);
 }
 
 void Scheduler::registryAdd(Task *T) {
@@ -590,6 +626,7 @@ void Scheduler::workerLoop(unsigned Index) {
     IdleSpins = 0;
     assert(T->DebugQueued.exchange(0, std::memory_order_acq_rel) == 1 &&
            "popped task was not queued");
+    chargeBudgetStep(T);
 
     if (T->isCancelled()) {
       // A cancelled task is destroyed instead of resumed; the scheduler

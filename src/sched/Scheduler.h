@@ -143,6 +143,16 @@ public:
   std::shared_ptr<SessionState> beginSession(
       std::shared_ptr<CancelNode> SessionRoot);
 
+  /// Stamps a freshly installed session root (Task::Session /
+  /// Task::SessionId / Task::Cancel) under the task-registry lock.
+  /// createTask publishes the root into the registry before the driver
+  /// can stamp it, and finishSession scans the registry from other
+  /// threads reading Task::Session - so the stamp must synchronize with
+  /// that scan. Child tasks inherit these fields inside createTask and
+  /// never need this.
+  void bindSessionRoot(Task *Root, std::shared_ptr<SessionState> S,
+                       std::shared_ptr<CancelNode> Cancel);
+
   /// Installs \p OnQuiescent to fire exactly once when the session's
   /// pending count first reaches zero. Must be installed before the
   /// session's root is scheduled. The callback may run under a park-site
@@ -235,6 +245,13 @@ private:
 
   void workerLoop(unsigned Index);
   Task *findWork(unsigned Index);
+  /// Charges one scheduler decision against \p T's session step budget
+  /// (SessionState::StepBudget). Exactly the call whose count first
+  /// crosses the budget raises FaultCode::BudgetExceeded through the
+  /// normal cancel-and-drain path; the popped task then retires via the
+  /// isCancelled check that follows every charge site. No-op (one load)
+  /// for unbudgeted sessions.
+  void chargeBudgetStep(Task *T);
   /// Explore mode's session driver: runs on the waitSessionQuiescent
   /// caller, masquerading as each virtual worker in turn.
   void exploreRun();

@@ -57,6 +57,19 @@ public:
   /// contain a fault to this session.
   std::shared_ptr<CancelNode> CancelRoot;
 
+  /// Deterministic step budget: maximum number of scheduler decisions
+  /// (task resumes) this session may consume before it is killed with
+  /// FaultCode::BudgetExceeded. 0 means unlimited. Written once, before
+  /// the session root is scheduled (publication piggybacks on the
+  /// schedule() handoff), read by every worker that pops a task of this
+  /// session. Counted in steps - not wall clock - so the kill point is
+  /// identical on every run of the same schedule (DESIGN.md Section 16).
+  uint64_t StepBudget = 0;
+
+  /// Scheduler decisions charged so far (relaxed; the kill is raised by
+  /// exactly the worker whose fetch_add crossed the budget).
+  std::atomic<uint64_t> StepsUsed{0};
+
   /// Scheduler::stats() snapshot taken at beginSession; the session's
   /// stats delta is the current snapshot minus this one. Exact when
   /// sessions run back-to-back; approximate while sessions overlap

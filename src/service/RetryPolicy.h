@@ -1,0 +1,99 @@
+//===- RetryPolicy.h - Seeded-jitter retry/backoff for submitters -*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The caller-side companion to the Runtime's admission refusals: a
+/// submission resolved with FaultCode::Shed or DeadlineExceeded never ran,
+/// so resubmitting it is always safe (sessions are deterministic and
+/// side-effect-free until they run). RetryPolicy computes capped
+/// exponential backoff with full seeded jitter - every delay is a pure
+/// function of (Seed, attempt), so a test or a replayed incident sees the
+/// same delay sequence - and submitWithRetry() is the loop most callers
+/// want.
+///
+///   service::RetryPolicy P{.MaxAttempts = 5, .Seed = TenantId};
+///   ParOutcome<int> O = service::submitWithRetry(P, [&] {
+///     return RT.run(Body);
+///   });
+///
+/// The jitter is full-window ("decorrelated" submitters): attempt A draws
+/// uniformly from [0, min(MaxDelayNanos, BaseDelayNanos << A)], which
+/// spreads a shed burst instead of re-synchronizing it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_SERVICE_RETRYPOLICY_H
+#define LVISH_SERVICE_RETRYPOLICY_H
+
+#include "src/support/Fault.h"
+#include "src/support/SplitMix.h"
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace lvish {
+namespace service {
+
+/// Seeded-jitter retry/backoff policy; see file comment. Pure: delayNanos
+/// never reads a clock or global RNG, so retry schedules are reproducible.
+struct RetryPolicy {
+  /// Total tries, including the first (1 = no retries).
+  unsigned MaxAttempts = 4;
+  /// Backoff window for the first retry; doubles per attempt.
+  uint64_t BaseDelayNanos = 1'000'000; // 1 ms
+  /// Backoff window cap.
+  uint64_t MaxDelayNanos = 100'000'000; // 100 ms
+  /// Jitter seed; give distinct submitters distinct seeds (tenant id,
+  /// request id) so their retries decorrelate.
+  uint64_t Seed = 0x6c76697368ULL; // "lvish"
+
+  /// True for refusals that never ran the session and are worth retrying:
+  /// transient admission pressure (Shed, DeadlineExceeded). Budget kills,
+  /// contract violations, and RuntimeStopping are not retryable - the
+  /// same session would fail the same way, or the Runtime is going away.
+  static bool retryable(const Fault &F) {
+    return F.Code == FaultCode::Shed || F.Code == FaultCode::DeadlineExceeded;
+  }
+
+  /// Deterministic backoff before retry number \p Attempt (0-based count
+  /// of refusals so far): uniform in [0, min(MaxDelayNanos,
+  /// BaseDelayNanos << Attempt)], drawn from a pure hash of
+  /// (Seed, Attempt).
+  uint64_t delayNanos(unsigned Attempt) const {
+    uint64_t Window = BaseDelayNanos;
+    for (unsigned I = 0; I < Attempt && Window < MaxDelayNanos; ++I)
+      Window <<= 1;
+    if (MaxDelayNanos && Window > MaxDelayNanos)
+      Window = MaxDelayNanos;
+    if (Window == 0)
+      return 0;
+    SplitMix64 Rng(Seed ^ (0x9e3779b97f4a7c15ULL * (uint64_t(Attempt) + 1)));
+    return Rng.nextBounded(Window + 1);
+  }
+};
+
+/// Runs \p Submit (returning a ParOutcome) until it succeeds, fails
+/// non-retryably, or \p P.MaxAttempts tries are spent; sleeps the policy's
+/// seeded-jitter backoff between tries. Returns the last outcome.
+template <typename SubmitFn>
+auto submitWithRetry(const RetryPolicy &P, SubmitFn Submit) {
+  auto Out = Submit();
+  for (unsigned Attempt = 1; Attempt < P.MaxAttempts && !Out.ok() &&
+                             RetryPolicy::retryable(Out.fault());
+       ++Attempt) {
+    if (uint64_t Delay = P.delayNanos(Attempt - 1))
+      std::this_thread::sleep_for(std::chrono::nanoseconds(Delay));
+    Out = Submit();
+  }
+  return Out;
+}
+
+} // namespace service
+} // namespace lvish
+
+#endif // LVISH_SERVICE_RETRYPOLICY_H

@@ -6,24 +6,40 @@
 //===----------------------------------------------------------------------===//
 //
 // The untemplated half of the Runtime: admission control (slot
-// accounting, FIFO queueing, explore exclusivity) and the finalizer
-// thread that turns quiescence observations into session outcomes.
+// accounting, FIFO queueing with deadline/shed refusals, explore
+// exclusivity, graceful stop) and the finalizer thread that turns
+// quiescence observations into session outcomes.
 //
 // Lock discipline: Mu guards only the Runtime's own bookkeeping (Active,
-// the two queues, shutdown flags). Launch and finalize closures always
-// run with Mu RELEASED - they re-enter the Scheduler (beginSession,
-// schedule, finishSession), and a worker finishing the session's last
-// task calls back into enqueueCompletion, which needs Mu.
+// the two queues, stop flags). Launch, finalize, AND reject closures
+// always run with Mu RELEASED - launches re-enter the Scheduler
+// (beginSession, schedule), a worker finishing the session's last task
+// calls back into enqueueCompletion (which needs Mu), and reject closures
+// take the session channel's own mutex.
 //
 //===----------------------------------------------------------------------===//
 
 #include "src/service/Runtime.h"
 
+#include <chrono>
+
 using namespace lvish;
 using namespace lvish::service;
 
+namespace {
+constexpr const char *DeadlineReason =
+    "queued past the admission deadline (SubmitDeadlineNanos)";
+constexpr const char *ShedReason =
+    "admission queue full (MaxQueuedSessions overload shed)";
+constexpr const char *StoppingReason =
+    "the Runtime is draining and no longer admits sessions";
+} // namespace
+
 Runtime::Runtime(RuntimeConfig Config)
-    : Sched(Config.Sched), MaxActive(Config.MaxActiveSessions) {}
+    : Sched(Config.Sched), MaxActive(Config.MaxActiveSessions),
+      MaxQueued(Config.MaxQueuedSessions),
+      DeadlineNanos(Config.SubmitDeadlineNanos),
+      DefaultBudget(Config.DefaultSessionBudget) {}
 
 Runtime::~Runtime() {
   drain();
@@ -36,54 +52,104 @@ Runtime::~Runtime() {
     Finalizer.join();
 }
 
-const char *Runtime::acquireSlotOrVeto(explore::ScheduleCtl *WantExplore) {
+Runtime::AdmitVeto Runtime::acquireSlotOrVeto(
+    explore::ScheduleCtl *WantExplore) {
   explore::ScheduleCtl *PoolCtl = Sched.exploreCtl();
   if (WantExplore && PoolCtl != WantExplore)
-    return PoolCtl ? "session demands a different schedule controller than "
-                     "the Runtime's"
-                   : "explore-mode session on a Runtime without controlled "
-                     "scheduling";
+    return {FaultCode::SessionRejected,
+            PoolCtl ? "session demands a different schedule controller than "
+                      "the Runtime's"
+                    : "explore-mode session on a Runtime without controlled "
+                      "scheduling"};
   std::unique_lock<std::mutex> Lock(Mu);
+  if (Stopping)
+    return {FaultCode::RuntimeStopping, StoppingReason};
   if (PoolCtl) {
     if (Active > 0 || !AdmitQueue.empty() || !DoneQueue.empty())
-      return "controlled-scheduling sessions need the Runtime to "
-             "themselves and it is busy";
+      return {FaultCode::SessionRejected,
+              "controlled-scheduling sessions need the Runtime to "
+              "themselves and it is busy"};
     Active = 1;
-    return nullptr;
+    return {};
   }
-  SlotCV.wait(Lock, [this] { return !MaxActive || Active < MaxActive; });
+  auto SlotFree = [this] {
+    return Stopping || !MaxActive || Active < MaxActive;
+  };
+  if (DeadlineNanos) {
+    if (!SlotCV.wait_for(Lock, std::chrono::nanoseconds(DeadlineNanos),
+                         SlotFree))
+      return {FaultCode::DeadlineExceeded,
+              "no session slot freed within the admission deadline "
+              "(SubmitDeadlineNanos)"};
+  } else {
+    SlotCV.wait(Lock, SlotFree);
+  }
+  if (Stopping)
+    return {FaultCode::RuntimeStopping, StoppingReason};
   ++Active;
+  return {};
+}
+
+std::function<void()> Runtime::admitNextLocked(
+    std::vector<QueuedLaunch> &Expired) {
+  while (!AdmitQueue.empty() && (!MaxActive || Active < MaxActive)) {
+    if (DeadlineNanos &&
+        nowNanos() - AdmitQueue.front().EnqueueNanos > DeadlineNanos) {
+      Expired.push_back(std::move(AdmitQueue.front()));
+      AdmitQueue.pop_front();
+      continue;
+    }
+    std::function<void()> Launch = std::move(AdmitQueue.front().Launch);
+    AdmitQueue.pop_front();
+    ++Active;
+    return Launch;
+  }
   return nullptr;
 }
 
 void Runtime::releaseSlot() {
   std::function<void()> Next;
+  std::vector<QueuedLaunch> Expired;
   {
     std::lock_guard<std::mutex> Lock(Mu);
     assert(Active > 0 && "releaseSlot without a held slot");
     --Active;
-    if (!AdmitQueue.empty() && (!MaxActive || Active < MaxActive)) {
-      Next = std::move(AdmitQueue.front());
-      AdmitQueue.pop_front();
-      ++Active;
-    }
+    Next = admitNextLocked(Expired);
     SlotCV.notify_all();
   }
+  for (QueuedLaunch &Q : Expired)
+    Q.Reject(FaultCode::DeadlineExceeded, DeadlineReason);
   if (Next)
     Next();
 }
 
-void Runtime::routeSubmission(std::function<void()> Launch) {
+void Runtime::routeSubmission(QueuedLaunch Q) {
+  FaultCode RefuseCode = FaultCode::SessionRejected;
+  const char *RefuseReason = nullptr;
   {
     std::lock_guard<std::mutex> Lock(Mu);
-    ensureFinalizerLocked();
-    if (MaxActive && Active >= MaxActive) {
-      AdmitQueue.push_back(std::move(Launch));
-      return;
+    if (Stopping) {
+      RefuseCode = FaultCode::RuntimeStopping;
+      RefuseReason = StoppingReason;
+    } else if (MaxActive && Active >= MaxActive) {
+      if (MaxQueued && AdmitQueue.size() >= MaxQueued) {
+        RefuseCode = FaultCode::Shed;
+        RefuseReason = ShedReason;
+      } else {
+        ensureFinalizerLocked();
+        Q.EnqueueNanos = nowNanos();
+        AdmitQueue.push_back(std::move(Q));
+        return;
+      }
+    } else {
+      ensureFinalizerLocked();
+      ++Active;
     }
-    ++Active;
   }
-  Launch();
+  if (RefuseReason)
+    Q.Reject(RefuseCode, RefuseReason);
+  else
+    Q.Launch();
 }
 
 void Runtime::enqueueCompletion(std::function<void()> Fin) {
@@ -119,24 +185,41 @@ void Runtime::finalizerLoop() {
     Lock.unlock();
     Fin();
     std::function<void()> Next;
+    std::vector<QueuedLaunch> Expired;
     Lock.lock();
     assert(Active > 0 && "finalized a session without a held slot");
     --Active;
-    if (!AdmitQueue.empty() && (!MaxActive || Active < MaxActive)) {
-      Next = std::move(AdmitQueue.front());
-      AdmitQueue.pop_front();
-      ++Active;
-    }
+    Next = admitNextLocked(Expired);
     SlotCV.notify_all();
-    if (Next) {
+    if (Next || !Expired.empty()) {
       Lock.unlock();
-      Next();
+      for (QueuedLaunch &Q : Expired)
+        Q.Reject(FaultCode::DeadlineExceeded, DeadlineReason);
+      if (Next)
+        Next();
       Lock.lock();
     }
   }
 }
 
 void Runtime::drain() {
+  std::deque<QueuedLaunch> Rejected;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopping = true;
+    Rejected.swap(AdmitQueue);
+    // Wake blocking acquireSlotOrVeto waiters so they observe Stopping.
+    SlotCV.notify_all();
+  }
+  for (QueuedLaunch &Q : Rejected)
+    Q.Reject(FaultCode::RuntimeStopping, StoppingReason);
+  std::unique_lock<std::mutex> Lock(Mu);
+  if (Active > 0 || !DoneQueue.empty())
+    obs::count(obs::Event::DrainWaits);
+  SlotCV.wait(Lock, [this] { return Active == 0 && DoneQueue.empty(); });
+}
+
+void Runtime::awaitIdle() {
   std::unique_lock<std::mutex> Lock(Mu);
   SlotCV.wait(Lock, [this] {
     return Active == 0 && AdmitQueue.empty() && DoneQueue.empty();

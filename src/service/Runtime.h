@@ -47,6 +47,15 @@
 /// FaultCode::SessionRejected outcome rather than silently sharing the
 /// pool.
 ///
+/// Robustness layer (DESIGN.md Section 16): per-session step budgets
+/// (SessionOptions::MaxSteps, counted in scheduler decisions so budget
+/// kills replay bit-for-bit), wall-clock admission deadlines and overload
+/// shedding (RuntimeConfig::SubmitDeadlineNanos / MaxQueuedSessions,
+/// resolving futures with deterministic DeadlineExceeded / Shed faults
+/// instead of running), graceful stop (Runtime::drain, racing submits get
+/// RuntimeStopping), and a seeded-jitter RetryPolicy helper
+/// (src/service/RetryPolicy.h) for callers that want to resubmit.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LVISH_SERVICE_RUNTIME_H
@@ -61,6 +70,7 @@
 #include "src/support/Timer.h"
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -70,6 +80,7 @@
 #include <thread>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 namespace lvish {
 namespace service {
@@ -83,6 +94,25 @@ struct RuntimeConfig {
   /// yet finalized) at once; further submissions queue FIFO and launch as
   /// slots free up. 0 = unlimited.
   unsigned MaxActiveSessions = 0;
+  /// Overload shedding: with every slot busy, at most this many async
+  /// submissions wait in the FIFO admission queue; one more resolves its
+  /// future immediately with FaultCode::Shed instead of queueing.
+  /// 0 = unbounded queue (no shedding). Only meaningful together with
+  /// MaxActiveSessions.
+  unsigned MaxQueuedSessions = 0;
+  /// Wall-clock admission deadline in nanoseconds. An async submission
+  /// still queued when a slot finally frees resolves with
+  /// FaultCode::DeadlineExceeded if it waited longer than this; a
+  /// blocking run() gives up waiting for a slot after this long. The
+  /// deadline governs ADMISSION only - once a session launches it runs to
+  /// completion (bound execution with DefaultSessionBudget instead; wall
+  /// clock inside the deterministic core would break replay).
+  /// 0 = no deadline.
+  uint64_t SubmitDeadlineNanos = 0;
+  /// Step budget applied to every session whose SessionOptions::MaxSteps
+  /// is 0: the per-tenant guard against sessions that never quiesce.
+  /// 0 = unlimited.
+  uint64_t DefaultSessionBudget = 0;
 };
 
 /// Per-session options, the session-scoped successor of RunOptions.
@@ -103,6 +133,13 @@ struct SessionOptions {
   /// session must own every scheduling decision, which a busy shared pool
   /// cannot grant).
   explore::ScheduleCtl *Explore = nullptr;
+  /// Deterministic step budget: the session is killed with
+  /// FaultCode::BudgetExceeded after this many scheduler decisions
+  /// (task resumes). Counted in steps rather than wall clock so the kill
+  /// point - code, pedigree, session id - is bit-for-bit reproducible
+  /// under RunOptions::Explore and lvx1: replay. 0 = use the Runtime's
+  /// RuntimeConfig::DefaultSessionBudget (which defaults to unlimited).
+  uint64_t MaxSteps = 0;
 };
 
 namespace detail {
@@ -130,6 +167,10 @@ template <typename R> struct SessionChannel {
   std::mutex Mutex;
   std::condition_variable CV;
   std::optional<ParOutcome<R>> Outcome;
+  /// Set by the first SessionFuture::get(): a second get() returns a
+  /// deterministic FutureConsumed fault instead of blocking forever on an
+  /// Outcome that will never re-appear.
+  bool Consumed = false;
   ResultSlot<R> Slot;
   uint64_t SessionId = 0;
   uint64_t SubmitNanos = 0;
@@ -177,17 +218,49 @@ inline Fault makeDeadlockFault(size_t Leftover, uint64_t SessionId) {
   return F;
 }
 
-/// The deterministic admission-refusal Fault (code session_rejected).
-/// Message depends only on \p Reason, so repeated rejections of the same
-/// shape are bit-identical.
-inline Fault makeRejectedFault(const char *Reason) {
+/// The deterministic admission-refusal Fault family (session_rejected,
+/// shed, deadline_exceeded, runtime_stopping). Message depends only on
+/// \p Code and \p Reason, so repeated refusals of the same shape are
+/// bit-identical.
+inline Fault makeAdmissionFault(FaultCode Code, const char *Reason) {
   Fault F;
-  F.Code = FaultCode::SessionRejected;
+  F.Code = Code;
   F.Worker = -1;
   F.Pedigree.clear();
   F.Message = std::string("Runtime: session rejected (") + Reason +
-              ") [code=session_rejected, pedigree=<root>]";
+              ") [code=" + faultCodeName(Code) + ", pedigree=<root>]";
   return F;
+}
+
+/// Legacy spelling for the plain SessionRejected refusal.
+inline Fault makeRejectedFault(const char *Reason) {
+  return makeAdmissionFault(FaultCode::SessionRejected, Reason);
+}
+
+/// The deterministic double-consume Fault for SessionFuture::get(); fires
+/// in NDEBUG builds too (the old assert vanished there and a second get()
+/// blocked forever).
+inline Fault makeConsumedFault(uint64_t SessionId) {
+  Fault F;
+  F.Code = FaultCode::FutureConsumed;
+  F.SessionId = SessionId;
+  F.Worker = -1;
+  F.Pedigree.clear();
+  F.Message = "SessionFuture: get() called twice (the outcome was already "
+              "consumed) [code=future_consumed, session=" +
+              std::to_string(SessionId) + ", pedigree=<root>]";
+  return F;
+}
+
+/// Bumps the refusal counters for \p Code: every refusal counts as
+/// SessionsRejected, and the shed / deadline flavors also count their own
+/// dedicated event.
+inline void countRejection(FaultCode Code) {
+  obs::count(obs::Event::SessionsRejected);
+  if (Code == FaultCode::Shed)
+    obs::count(obs::Event::SessionsShed);
+  else if (Code == FaultCode::DeadlineExceeded)
+    obs::count(obs::Event::DeadlineFaults);
 }
 
 /// Publishes \p Out on the channel and wakes future waiters.
@@ -208,10 +281,17 @@ void completeChannel(SessionChannel<R> &Ch, ParOutcome<R> Out) {
 template <EffectSet E, typename R, typename F, typename MakeObs>
 std::shared_ptr<SessionState> launchSession(Scheduler &Sched, F Body,
                                             SessionChannel<R> &Ch,
-                                            MakeObs MakeObserver) {
+                                            MakeObs MakeObserver,
+                                            uint64_t StepBudget = 0) {
   auto Cancel = std::make_shared<CancelNode>();
   std::shared_ptr<SessionState> S = Sched.beginSession(Cancel);
-  Ch.SessionId = S->Id;
+  // Written before the root is scheduled: workers see the budget via the
+  // schedule() handoff, never a torn value.
+  S->StepBudget = StepBudget;
+  {
+    std::lock_guard<std::mutex> Lock(Ch.Mutex);
+    Ch.SessionId = S->Id;
+  }
   // GCC 12 discipline (see src/core/Par.h): bind the Par before install.
   Par<void> RootPar = [&]() -> Par<void> {
     if constexpr (std::is_void_v<R>)
@@ -221,9 +301,7 @@ std::shared_ptr<SessionState> launchSession(Scheduler &Sched, F Body,
   }();
   Task *Root = lvish::detail::installTaskRoot(Sched, std::move(RootPar),
                                               /*Parent=*/nullptr);
-  Root->SessionId = S->Id;
-  Root->Session = S;
-  Root->Cancel = std::move(Cancel);
+  Sched.bindSessionRoot(Root, S, std::move(Cancel));
   if (std::function<void()> Obs = MakeObserver(S))
     Sched.setSessionObserver(*S, std::move(Obs));
   check::declareTaskEffects(Root, check::effectMask(E));
@@ -278,11 +356,14 @@ void finalizeSession(Scheduler &Sched, SessionState &S, SessionChannel<R> &Ch,
     obs::addSessionLatencyNanos(Ch.DoneNanos - Ch.SubmitNanos);
 }
 
-/// Publishes a deterministic rejection outcome without opening a session.
+/// Publishes a deterministic refusal outcome without opening a session.
+/// \p Code selects the refusal flavor (SessionRejected, Shed,
+/// DeadlineExceeded, RuntimeStopping) and its counters.
 template <typename R>
-void rejectChannel(SessionChannel<R> &Ch, const char *Reason) {
-  obs::count(obs::Event::SessionsRejected);
-  completeChannel(Ch, ParOutcome<R>::failure(makeRejectedFault(Reason)));
+void rejectChannel(SessionChannel<R> &Ch, FaultCode Code,
+                   const char *Reason) {
+  countRejection(Code);
+  completeChannel(Ch, ParOutcome<R>::failure(makeAdmissionFault(Code, Reason)));
 }
 
 /// Blocking session driver on an arbitrary scheduler: launch, wait on the
@@ -299,7 +380,8 @@ auto runSessionOn(Scheduler &Sched, F Body, const SessionOptions &Opts) {
       Sched, std::move(Body), *Ch,
       [](const std::shared_ptr<SessionState> &) {
         return std::function<void()>();
-      });
+      },
+      Opts.MaxSteps);
   Sched.waitSessionQuiescent(*S);
   finalizeSession<R>(Sched, *S, *Ch, Opts);
   return std::move(*Ch->Outcome);
@@ -317,24 +399,31 @@ public:
   /// False only for default-constructed futures.
   bool valid() const { return Ch != nullptr; }
 
-  /// True once the outcome is available (get() will not block).
+  /// True once the outcome is available (get() will not block). Stays
+  /// true after the outcome has been consumed.
   bool ready() const {
     std::lock_guard<std::mutex> Lock(Ch->Mutex);
-    return Ch->Outcome.has_value();
+    return Ch->Outcome.has_value() || Ch->Consumed;
   }
 
   /// Blocks until the outcome is available.
   void wait() const {
     std::unique_lock<std::mutex> Lock(Ch->Mutex);
-    Ch->CV.wait(Lock, [this] { return Ch->Outcome.has_value(); });
+    Ch->CV.wait(Lock,
+                [this] { return Ch->Outcome.has_value() || Ch->Consumed; });
   }
 
   /// Blocks until the session completes and moves its outcome out (call
-  /// once; composes with ParOutcome exactly like tryRunPar's return).
+  /// once; composes with ParOutcome exactly like tryRunPar's return). A
+  /// second call does not block: it returns a deterministic
+  /// FaultCode::FutureConsumed outcome - in NDEBUG builds too.
   ParOutcome<R> get() {
     std::unique_lock<std::mutex> Lock(Ch->Mutex);
-    Ch->CV.wait(Lock, [this] { return Ch->Outcome.has_value(); });
-    assert(Ch->Outcome.has_value() && "SessionFuture::get() consumed twice");
+    Ch->CV.wait(Lock,
+                [this] { return Ch->Outcome.has_value() || Ch->Consumed; });
+    if (!Ch->Outcome.has_value())
+      return ParOutcome<R>::failure(detail::makeConsumedFault(Ch->SessionId));
+    Ch->Consumed = true;
     ParOutcome<R> Out = std::move(*Ch->Outcome);
     Ch->Outcome.reset();
     return Out;
@@ -422,9 +511,19 @@ public:
     return submitSession<E>(std::move(Body), Opts);
   }
 
-  /// Blocks until every submitted session has been finalized and the
-  /// admission queue is empty.
+  /// Graceful stop: closes admission (racing and future submit/run calls
+  /// resolve deterministically with FaultCode::RuntimeStopping), rejects
+  /// everything still waiting in the admission queue with the same code,
+  /// and blocks until every already-active session has been finalized.
+  /// Idempotent, and safe to race with submit from other threads. The
+  /// destructor drains; a Runtime stays stopped once drained.
   void drain();
+
+  /// Blocks until every submitted session has been finalized and the
+  /// admission queue is empty, WITHOUT closing admission - the
+  /// wait-for-idle half of the old drain(). Callers that keep submitting
+  /// afterwards (round-based benches, tests) want this, not drain().
+  void awaitIdle();
 
   // --- Unchecked front doors ---------------------------------------------
   // The effect level is the caller's responsibility here; the checked
@@ -435,11 +534,15 @@ public:
   auto runSession(F Body, const SessionOptions &Opts) {
     using RetPar = std::invoke_result_t<F, ParCtx<E>>;
     using R = typename detail::ParValue<RetPar>::type;
-    if (const char *Reason = acquireSlotOrVeto(Opts.Explore)) {
-      obs::count(obs::Event::SessionsRejected);
-      return ParOutcome<R>::failure(detail::makeRejectedFault(Reason));
+    if (AdmitVeto V = acquireSlotOrVeto(Opts.Explore); V.Reason) {
+      detail::countRejection(V.Code);
+      return ParOutcome<R>::failure(detail::makeAdmissionFault(V.Code,
+                                                              V.Reason));
     }
-    auto Out = detail::runSessionOn<E>(Sched, std::move(Body), Opts);
+    SessionOptions Eff = Opts;
+    if (!Eff.MaxSteps)
+      Eff.MaxSteps = DefaultBudget;
+    auto Out = detail::runSessionOn<E>(Sched, std::move(Body), Eff);
     releaseSlot();
     return Out;
   }
@@ -451,30 +554,35 @@ public:
     auto Ch = std::make_shared<detail::SessionChannel<R>>();
     Ch->SubmitNanos = nowNanos();
     SessionFuture<R> Fut(Ch);
+    SessionOptions SOpts = Opts;
+    if (!SOpts.MaxSteps)
+      SOpts.MaxSteps = DefaultBudget;
     if (Sched.exploreCtl() || Opts.Explore) {
       // Explore-mode pools have no worker threads: the session executes
       // inline on the submitting thread, exclusively (acquireSlotOrVeto
       // rejects rather than blocks when the pool is busy).
-      if (const char *Reason = acquireSlotOrVeto(Opts.Explore)) {
-        detail::rejectChannel(*Ch, Reason);
+      if (AdmitVeto V = acquireSlotOrVeto(Opts.Explore); V.Reason) {
+        detail::rejectChannel(*Ch, V.Code, V.Reason);
         return Fut;
       }
       auto NoObserver = [](const std::shared_ptr<SessionState> &) {
         return std::function<void()>();
       };
-      std::shared_ptr<SessionState> S =
-          detail::launchSession<E, R>(Sched, std::move(Body), *Ch, NoObserver);
+      std::shared_ptr<SessionState> S = detail::launchSession<E, R>(
+          Sched, std::move(Body), *Ch, NoObserver, SOpts.MaxSteps);
       Sched.waitSessionQuiescent(*S);
-      detail::finalizeSession<R>(Sched, *S, *Ch, Opts);
+      detail::finalizeSession<R>(Sched, *S, *Ch, SOpts);
       releaseSlot();
       return Fut;
     }
     // Deferred launch closure: runs now if a slot is free, or later from
     // the finalizer thread when one frees up. The quiescence observer
     // only enqueues the typed finalize closure (it can fire under a
-    // park-site lock); the finalizer thread does the heavy lifting.
-    SessionOptions SOpts = Opts;
-    auto Launch = [this, Ch, SOpts, Body = std::move(Body)]() mutable {
+    // park-site lock); the finalizer thread does the heavy lifting. The
+    // paired Reject closure resolves the future deterministically when
+    // admission refuses the session instead (shed, deadline, stopping).
+    QueuedLaunch Q;
+    Q.Launch = [this, Ch, SOpts, Body = std::move(Body)]() mutable {
       detail::launchSession<E, R>(
           Sched, std::move(Body), *Ch,
           [this, Ch, SOpts](const std::shared_ptr<SessionState> &S) {
@@ -483,26 +591,54 @@ public:
             };
             return std::function<void()>(
                 [this, Fin] { enqueueCompletion(Fin); });
-          });
+          },
+          SOpts.MaxSteps);
     };
-    routeSubmission(std::move(Launch));
+    Q.Reject = [Ch](FaultCode Code, const char *Reason) {
+      detail::rejectChannel(*Ch, Code, Reason);
+    };
+    routeSubmission(std::move(Q));
     return Fut;
   }
 
 private:
-  /// Admission front door. On a threaded pool: blocks until a session
-  /// slot is free (honoring MaxActiveSessions), claims it, and returns
-  /// nullptr. On an explore-mode pool: claims exclusive use if the pool
-  /// is idle, else returns the deterministic rejection reason (controlled
-  /// sessions must own every scheduling decision; blocking behind other
-  /// tenants would hand decisions to OS timing). Also rejects sessions
-  /// demanding a controller the pool was not built with. A nullptr
-  /// return means the caller owns one slot and must releaseSlot().
-  const char *acquireSlotOrVeto(explore::ScheduleCtl *WantExplore);
-  /// Frees one slot; launches the next queued submission if one fits.
+  /// One queued async submission: the deferred launch closure plus the
+  /// typed rejection closure that resolves its future when admission
+  /// refuses it (shed / deadline / stopping) instead of launching.
+  struct QueuedLaunch {
+    std::function<void()> Launch;
+    std::function<void(FaultCode, const char *)> Reject;
+    /// nowNanos() at enqueue, for the lazy SubmitDeadlineNanos check.
+    uint64_t EnqueueNanos = 0;
+  };
+
+  /// Admission verdict: Reason == nullptr means admitted (the caller owns
+  /// one slot and must releaseSlot()); otherwise Code/Reason describe the
+  /// deterministic refusal.
+  struct AdmitVeto {
+    FaultCode Code = FaultCode::SessionRejected;
+    const char *Reason = nullptr;
+  };
+
+  /// Admission front door for blocking runs. On a threaded pool: waits
+  /// until a session slot is free (honoring MaxActiveSessions, giving up
+  /// after SubmitDeadlineNanos with DeadlineExceeded, and aborting with
+  /// RuntimeStopping if drain() closes admission meanwhile). On an
+  /// explore-mode pool: claims exclusive use if the pool is idle, else
+  /// refuses deterministically (controlled sessions must own every
+  /// scheduling decision; blocking behind other tenants would hand
+  /// decisions to OS timing). Also refuses sessions demanding a
+  /// controller the pool was not built with.
+  AdmitVeto acquireSlotOrVeto(explore::ScheduleCtl *WantExplore);
+  /// Frees one slot; launches the next in-deadline queued submission.
   void releaseSlot();
-  /// Launches now (slot free) or queues the launch closure FIFO.
-  void routeSubmission(std::function<void()> Launch);
+  /// Launches now (slot free), queues FIFO, or refuses (stopping / shed).
+  void routeSubmission(QueuedLaunch Q);
+  /// Caller must hold Mu. Pops admission-queue entries while a slot is
+  /// free: expired ones (past SubmitDeadlineNanos) are moved to
+  /// \p Expired for the caller to reject OUTSIDE Mu; the first in-deadline
+  /// entry claims the slot and its launch closure is returned.
+  std::function<void()> admitNextLocked(std::vector<QueuedLaunch> &Expired);
   /// Called by session observers: queue a finalize closure for the
   /// finalizer thread. Safe under park-site locks (enqueue only).
   void enqueueCompletion(std::function<void()> Fin);
@@ -512,6 +648,9 @@ private:
 
   Scheduler Sched;
   const unsigned MaxActive;
+  const unsigned MaxQueued;
+  const uint64_t DeadlineNanos;
+  const uint64_t DefaultBudget;
 
   std::mutex Mu;
   /// Signalled on slot release (blocking admission, drain()).
@@ -520,10 +659,12 @@ private:
   std::condition_variable WorkCV;
   /// Sessions admitted but not yet finalized.
   unsigned Active = 0;
-  /// Launch closures waiting for a slot (FIFO admission).
-  std::deque<std::function<void()>> AdmitQueue;
+  /// Async submissions waiting for a slot (FIFO admission).
+  std::deque<QueuedLaunch> AdmitQueue;
   /// Finalize closures for quiescent sessions.
   std::deque<std::function<void()>> DoneQueue;
+  /// Set by drain(): admission is closed for good.
+  bool Stopping = false;
   bool ShuttingDown = false;
   bool FinalizerStarted = false;
   std::thread Finalizer;

@@ -55,6 +55,19 @@ enum class FaultCode : uint8_t {
   InjectedFailure,     ///< Raised by the LVISH_FAULTS injection harness.
   SessionRejected,     ///< Runtime admission refused the session (e.g. an
                        ///< explore-mode session on a busy shared Runtime).
+  BudgetExceeded,      ///< The session burned through its deterministic
+                       ///< step budget (SessionOptions::MaxSteps) and was
+                       ///< cancelled by the scheduler.
+  DeadlineExceeded,    ///< The session's wall-clock admission deadline
+                       ///< (RuntimeConfig::SubmitDeadlineNanos) elapsed
+                       ///< before a slot freed; it never ran.
+  Shed,                ///< Overload shedding: the admission queue was at
+                       ///< RuntimeConfig::MaxQueuedSessions, so the
+                       ///< submission was refused immediately.
+  RuntimeStopping,     ///< The Runtime was draining (Runtime::drain); the
+                       ///< session was rejected instead of admitted.
+  FutureConsumed,      ///< SessionFuture::get() called after the outcome
+                       ///< was already consumed.
 };
 
 /// Stable lower-snake-case name (JSON/telemetry-friendly).
@@ -80,6 +93,16 @@ inline const char *faultCodeName(FaultCode C) {
     return "injected_failure";
   case FaultCode::SessionRejected:
     return "session_rejected";
+  case FaultCode::BudgetExceeded:
+    return "budget_exceeded";
+  case FaultCode::DeadlineExceeded:
+    return "deadline_exceeded";
+  case FaultCode::Shed:
+    return "shed";
+  case FaultCode::RuntimeStopping:
+    return "runtime_stopping";
+  case FaultCode::FutureConsumed:
+    return "future_consumed";
   }
   return "unknown";
 }

@@ -19,10 +19,15 @@
 
 namespace lvish {
 
-/// Nanoseconds on the steady clock.
+/// Nanoseconds on the steady clock. The ONE sanctioned wall-clock read in
+/// the deterministic layers (everything else is barred by the analyzer's
+/// wall-clock-in-core rule): callers use it for diagnostics and latency
+/// accounting only, never for semantic decisions - those stay functions
+/// of the schedule so explore/replay reproduce bit-for-bit.
 inline uint64_t nowNanos() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // lvish-lint: allow(wall-clock-in-core)
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }

@@ -141,6 +141,19 @@ TEST(Analyze, DeprecatedBorrowedSchedulerCleanFixture) {
       << "Runtime::run/submit and the runParOnImpl funnel must not match";
 }
 
+TEST(Analyze, WallClockInCoreSeededViolations) {
+  auto Fs = analyzeFixture("wallclock_violation.cpp");
+  EXPECT_EQ(errorsOfRule(Fs, "wall-clock-in-core"), 3)
+      << "steady/system/high_resolution ::now(), one split across lines";
+  EXPECT_EQ(totalErrors(Fs), 3);
+}
+
+TEST(Analyze, WallClockInCoreCleanFixture) {
+  auto Fs = analyzeFixture("wallclock_clean.cpp");
+  EXPECT_EQ(totalErrors(Fs), 0)
+      << "nowNanos(), step budgets, and clock TYPE mentions must not fire";
+}
+
 TEST(Analyze, SuppressionComments) {
   auto Fs = analyzeFixture("suppression.cpp");
   EXPECT_EQ(totalErrors(Fs), 0)

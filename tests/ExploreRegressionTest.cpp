@@ -146,6 +146,22 @@ ParOutcome<int> wakeOrderConflict(const RunOptions &Opts) {
       Opts);
 }
 
+/// Deterministic budget kill: a session with a step budget that yields
+/// past it. Unlike the racy members above this fails on EVERY schedule -
+/// its pin checks that the budget charge itself (DESIGN.md Section 16)
+/// replays bit-for-bit: same code, same pedigree, same schedule hash.
+ParOutcome<int> budgetBlown(const RunOptions &Opts) {
+  RunOptions Budgeted = Opts;
+  Budgeted.SessionBudget = 6;
+  return tryRunParIO<IOE>(
+      [](ParCtx<IOE> Ctx) -> Par<int> {
+        for (int I = 0; I < 1'000'000; ++I)
+          co_await yield(Ctx);
+        co_return 0;
+      },
+      Budgeted);
+}
+
 // -- The pinned corpus -----------------------------------------------------
 
 using ProgramFn = ParOutcome<int> (*)(const RunOptions &);
@@ -170,6 +186,8 @@ const CorpusEntry Corpus[] = {
      "lvx1:w2:h363e5e09db50bd26:1"},
     {"wake-order-conflict", wakeOrderConflict, "conflicting_put@L",
      "lvx1:w2:hca0c5031b25c0d34:0.0.0.0.1"},
+    {"budget-blown", budgetBlown, "budget_exceeded@<root>",
+     "lvx1:w2:h7bf4f9982d8025db:"},
 };
 
 TEST(ExploreRegressionTest, PinnedReplaysReproduce) {
@@ -189,6 +207,33 @@ TEST(ExploreRegressionTest, PinnedReplaysReproduce) {
           << "rep " << Rep << ": schedule hash diverged from the corpus";
     }
   }
+}
+
+TEST(ExploreRegressionTest, BudgetKillReplayIsBitIdentical) {
+  // The ISSUE acceptance criterion, spelled out: two runs of the SAME
+  // pinned replay string must produce the identical budget Fault - code,
+  // pedigree, session id - and both runs' schedule hashes must match the
+  // committed hash.
+  const CorpusEntry *E = nullptr;
+  for (const CorpusEntry &C : Corpus)
+    if (std::string(C.Name) == "budget-blown")
+      E = &C;
+  ASSERT_NE(E, nullptr);
+  auto Spec = explore::decodeReplay(E->Replay);
+  ASSERT_TRUE(Spec.has_value());
+  bool Bit1 = false, Bit2 = false;
+  std::optional<Fault> F1 = explore::replaySession(E->Program, *Spec, &Bit1);
+  std::optional<Fault> F2 = explore::replaySession(E->Program, *Spec, &Bit2);
+  ASSERT_TRUE(F1.has_value());
+  ASSERT_TRUE(F2.has_value());
+  EXPECT_EQ(F1->Code, FaultCode::BudgetExceeded);
+  EXPECT_EQ(F1->Code, F2->Code);
+  EXPECT_EQ(F1->Pedigree, F2->Pedigree);
+  EXPECT_EQ(F1->SessionId, F2->SessionId);
+  EXPECT_EQ(F1->Message, F2->Message)
+      << "the budget message embeds only deterministic fields";
+  EXPECT_TRUE(Bit1);
+  EXPECT_TRUE(Bit2) << "schedule hash diverged between two identical replays";
 }
 
 TEST(ExploreRegressionTest, CorpusRacesAreSearchFindable) {

@@ -224,9 +224,9 @@ TEST(ServiceRuntime, MaxActiveSessionsBoundsConcurrency) {
       Cur.fetch_sub(1, std::memory_order_acq_rel);
       co_return Now;
     }));
-  RT.drain();
+  RT.awaitIdle();
   for (auto &F : Futures) {
-    ASSERT_TRUE(F.ready()) << "drain() returned with a session unfinished";
+    ASSERT_TRUE(F.ready()) << "awaitIdle() returned with a session unfinished";
     auto O = F.get();
     ASSERT_TRUE(O.ok()) << O.fault().Message;
     EXPECT_LE(O.value(), static_cast<int>(Bound));
@@ -234,6 +234,29 @@ TEST(ServiceRuntime, MaxActiveSessionsBoundsConcurrency) {
   EXPECT_LE(MaxSeen.load(), static_cast<int>(Bound))
       << "admission let more than MaxActiveSessions run at once";
   EXPECT_GT(MaxSeen.load(), 0);
+}
+
+TEST(ServiceRuntime, SecondGetFaultsInsteadOfAsserting) {
+  // Consuming a SessionFuture twice used to be an assert (vanishing in
+  // NDEBUG builds into a moved-from read). Now the second get() resolves
+  // deterministically: FaultCode::FutureConsumed, tagged with the
+  // session's id, without blocking.
+  service::Runtime RT({.Sched = {.NumWorkers = 2}});
+  auto F = RT.submit<D>([](ParCtx<D> Ctx) -> Par<uint64_t> {
+    co_return co_await sumSquares(Ctx, 0, 50);
+  });
+  auto First = F.get();
+  ASSERT_TRUE(First.ok()) << First.fault().Message;
+  EXPECT_EQ(First.value(), sumSquaresSeq(0, 50));
+  EXPECT_TRUE(F.ready()) << "a consumed future still reports ready";
+  auto Second = F.get();
+  ASSERT_FALSE(Second.ok());
+  EXPECT_EQ(Second.fault().Code, FaultCode::FutureConsumed);
+  EXPECT_EQ(Second.fault().SessionId, F.sessionId());
+  auto Third = F.get();
+  ASSERT_FALSE(Third.ok());
+  EXPECT_EQ(Third.fault().Message, Second.fault().Message)
+      << "repeat consumption faults must be bit-identical";
 }
 
 TEST(ServiceRuntime, PerSessionStatsDeltasOnSharedPool) {

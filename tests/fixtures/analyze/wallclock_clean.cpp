@@ -1,0 +1,28 @@
+// lvish-analyze-fixture-path: src/sched/wallclock_clean.cpp
+//
+// Clean fixture for the wall-clock-in-core pass: core code that measures
+// time through the sanctioned nowNanos() choke point, uses step counters
+// for semantic decisions, and mentions clock TYPES without calling
+// ::now() on them. None of these may fire. Scanned, never compiled.
+
+namespace lvish {
+
+uint64_t latencyDelta(uint64_t StartNanos) {
+  // The sanctioned choke point: support/Timer.h nowNanos().
+  return nowNanos() - StartNanos;
+}
+
+bool budgetBySteps(uint64_t Used, uint64_t Budget) {
+  // Semantic bounds are scheduler-step counts, never wall clock.
+  return Budget != 0 && Used > Budget;
+}
+
+// Naming a clock type (e.g. in an alias or a template argument) is fine;
+// only the ::now() read is barred.
+using CoreClock = std::chrono::steady_clock;
+
+uint64_t castOnly(CoreClock::time_point T) {
+  return static_cast<uint64_t>(T.time_since_epoch().count());
+}
+
+} // namespace lvish

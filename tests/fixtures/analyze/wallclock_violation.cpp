@@ -1,0 +1,31 @@
+// lvish-analyze-fixture-path: src/sched/wallclock_violation.cpp
+//
+// Seeded violations for the wall-clock-in-core pass: core scheduler code
+// reading wall clocks. Time dependence in the deterministic layers breaks
+// explore/replay bit-for-bit reproduction - execution bounds there are
+// step budgets (SessionOptions::MaxSteps), and the one sanctioned
+// wall-clock read is support/Timer.h nowNanos(). All three standard clock
+// spellings, including one with the :: split across lines. Scanned,
+// never compiled.
+
+namespace lvish {
+
+uint64_t pollDeadline() {
+  auto T0 = std::chrono::steady_clock::now(); // violation 1
+  return static_cast<uint64_t>(T0.time_since_epoch().count());
+}
+
+bool budgetByTime(uint64_t StartNanos) {
+  auto Now = std::chrono::system_clock::now(); // violation 2
+  return static_cast<uint64_t>(Now.time_since_epoch().count()) >
+         StartNanos + 1000000;
+}
+
+uint64_t splitAcrossLines() {
+  // The token stream sees through the line break.
+  auto T = std::chrono::high_resolution_clock::
+      now(); // violation 3
+  return static_cast<uint64_t>(T.time_since_epoch().count());
+}
+
+} // namespace lvish

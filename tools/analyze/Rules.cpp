@@ -63,8 +63,11 @@ const std::vector<TokenRule> &tokenRules() {
        seqsOf({"std::thread", "std::jthread", "std::mutex",
                "std::shared_mutex", "std::recursive_mutex",
                "std::condition_variable"}),
+       // /fault/ joined with the ServiceChaos harness: its delivery
+       // thread is chaos scaffolding AROUND the scheduler, same standing
+       // as tests' raw-thread drivers.
        {"/sched/", "/core/", "/service/", "/support/", "/check/", "/obs/",
-        "tests/", "examples/"},
+        "/fault/", "tests/", "examples/"},
        "parallelism and blocking must flow through the scheduler so the "
        "effect audit and cancellation polling see it",
        /*LimitDirs=*/{}},
@@ -121,6 +124,19 @@ const std::vector<TokenRule> &tokenRules() {
        "the borrowed-Scheduler session surface is deprecated; hold a "
        "service::Runtime and submit sessions through Runtime::run / "
        "Runtime::submit instead",
+       /*LimitDirs=*/{}},
+      {"wall-clock-in-core",
+       // All three standard clock spellings; the token stream matches the
+       // fully qualified std::chrono:: prefix forms too (the sequence
+       // anchors at the clock name).
+       seqsOf({"steady_clock::now", "system_clock::now",
+               "high_resolution_clock::now"}),
+       {"/service/", "bench/", "tools/"},
+       "the deterministic layers must not read wall clocks - time "
+       "dependence breaks explore/replay bit-for-bit reproduction; "
+       "deadlines belong to the service admission layer and execution "
+       "bounds are step budgets (SessionOptions::MaxSteps), with "
+       "support/Timer.h nowNanos() as the one sanctioned choke point",
        /*LimitDirs=*/{}},
       {"explore-rng",
        seqsOf({"std::mt19937", "std::mt19937_64", "std::random_device",

@@ -37,6 +37,13 @@
 #              non-fatal bench-report diff against the committed
 #              bench/baselines/service_traffic.json. Reuses the tsan and
 #              release builds.
+#   chaos    - service robustness under attack: re-runs ServiceChaosTest
+#              (seeded mid-flight session dooms, admission delay
+#              injection, drain-vs-doom races) and ServiceRobustnessTest
+#              (budgets, deadlines, shed, drain) under ThreadSanitizer,
+#              then smoke-runs the traffic bench's overload phase and
+#              prints a non-fatal bench-report diff against the committed
+#              baseline. Reuses the tsan and release builds.
 #   analyze  - scope-aware static analysis (tools/analyze/): runs
 #              lvish-analyze over src/, bench/, examples/, and tests/
 #              against the committed tools/analyze/baseline.json, failing
@@ -49,8 +56,10 @@
 #              stage list (instrumented builds are slow).
 #
 # Usage: tools/ci.sh
-#        [debug|release|tsan|bench|faults|explore|service|analyze|coverage]...
-#        (default: debug release tsan bench faults explore service analyze)
+#        [debug|release|tsan|bench|faults|explore|service|chaos|analyze|
+#         coverage]...
+#        (default: debug release tsan bench faults explore service chaos
+#         analyze)
 #
 #===------------------------------------------------------------------------===#
 
@@ -60,7 +69,7 @@ cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 STAGES=("$@")
 [ ${#STAGES[@]} -eq 0 ] && \
-  STAGES=(debug release tsan bench faults explore service analyze)
+  STAGES=(debug release tsan bench faults explore service chaos analyze)
 
 run_stage() {
   local name=$1; shift
@@ -184,6 +193,45 @@ for stage in "${STAGES[@]}"; do
         build-ci-release/bench-json/BENCH_service_traffic.json \
         || echo "bench-report diff failed (non-fatal)"
       ;;
+    chaos)
+      # Reuse the tsan tree when it exists; otherwise build it.
+      if [ ! -x build-ci-tsan/tests/ServiceChaosTest ]; then
+        echo "==== [chaos] building tsan tree ===="
+        cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DLVISH_SANITIZE=thread -DLVISH_TELEMETRY=OFF \
+          > build-ci-tsan.cfg.log 2>&1 || {
+          cat build-ci-tsan.cfg.log; exit 1; }
+        cmake --build build-ci-tsan -j "$JOBS"
+      fi
+      echo "==== [chaos] ServiceChaosTest under ThreadSanitizer ===="
+      # The doom-delivery thread vs. finalizer vs. admission machinery is
+      # exactly where a shutdown/cancellation race would hide; the test's
+      # assertions are schedule-independent so TSan timing skew is fine.
+      ./build-ci-tsan/tests/ServiceChaosTest
+      echo "==== [chaos] ServiceRobustnessTest under ThreadSanitizer ===="
+      ./build-ci-tsan/tests/ServiceRobustnessTest
+      # Reuse the release tree for the overload bench smoke.
+      if [ ! -x build-ci-release/bench/bench_service_traffic ]; then
+        echo "==== [chaos] building release tree ===="
+        cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          > build-ci-release.cfg.log 2>&1 || {
+          cat build-ci-release.cfg.log; exit 1; }
+        cmake --build build-ci-release -j "$JOBS"
+      fi
+      echo "==== [chaos] overload bench smoke ===="
+      mkdir -p build-ci-release/bench-json
+      ./build-ci-release/bench/bench_service_traffic --smoke \
+        --json build-ci-release/bench-json/BENCH_service_traffic.json
+      ./build-ci-release/tools/bench-report validate \
+        build-ci-release/bench-json/BENCH_service_traffic.json
+      echo "==== [chaos] overload baseline drift report (informational) ===="
+      # Non-fatal: refusal counts (shed/deadline) measure real wall time
+      # and drift with machine load; the diff is for reviewers, not a gate.
+      ./build-ci-release/tools/bench-report diff \
+        bench/baselines/service_traffic.json \
+        build-ci-release/bench-json/BENCH_service_traffic.json \
+        || echo "bench-report diff failed (non-fatal)"
+      ;;
     analyze)
       # Reuse the release tree when it exists; otherwise build it.
       if [ ! -x build-ci-release/tools/lvish-analyze ]; then
@@ -228,7 +276,7 @@ for stage in "${STAGES[@]}"; do
       ;;
     *)
       echo "unknown stage '$stage' (expected debug, release, tsan, bench," \
-           "faults, explore, service, analyze, or coverage)" >&2
+           "faults, explore, service, chaos, analyze, or coverage)" >&2
       exit 2
       ;;
   esac
