@@ -1,0 +1,86 @@
+//===- bench_pbbs_histogram.cpp - PBBS histogram / removeDuplicates --------===//
+//
+// The PBBS key-stream pair (src/pbbs/Histogram.h): histogram on
+// CounterVec bumps and removeDuplicates on ISet joins, swept over stream
+// lengths, both key distributions, and worker counts. The skewed stream
+// is the contention story: a cubed-uniform transform makes a handful of
+// buckets white-hot, the shape Section 3's non-idempotent counters are
+// built for.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+#include "src/pbbs/Pbbs.h"
+
+#include <string>
+
+using namespace lvish;
+using namespace lvish::pbbs;
+
+namespace {
+
+volatile uint64_t Sink; // Defeats dead-code elimination of results.
+
+constexpr uint64_t Buckets = 512;
+constexpr uint64_t DedupUniverse = 1 << 16;
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bench::BenchHarness H("pbbs_histogram",
+                        bench::BenchConfig::fromArgs(argc, argv));
+  const size_t BaseN = H.config().pick<size_t>(500'000, 5'000);
+  constexpr uint64_t Seed = 42;
+  H.noteConfig("base_keys", uint64_t{BaseN});
+  H.noteConfig("buckets", Buckets);
+  H.noteConfig("dedup_universe", DedupUniverse);
+  H.noteConfig("input_seed", Seed);
+
+  SchedulerStats Total;
+  for (size_t N : {BaseN, 4 * BaseN}) { // Input-size sweep.
+    for (bool Skewed : {false, true}) {
+      auto Keys = Skewed ? makeSkewedKeys(N, DedupUniverse, Seed)
+                         : makeUniformKeys(N, DedupUniverse, Seed);
+      std::string Tag = std::string(Skewed ? "skewed" : "uniform") + "_n" +
+                        std::to_string(N);
+      bench::Series &HistSeq = H.measure(Tag + "_hist_seq", [&] {
+        Sink = Sink + histogramSeq(Keys, Buckets).size();
+      });
+      HistSeq.config("keys", static_cast<uint64_t>(N));
+      double HistSeqSec = HistSeq.medianSec();
+      bench::Series &DedupSeq = H.measure(Tag + "_dedup_seq", [&] {
+        Sink = Sink + removeDuplicatesSeq(Keys).size();
+      });
+      DedupSeq.config("keys", static_cast<uint64_t>(N));
+      double DedupSeqSec = DedupSeq.medianSec();
+      for (unsigned W : {1u, 2u, 4u, 8u}) {
+        bench::Series &HS =
+            H.measure(Tag + "_hist_w" + std::to_string(W), [&] {
+              SchedulerStats Stats;
+              RunOptions Opts = RunOptions::CollectStats(Stats);
+              Opts.Config.NumWorkers = W;
+              Sink = Sink + histogramLVar(Keys, Buckets, Opts).size();
+              Total += Stats;
+            });
+        HS.config("keys", static_cast<uint64_t>(N));
+        HS.config("workers", W);
+        if (HS.medianSec() > 0)
+          HS.metric("speedup_vs_seq", HistSeqSec / HS.medianSec());
+        bench::Series &DS =
+            H.measure(Tag + "_dedup_w" + std::to_string(W), [&] {
+              SchedulerStats Stats;
+              RunOptions Opts = RunOptions::CollectStats(Stats);
+              Opts.Config.NumWorkers = W;
+              Sink = Sink + removeDuplicatesLVar(Keys, Opts).size();
+              Total += Stats;
+            });
+        DS.config("keys", static_cast<uint64_t>(N));
+        DS.config("workers", W);
+        if (DS.medianSec() > 0)
+          DS.metric("speedup_vs_seq", DedupSeqSec / DS.medianSec());
+      }
+    }
+  }
+  H.recordStats(Total);
+  return H.finish();
+}

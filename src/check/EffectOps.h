@@ -95,6 +95,8 @@ inline constexpr StaticEffectOp StaticEffectOps[] = {
     {"insert", FxPut},
     {"insertPure", FxPut},
     {"cancel", FxPut}, // `cancel :: HasPut m2 => ...` (Section 6.1).
+    {"putMin", FxPut},   // MinMap: lub (= min) write to a keyed label.
+    {"putMinAt", FxPut}, // MinVec: lub (= min) write to a dense cell.
     // HasGet: blocking threshold reads (unified + deprecated spellings).
     {"get", FxGet},
     {"waitSize", FxGet},
@@ -121,6 +123,8 @@ inline constexpr StaticEffectOp StaticEffectOps[] = {
     {"freezePureMap", FxFreeze},
     {"freezePureLVar", FxFreeze},
     {"freezeIVar", FxFreeze},
+    {"freezeMinMap", FxFreeze},
+    {"freezeMinVec", FxFreeze},
     // HasIO: arbitrary nondeterminism in the parent signature.
     {"forkCancelableND", FxIO},
     // HasST: disjoint destructive state (the paper's msplit/forkSTSplit).
@@ -147,7 +151,8 @@ inline constexpr const char *StaticNeutralOps[] = {
     "fork",         "yield",       "newPool",       "newEmptyMap",
     "newISet",      "newIVar",     "newCounter",    "newAndLV",
     "newIStructure", "newPureLVar", "addHandler",    "addHandlerRef",
-    "forkCancelable", "runParVec", "noteBytes",
+    "forkCancelable", "runParVec", "noteBytes",     "newMinMap",
+    "newMinVec",
 };
 
 /// A named effect level (the Eff:: namespace) and its mask; the analyzer

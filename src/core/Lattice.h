@@ -69,6 +69,21 @@ struct BoolOrLattice {
   static ValueType join(ValueType A, ValueType B) { return A || B; }
 };
 
+/// uint64 under *min*: the dual of MaxUint64Lattice, ordered by >= so that
+/// bottom is "no information yet" (+infinity, encoded UINT64_MAX) and every
+/// write can only lower the value. This is the label lattice of the PBBS
+/// connected-components port (src/pbbs/): a vertex's component label only
+/// ever improves (decreases) toward the component's minimum vertex id, so
+/// min-joins from racing propagation handlers commute and the fixpoint is
+/// schedule-independent.
+struct MinUint64Lattice {
+  using ValueType = unsigned long long;
+  static constexpr ValueType bottom() { return ~0ULL; }
+  static constexpr ValueType join(ValueType A, ValueType B) {
+    return A < B ? A : B;
+  }
+};
+
 } // namespace lvish
 
 #endif // LVISH_CORE_LATTICE_H

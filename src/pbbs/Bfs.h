@@ -1,0 +1,61 @@
+//===- Bfs.h - PBBS breadth-first search on LVars ---------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PBBS breadth-first search, the motivating example of the paper's
+/// Section 1/2, ported two ways (DESIGN.md Section 17):
+///
+///  * \c bfsLevels - level-synchronous frontier rounds. Each round the
+///    unvisited neighbors of the frontier pour into a fresh ISet (racing
+///    inserts dedup by join); the parallelFor barrier quiesces the round,
+///    so freezing the set is deterministic, and its *sorted* contents
+///    become the next frontier. Produces per-vertex hop distances.
+///
+///  * \c bfsReach - the paper's one-LVar fixpoint: an \c addHandlerRef
+///    handler re-inserts each newly seen vertex's neighbors into the same
+///    set, and \c quiesce waits for the transitive closure. Produces the
+///    reachable set (no levels - the fixpoint has no rounds).
+///
+/// Both are cross-checked against \c bfsSeq / \c bfsReachSeq in
+/// tests/PbbsGoldenTest.cpp over the shared generators (Input.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_PBBS_BFS_H
+#define LVISH_PBBS_BFS_H
+
+#include "src/core/RunPar.h"
+#include "src/pbbs/Input.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lvish {
+namespace pbbs {
+
+/// Level of a vertex the search never reached.
+inline constexpr uint32_t UnreachedLevel = ~0u;
+
+/// Sequential reference: queue BFS hop distances from \p Source.
+std::vector<uint32_t> bfsSeq(const Graph &G, uint32_t Source);
+
+/// LVar level-synchronous BFS; equals \c bfsSeq on every schedule.
+std::vector<uint32_t> bfsLevels(const Graph &G, uint32_t Source,
+                                const RunOptions &Opts = RunOptions());
+
+/// Sequential reference: sorted vertices reachable from \p Source.
+std::vector<uint32_t> bfsReachSeq(const Graph &G, uint32_t Source);
+
+/// LVar handler-fixpoint reachability; equals \c bfsReachSeq on every
+/// schedule.
+std::vector<uint32_t> bfsReach(const Graph &G, uint32_t Source,
+                               const RunOptions &Opts = RunOptions());
+
+} // namespace pbbs
+} // namespace lvish
+
+#endif // LVISH_PBBS_BFS_H

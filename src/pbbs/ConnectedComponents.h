@@ -1,0 +1,42 @@
+//===- ConnectedComponents.h - PBBS connectivity on LVars -------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PBBS connected components as a min-label propagation fixpoint on a
+/// \c MinMap (src/data/MinMap.h): every vertex is seeded with its own id,
+/// and a handler relaxes each winning label decrease across the vertex's
+/// edges (putMin to every neighbor). Labels only fall, min-joins commute,
+/// and \c quiesce detects the fixpoint - at which point label[v] is
+/// exactly the minimum vertex id of v's component, independent of
+/// schedule. The monotone-fixpoint cousin of BFS: same handler shape, a
+/// richer lattice than set-membership.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_PBBS_CONNECTEDCOMPONENTS_H
+#define LVISH_PBBS_CONNECTEDCOMPONENTS_H
+
+#include "src/core/RunPar.h"
+#include "src/pbbs/Input.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lvish {
+namespace pbbs {
+
+/// Sequential reference: label[v] = min vertex id in v's component.
+std::vector<uint32_t> componentsSeq(const Graph &G);
+
+/// LVar min-label propagation; equals \c componentsSeq on every schedule.
+std::vector<uint32_t> componentsLVar(const Graph &G,
+                                     const RunOptions &Opts = RunOptions());
+
+} // namespace pbbs
+} // namespace lvish
+
+#endif // LVISH_PBBS_CONNECTEDCOMPONENTS_H

@@ -1,0 +1,84 @@
+//===- Histogram.cpp - PBBS histogram / removeDuplicates on LVars ----------===//
+
+#include "src/pbbs/Histogram.h"
+
+#include "src/core/ParFor.h"
+#include "src/data/Counter.h"
+#include "src/data/ISet.h"
+#include "src/pbbs/Input.h"
+
+#include <algorithm>
+
+using namespace lvish;
+using namespace lvish::pbbs;
+
+std::vector<uint64_t> pbbs::histogramSeq(const std::vector<uint64_t> &Keys,
+                                         uint64_t NumBuckets) {
+  std::vector<uint64_t> Counts(NumBuckets, 0);
+  for (uint64_t K : Keys)
+    ++Counts[K % NumBuckets];
+  return Counts;
+}
+
+namespace {
+
+/// bump (the counts), put+get (parallelFor), freeze (the exact read).
+constexpr EffectSet HistEff{true, true, true, true, false, false};
+constexpr size_t KeyGrain = 256;
+
+} // namespace
+
+std::vector<uint64_t> pbbs::histogramLVar(const std::vector<uint64_t> &Keys,
+                                          uint64_t NumBuckets,
+                                          const RunOptions &Opts) {
+  const uint64_t *KP = Keys.data();
+  size_t N = Keys.size();
+  return runParIO<HistEff>(
+      [KP, N, NumBuckets](ParCtx<HistEff> Ctx) -> Par<std::vector<uint64_t>> {
+        auto Counts = newCounterVec(Ctx, NumBuckets);
+        CounterVec *CP = Counts.get();
+        auto Body = [KP, CP, NumBuckets](ParCtx<HistEff> C,
+                                         size_t I) -> Par<void> {
+          incrCounterAt(C, *CP, static_cast<size_t>(KP[I] % NumBuckets));
+          co_return;
+        };
+        co_await parallelForPar(Ctx, 0, N, pickGrain(KeyGrain, N), Body);
+        co_return freezeCounterVec(Ctx, *Counts);
+      },
+      Opts);
+}
+
+std::vector<uint64_t>
+pbbs::removeDuplicatesSeq(const std::vector<uint64_t> &Keys) {
+  std::vector<uint64_t> Out(Keys);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+namespace {
+
+constexpr EffectSet DedupEff = Eff::QuasiDet;
+
+} // namespace
+
+std::vector<uint64_t>
+pbbs::removeDuplicatesLVar(const std::vector<uint64_t> &Keys,
+                           const RunOptions &Opts) {
+  const uint64_t *KP = Keys.data();
+  size_t N = Keys.size();
+  return runParIO<DedupEff>(
+      [KP, N](ParCtx<DedupEff> Ctx) -> Par<std::vector<uint64_t>> {
+        auto Distinct = newISet<uint64_t>(Ctx);
+        ISet<uint64_t> *DP = Distinct.get();
+        auto Body = [KP, DP](ParCtx<DedupEff> C, size_t I) -> Par<void> {
+          insert(C, *DP, KP[I]);
+          co_return;
+        };
+        co_await parallelForPar(Ctx, 0, N, pickGrain(KeyGrain, N), Body);
+        // Quiescent at the barrier: the freeze is deterministic and the
+        // sorted snapshot is the canonical dedup result.
+        co_return freezeSet(Ctx, *Distinct);
+      },
+      Opts);
+}

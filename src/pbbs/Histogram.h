@@ -1,0 +1,58 @@
+//===- Histogram.h - PBBS histogram / removeDuplicates on LVars -*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PBBS key-stream pair, exercising the two write disciplines the
+/// paper keeps strictly apart (Section 3):
+///
+///  * \c histogramLVar - Counter territory: bucket counts are CounterVec
+///    \c bump cells (commutative, inflationary, NOT idempotent - each
+///    occurrence must count exactly once, which the single fetch-add
+///    guarantees). Skewed streams make a handful of cells white-hot.
+///
+///  * \c removeDuplicatesLVar - put territory: distinct keys pour into an
+///    ISet whose idempotent join IS the dedup (re-inserting an existing
+///    key is a no-op by construction, not by a check).
+///
+/// One workload, both effect families - and the golden test pins down
+/// that exactness and idempotence give schedule-independent answers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_PBBS_HISTOGRAM_H
+#define LVISH_PBBS_HISTOGRAM_H
+
+#include "src/core/RunPar.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lvish {
+namespace pbbs {
+
+/// Sequential reference: occurrence counts per bucket (Key % NumBuckets).
+std::vector<uint64_t> histogramSeq(const std::vector<uint64_t> &Keys,
+                                   uint64_t NumBuckets);
+
+/// LVar histogram on CounterVec bumps; equals \c histogramSeq on every
+/// schedule (bumps are exact, not just monotone).
+std::vector<uint64_t> histogramLVar(const std::vector<uint64_t> &Keys,
+                                    uint64_t NumBuckets,
+                                    const RunOptions &Opts = RunOptions());
+
+/// Sequential reference: sorted distinct keys.
+std::vector<uint64_t> removeDuplicatesSeq(const std::vector<uint64_t> &Keys);
+
+/// LVar dedup on an ISet; equals \c removeDuplicatesSeq on every schedule.
+std::vector<uint64_t>
+removeDuplicatesLVar(const std::vector<uint64_t> &Keys,
+                     const RunOptions &Opts = RunOptions());
+
+} // namespace pbbs
+} // namespace lvish
+
+#endif // LVISH_PBBS_HISTOGRAM_H

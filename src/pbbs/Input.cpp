@@ -1,0 +1,111 @@
+//===- Input.cpp - Seeded deterministic PBBS input generators --------------===//
+
+#include "src/pbbs/Input.h"
+
+#include "src/support/SplitMix.h"
+
+#include <cmath>
+
+using namespace lvish;
+using namespace lvish::pbbs;
+
+namespace {
+
+/// Builds the symmetric CSR from a list of (U, V) endpoint pairs.
+Graph buildCsr(uint32_t N, const std::vector<std::pair<uint32_t, uint32_t>>
+                               &Pairs) {
+  Graph G;
+  G.NumVertices = N;
+  G.Offsets.assign(static_cast<size_t>(N) + 1, 0);
+  for (const auto &[U, V] : Pairs) {
+    ++G.Offsets[U + 1];
+    ++G.Offsets[V + 1];
+  }
+  for (uint32_t I = 0; I < N; ++I)
+    G.Offsets[I + 1] += G.Offsets[I];
+  G.Adjacency.resize(2 * Pairs.size());
+  std::vector<uint32_t> Cursor(G.Offsets.begin(), G.Offsets.end() - 1);
+  for (const auto &[U, V] : Pairs) {
+    G.Adjacency[Cursor[U]++] = V;
+    G.Adjacency[Cursor[V]++] = U;
+  }
+  return G;
+}
+
+} // namespace
+
+Graph pbbs::makeUniformGraph(uint32_t N, uint32_t AvgDegree, uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  std::vector<std::pair<uint32_t, uint32_t>> Pairs;
+  if (N < 2)
+    return buildCsr(N, Pairs);
+  size_t M = static_cast<size_t>(N) * AvgDegree / 2;
+  Pairs.reserve(M);
+  while (Pairs.size() < M) {
+    auto U = static_cast<uint32_t>(Rng.nextBounded(N));
+    auto V = static_cast<uint32_t>(Rng.nextBounded(N));
+    if (U != V)
+      Pairs.emplace_back(U, V);
+  }
+  return buildCsr(N, Pairs);
+}
+
+Graph pbbs::makePowerLawGraph(uint32_t N, uint32_t AvgDegree,
+                              uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  std::vector<std::pair<uint32_t, uint32_t>> Pairs;
+  if (N < 2)
+    return buildCsr(N, Pairs);
+  unsigned Scale = 1;
+  while ((1u << Scale) < N)
+    ++Scale;
+  size_t M = static_cast<size_t>(N) * AvgDegree / 2;
+  Pairs.reserve(M);
+  while (Pairs.size() < M) {
+    // RMAT quadrant descent: each bit of (U, V) chosen with the skewed
+    // quadrant probabilities a=0.57, b=c=0.19, d=0.05.
+    uint32_t U = 0, V = 0;
+    for (unsigned B = 0; B < Scale; ++B) {
+      double P = Rng.nextDouble();
+      U = (U << 1) | (P >= 0.76 ? 1u : 0u);        // c + d quadrants
+      V = (V << 1) |
+          ((P >= 0.57 && P < 0.76) || P >= 0.95 ? 1u : 0u); // b + d
+    }
+    if (U < N && V < N && U != V)
+      Pairs.emplace_back(U, V);
+  }
+  return buildCsr(N, Pairs);
+}
+
+EdgeList pbbs::toEdgeList(const Graph &G) {
+  EdgeList E;
+  E.NumVertices = G.NumVertices;
+  for (uint32_t U = 0; U < G.NumVertices; ++U)
+    for (const uint32_t *W = G.neighborsBegin(U), *End = G.neighborsEnd(U);
+         W != End; ++W)
+      if (U < *W)
+        E.Edges.emplace_back(U, *W);
+  return E;
+}
+
+std::vector<uint64_t> pbbs::makeSkewedKeys(size_t N, uint64_t Universe,
+                                           uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  std::vector<uint64_t> Keys(N);
+  for (uint64_t &K : Keys) {
+    double U = Rng.nextDouble();
+    K = static_cast<uint64_t>(static_cast<double>(Universe) * U * U * U);
+    if (K >= Universe) // guard the U ~ 1.0 edge of the transform
+      K = Universe - 1;
+  }
+  return Keys;
+}
+
+std::vector<uint64_t> pbbs::makeUniformKeys(size_t N, uint64_t Universe,
+                                            uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  std::vector<uint64_t> Keys(N);
+  for (uint64_t &K : Keys)
+    K = Rng.nextBounded(Universe);
+  return Keys;
+}

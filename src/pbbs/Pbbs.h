@@ -1,0 +1,25 @@
+//===- Pbbs.h - PBBS problem suite umbrella ---------------------*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One include for the PBBS-on-LVars suite (DESIGN.md Section 17): shared
+/// seeded input generators plus the four ported problems, each a
+/// (sequential reference, LVar-parallel) pair golden-tested against each
+/// other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_PBBS_PBBS_H
+#define LVISH_PBBS_PBBS_H
+
+#include "src/pbbs/Bfs.h"
+#include "src/pbbs/ConnectedComponents.h"
+#include "src/pbbs/Histogram.h"
+#include "src/pbbs/Input.h"
+#include "src/pbbs/SpanningForest.h"
+
+#endif // LVISH_PBBS_PBBS_H

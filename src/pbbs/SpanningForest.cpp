@@ -1,0 +1,164 @@
+//===- SpanningForest.cpp - PBBS spanning forest on ParST + LVars ----------===//
+
+#include "src/pbbs/SpanningForest.h"
+
+#include "src/data/ISet.h"
+#include "src/data/MinMap.h"
+#include "src/trans/ParST.h"
+
+#include <algorithm>
+
+using namespace lvish;
+using namespace lvish::pbbs;
+
+namespace {
+
+/// Path-compressing find over a plain parent array (sequential phases
+/// only; the parallel passes read a fully flattened copy).
+uint32_t findRoot(std::vector<uint32_t> &Parent, uint32_t V) {
+  uint32_t Root = V;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  while (Parent[V] != Root) {
+    uint32_t Next = Parent[V];
+    Parent[V] = Root;
+    V = Next;
+  }
+  return Root;
+}
+
+} // namespace
+
+std::vector<uint64_t> pbbs::spanningForestSeq(const EdgeList &EL) {
+  std::vector<uint32_t> Parent(EL.NumVertices);
+  for (uint32_t V = 0; V < EL.NumVertices; ++V)
+    Parent[V] = V;
+  std::vector<uint64_t> Accepted;
+  for (size_t I = 0; I < EL.Edges.size(); ++I) {
+    uint32_t RU = findRoot(Parent, EL.Edges[I].first);
+    uint32_t RV = findRoot(Parent, EL.Edges[I].second);
+    if (RU == RV)
+      continue;
+    Parent[RU < RV ? RV : RU] = RU < RV ? RU : RV;
+    Accepted.push_back(I);
+  }
+  return Accepted;
+}
+
+namespace {
+
+/// A live edge: endpoints relabeled to component roots as rounds proceed,
+/// plus the original index (the edge's identity and weight).
+struct EdgeRec {
+  uint32_t U, V;
+  uint32_t Idx;
+};
+
+/// ST (the disjoint slice mutation), put (the MinVec proposals and the
+/// forest inserts), get (fork-join), freeze (reading each round's
+/// proposals and the final forest).
+constexpr EffectSet ForestEff{true, true, false, true, false, true};
+constexpr size_t EdgeGrain = 512;
+
+/// One Boruvka pass over the owned slice: relabel both endpoints to their
+/// current roots IN PLACE (the destructive update ParST licenses), and
+/// propose still-external edges into both components' min cells. Splits
+/// recursively via forkSTSplit until the slice fits the grain.
+Par<void> relabelAndPropose(ParCtx<ForestEff> C, VecView<EdgeRec> View,
+                            const uint32_t *Roots, MinVec *MV,
+                            size_t Grain) {
+  if (View.size() <= Grain) {
+    EdgeRec *E = View.raw();
+    size_t N = View.size();
+    C.noteBytes(2 * N * sizeof(EdgeRec));
+    for (size_t I = 0; I < N; ++I) {
+      uint32_t CU = Roots[E[I].U];
+      uint32_t CV = Roots[E[I].V];
+      E[I].U = CU;
+      E[I].V = CV;
+      if (CU != CV) {
+        putMinAt(C, *MV, CU, E[I].Idx);
+        putMinAt(C, *MV, CV, E[I].Idx);
+      }
+    }
+    co_return;
+  }
+  size_t Mid = View.size() / 2;
+  auto Child = [Roots, MV, Grain](ParCtx<ForestEff> C2,
+                                  VecView<EdgeRec> Sub) -> Par<void> {
+    co_await relabelAndPropose(C2, Sub, Roots, MV, Grain);
+  };
+  co_await forkSTSplit(C, View, Mid, Child, Child);
+}
+
+} // namespace
+
+std::vector<uint64_t> pbbs::spanningForestLVar(const EdgeList &EL,
+                                               const RunOptions &Opts) {
+  const EdgeList *ELP = &EL;
+  uint32_t N = EL.NumVertices;
+  return runParIO<ForestEff>(
+      [ELP, N](ParCtx<ForestEff> Ctx) -> Par<std::vector<uint64_t>> {
+        auto Forest = newISet<uint64_t>(Ctx);
+        std::vector<uint32_t> Parent(N);
+        for (uint32_t V = 0; V < N; ++V)
+          Parent[V] = V;
+        std::vector<EdgeRec> Live;
+        Live.reserve(ELP->Edges.size());
+        for (size_t I = 0; I < ELP->Edges.size(); ++I)
+          Live.push_back({ELP->Edges[I].first, ELP->Edges[I].second,
+                          static_cast<uint32_t>(I)});
+        while (!Live.empty()) {
+          auto MinEdge = newMinVec(Ctx, N);
+          // -- Parallel phase: disjoint ParST slices over the live
+          // edges. The caller-owned array becomes the round's root view
+          // (the in-place grant of Kernels.cpp's mergeSortParST; the
+          // session's effect level already holds ST, so no forging).
+          {
+            auto Gen = detail::newGenCell();
+            VecView<EdgeRec> Root(Live.data(), Live.size(), Gen, 0);
+            auto &DC = check::DisjointnessChecker::instance();
+            DC.registerExtent(Live.data(), Live.data() + Live.size(),
+                              Gen.get(), 0, "pbbs forest round");
+            co_await relabelAndPropose(Ctx, Root, Parent.data(),
+                                       MinEdge.get(),
+                                       pickGrain(EdgeGrain, Live.size()));
+            DC.releaseExtent(Live.data(), Gen.get());
+            Gen->fetch_add(1, std::memory_order_acq_rel); // Poison views.
+          }
+          // -- Sequential phase. The fork-join barrier quiesced every
+          // proposer, so the freeze reads the exact per-component minima.
+          std::vector<uint64_t> Mins = freezeMinVec(Ctx, *MinEdge);
+          bool Any = false;
+          for (uint32_t Comp = 0; Comp < N; ++Comp) {
+            uint64_t Idx = Mins[Comp];
+            if (Idx == MinVec::Bottom)
+              continue;
+            uint32_t RU = findRoot(
+                Parent, ELP->Edges[static_cast<size_t>(Idx)].first);
+            uint32_t RV = findRoot(
+                Parent, ELP->Edges[static_cast<size_t>(Idx)].second);
+            if (RU == RV)
+              continue; // The other endpoint's component took it already.
+            Parent[RU < RV ? RV : RU] = RU < RV ? RU : RV;
+            insert(Ctx, *Forest, Idx);
+            Any = true;
+          }
+          if (!Any)
+            break; // All live edges internal (unreachable post-compact).
+          // Flatten so the next parallel pass can relabel with one read.
+          for (uint32_t V = 0; V < N; ++V)
+            Parent[V] = findRoot(Parent, V);
+          // Compact: drop edges now internal to a component. Endpoints
+          // were relabeled to pre-union roots in the parallel pass, so
+          // one flattened lookup decides.
+          Live.erase(std::remove_if(Live.begin(), Live.end(),
+                                    [&Parent](const EdgeRec &E) {
+                                      return Parent[E.U] == Parent[E.V];
+                                    }),
+                     Live.end());
+        }
+        co_return freezeSet(Ctx, *Forest);
+      },
+      Opts);
+}

@@ -1,0 +1,58 @@
+//===- SpanningForest.h - PBBS spanning forest on ParST + LVars -*- C++ -*-===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PBBS spanning forest as deterministic parallel Boruvka, combining the
+/// two halves of the paper's Section 5 story (DESIGN.md Section 17):
+///
+///  * ParST for the destructive part: the live-edge array is recursively
+///    partitioned with \c forkSTSplit, and each leaf *mutates its own
+///    disjoint slice in place* - relabeling both endpoints of every edge
+///    to its component root - while proposing the minimum incident edge
+///    index of each component into a \c MinVec (putMinAt, a commuting
+///    lub), the monotone channel out of the destructive region.
+///
+///  * LVars for the monotone part: accepted edges accumulate in an ISet
+///    of edge indices - the "monotone union structure" that only ever
+///    grows toward the forest - frozen once at the end for the sorted
+///    answer.
+///
+/// Determinism does not come from luck: edge *indices* are the weights,
+/// all distinct, so the minimum spanning forest is unique, each round's
+/// per-component minimum is a schedule-independent min-join, and the
+/// whole parallel computation provably equals the sequential
+/// Kruskal-by-index reference (\c spanningForestSeq) - the golden test's
+/// oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LVISH_PBBS_SPANNINGFOREST_H
+#define LVISH_PBBS_SPANNINGFOREST_H
+
+#include "src/core/RunPar.h"
+#include "src/pbbs/Input.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lvish {
+namespace pbbs {
+
+/// Sequential reference: union-find scan in index order (Kruskal with
+/// index-as-weight); returns the sorted accepted edge indices.
+std::vector<uint64_t> spanningForestSeq(const EdgeList &EL);
+
+/// Parallel Boruvka over ParST edge partitions; equals
+/// \c spanningForestSeq on every schedule.
+std::vector<uint64_t>
+spanningForestLVar(const EdgeList &EL,
+                   const RunOptions &Opts = RunOptions());
+
+} // namespace pbbs
+} // namespace lvish
+
+#endif // LVISH_PBBS_SPANNINGFOREST_H

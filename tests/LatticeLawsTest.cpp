@@ -18,6 +18,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -77,6 +80,116 @@ TEST_P(LatticeLawsP, BitsetUnionJoinLaws) {
     States.push_back(B);
   }
   checkJoinLaws<BitsetUnionLattice>(States);
+}
+
+TEST_P(LatticeLawsP, MinUint64JoinLaws) {
+  // The PBBS connected-components label lattice (src/data/MinMap.h):
+  // ordered by >=, bottom is +infinity, join is min.
+  SplitMix64 Rng(GetParam());
+  std::vector<unsigned long long> States{0, 1, ~0ULL};
+  for (int I = 0; I < 6; ++I)
+    States.push_back(Rng.next() >> (Rng.nextBounded(40)));
+  checkJoinLaws<MinUint64Lattice>(States);
+  // The derived order is the REVERSE of the numeric one: a lower label is
+  // "more information". Thresholds of the form "label <= T" are therefore
+  // upward-closed - once they fire they can never unfire, the monotone
+  // read guarantee MinMap::WaitLeqAwaiter leans on.
+  for (const auto &A : States)
+    for (const auto &B : States) {
+      EXPECT_EQ(latticeLeq<MinUint64Lattice>(A, B), A >= B);
+      for (const auto &T : States)
+        if (A <= T) // Threshold fired at A...
+          EXPECT_LE(MinUint64Lattice::join(A, B), T)
+              << "...so it must stay fired at every later state";
+    }
+}
+
+// Key-wise min over partial label maps: the full MinMap state lattice
+// (vertex -> component label), modeled on std::map. Absent keys are
+// bottom (+infinity), so key union with per-key min IS the join.
+struct MinLabelMapLattice {
+  using ValueType = std::map<uint32_t, unsigned long long>;
+  static ValueType bottom() { return {}; }
+  static ValueType join(const ValueType &A, const ValueType &B) {
+    ValueType R = A;
+    for (const auto &[K, V] : B) {
+      auto [It, Inserted] = R.insert({K, V});
+      if (!Inserted)
+        It->second = MinUint64Lattice::join(It->second, V);
+    }
+    return R;
+  }
+};
+
+TEST_P(LatticeLawsP, MinLabelMapJoinLaws) {
+  SplitMix64 Rng(GetParam());
+  std::vector<MinLabelMapLattice::ValueType> States{
+      MinLabelMapLattice::bottom()};
+  for (int I = 0; I < 6; ++I) {
+    MinLabelMapLattice::ValueType M;
+    int N = 1 + static_cast<int>(Rng.nextBounded(5));
+    for (int K = 0; K < N; ++K)
+      M[static_cast<uint32_t>(Rng.nextBounded(6))] = Rng.nextBounded(8);
+    States.push_back(std::move(M));
+  }
+  checkJoinLaws<MinLabelMapLattice>(States);
+}
+
+// The spanning forest's "monotone union structure": a grow-only set of
+// accepted edge indices (operationally an ISet<uint64_t>), join = union.
+struct EdgeSetUnionLattice {
+  using ValueType = std::set<uint64_t>;
+  static ValueType bottom() { return {}; }
+  static ValueType join(const ValueType &A, const ValueType &B) {
+    ValueType R = A;
+    R.insert(B.begin(), B.end());
+    return R;
+  }
+};
+
+TEST_P(LatticeLawsP, EdgeSetUnionJoinLaws) {
+  SplitMix64 Rng(GetParam());
+  std::vector<EdgeSetUnionLattice::ValueType> States{
+      EdgeSetUnionLattice::bottom()};
+  for (int I = 0; I < 6; ++I) {
+    EdgeSetUnionLattice::ValueType S;
+    int N = static_cast<int>(Rng.nextBounded(8));
+    for (int K = 0; K < N; ++K)
+      S.insert(Rng.nextBounded(20));
+    States.push_back(std::move(S));
+  }
+  checkJoinLaws<EdgeSetUnionLattice>(States);
+  // Threshold shape used by the forest: "edge I is in the forest" is a
+  // one-element lower set; distinct singletons are compatible (their join
+  // is fine), which is why the forest reads only after a global freeze
+  // rather than via per-element thresholds on incompatible states.
+  for (const auto &A : States)
+    for (const auto &B : States) {
+      auto J = EdgeSetUnionLattice::join(A, B);
+      for (uint64_t E : A)
+        EXPECT_TRUE(J.count(E)) << "union lost an accepted edge";
+    }
+}
+
+TEST_P(LatticeLawsP, MinLabelMapInsertOrderIndependence) {
+  // Operational cousin of the law check: a fixed SET of (key, label)
+  // min-writes lands on the same map whatever the arrival order - the
+  // schedule-independence MinMap::joinKey inherits.
+  SplitMix64 Rng(GetParam());
+  std::vector<std::pair<uint32_t, unsigned long long>> Writes;
+  for (int I = 0; I < 40; ++I)
+    Writes.push_back({static_cast<uint32_t>(Rng.nextBounded(8)),
+                      Rng.nextBounded(100)});
+  std::vector<std::pair<uint32_t, unsigned long long>> Shuffled = Writes;
+  for (size_t I = Shuffled.size(); I > 1; --I)
+    std::swap(Shuffled[I - 1], Shuffled[Rng.nextBounded(I)]);
+  auto Apply = [](const auto &Ws) {
+    MinLabelMapLattice::ValueType M;
+    for (const auto &[K, V] : Ws)
+      M = MinLabelMapLattice::join(M, {{K, V}});
+    return M;
+  };
+  EXPECT_EQ(Apply(Writes), Apply(Shuffled));
 }
 
 TEST_P(LatticeLawsP, BoolOrJoinLaws) {

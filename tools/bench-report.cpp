@@ -200,17 +200,66 @@ double seriesMedian(const JsonValue &Doc, const std::string &Name,
   return 0;
 }
 
+/// One series' old/new medians, joined by name. A series may exist on
+/// only one side: a NEW suite diffed against an old baseline (or vice
+/// versa) is a report to render, not an input error.
+struct DiffRow {
+  std::string Name;
+  double OldMed = 0;
+  double NewMed = 0;
+  bool InOld = false;
+  bool InNew = false;
+};
+
+/// Joins the two documents' series by name: rows appear in NEW document
+/// order, then any old-only series in OLD order. Tolerates a missing or
+/// empty series array on either side (the rows are simply one-sided).
+std::vector<DiffRow> buildDiff(const JsonValue &Old, const JsonValue &New) {
+  std::vector<DiffRow> Rows;
+  auto Collect = [&Rows](const JsonValue &Doc, bool IsNew) {
+    const JsonValue *Series = Doc.find("series");
+    if (!Series || !Series->isArray())
+      return;
+    for (const JsonValue &S : Series->Arr) {
+      const JsonValue *N = S.find("name");
+      const JsonValue *M = S.find("median_sec");
+      if (!N || !N->isString() || !M || !M->isNumber())
+        continue;
+      DiffRow *Row = nullptr;
+      for (DiffRow &R : Rows)
+        if (R.Name == N->Str) {
+          Row = &R;
+          break;
+        }
+      if (!Row) {
+        Rows.push_back({N->Str, 0, 0, false, false});
+        Row = &Rows.back();
+      }
+      (IsNew ? Row->InNew : Row->InOld) = true;
+      (IsNew ? Row->NewMed : Row->OldMed) = M->Num;
+    }
+  };
+  Collect(New, /*IsNew=*/true);
+  Collect(Old, /*IsNew=*/false);
+  return Rows;
+}
+
+/// Regressions = rows present on BOTH sides whose median grew by more
+/// than \p ThresholdPct percent. One-sided rows never regress.
+int countRegressions(const std::vector<DiffRow> &Rows, double ThresholdPct) {
+  int Regressions = 0;
+  for (const DiffRow &R : Rows)
+    if (R.InOld && R.InNew && R.OldMed > 0 &&
+        100.0 * (R.NewMed - R.OldMed) / R.OldMed > ThresholdPct)
+      ++Regressions;
+  return Regressions;
+}
+
 int cmdDiff(const std::string &OldPath, const std::string &NewPath,
             double ThresholdPct, bool HaveThreshold) {
   JsonValue Old, New;
   if (!loadDoc(OldPath, Old) || !loadDoc(NewPath, New))
     return 1;
-  const JsonValue *NewSeries = New.find("series");
-  if (!NewSeries || !NewSeries->isArray()) {
-    std::fprintf(stderr, "bench-report: %s has no series\n",
-                 NewPath.c_str());
-    return 1;
-  }
   auto Str = [](const JsonValue &D, const char *K) {
     const JsonValue *V = D.find(K);
     return V && V->isString() ? V->Str : std::string("?");
@@ -220,28 +269,30 @@ int cmdDiff(const std::string &OldPath, const std::string &NewPath,
               Str(New, "git_rev").c_str());
   std::printf("%-32s %14s %14s %9s\n", "series", "old median(s)",
               "new median(s)", "delta");
+  std::vector<DiffRow> Rows = buildDiff(Old, New);
+  if (Rows.empty())
+    std::printf("(no comparable series on either side)\n");
   int Regressions = 0;
-  for (const JsonValue &S : NewSeries->Arr) {
-    const JsonValue *N = S.find("name");
-    const JsonValue *M = S.find("median_sec");
-    if (!N || !N->isString() || !M || !M->isNumber())
-      continue;
-    bool Found = false;
-    double OldMed = seriesMedian(Old, N->Str, Found);
-    if (!Found) {
-      std::printf("%-32s %14s %14.6f %9s\n", N->Str.c_str(), "-", M->Num,
+  for (const DiffRow &R : Rows) {
+    if (!R.InOld) {
+      std::printf("%-32s %14s %14.6f %9s\n", R.Name.c_str(), "-", R.NewMed,
                   "new");
       continue;
     }
+    if (!R.InNew) {
+      std::printf("%-32s %14.6f %14s %9s\n", R.Name.c_str(), R.OldMed, "-",
+                  "old-only");
+      continue;
+    }
     double DeltaPct =
-        OldMed > 0 ? 100.0 * (M->Num - OldMed) / OldMed : 0.0;
+        R.OldMed > 0 ? 100.0 * (R.NewMed - R.OldMed) / R.OldMed : 0.0;
     const char *Mark = "";
     if (HaveThreshold && DeltaPct > ThresholdPct) {
       Mark = "  << REGRESSION";
       ++Regressions;
     }
-    std::printf("%-32s %14.6f %14.6f %+8.1f%%%s\n", N->Str.c_str(), OldMed,
-                M->Num, DeltaPct, Mark);
+    std::printf("%-32s %14.6f %14.6f %+8.1f%%%s\n", R.Name.c_str(), R.OldMed,
+                R.NewMed, DeltaPct, Mark);
   }
   if (Regressions)
     std::fprintf(stderr,
@@ -308,6 +359,64 @@ int selfTest() {
   }
   Expect(problemCount("[1,2]") > 0, "non-object top level is rejected");
   Expect(problemCount("{") == -1, "parse failure is reported");
+
+  // -- diff join semantics -------------------------------------------------
+  auto MakeDoc = [](const std::string &SeriesJson) {
+    JsonValue Doc;
+    std::string Text = R"({"schema":"lvish-bench-v1","series":)" +
+                       SeriesJson + "}";
+    Expect(JsonValue::parse(Text, Doc), "diff fixture parses");
+    return Doc;
+  };
+  {
+    // Overlap + one-sided rows: a new suite diffed against an older
+    // baseline must produce rows (not an error) for both directions.
+    JsonValue Old = MakeDoc(
+        R"([{"name":"shared","median_sec":1.0},)"
+        R"({"name":"retired","median_sec":2.0}])");
+    JsonValue New = MakeDoc(
+        R"([{"name":"shared","median_sec":1.5},)"
+        R"({"name":"fresh","median_sec":3.0}])");
+    std::vector<DiffRow> Rows = buildDiff(Old, New);
+    Expect(Rows.size() == 3, "diff joins to shared + new-only + old-only");
+    int Shared = 0, NewOnly = 0, OldOnly = 0;
+    for (const DiffRow &R : Rows) {
+      if (R.InOld && R.InNew)
+        ++Shared;
+      else if (R.InNew)
+        ++NewOnly;
+      else
+        ++OldOnly;
+    }
+    Expect(Shared == 1 && NewOnly == 1 && OldOnly == 1,
+           "diff classifies one-sided rows");
+    Expect(countRegressions(Rows, 10.0) == 1,
+           "shared row regressed beyond threshold");
+    Expect(countRegressions(Rows, 60.0) == 0,
+           "one-sided rows never count as regressions");
+  }
+  {
+    // Fully disjoint scenario sets: every row one-sided, zero
+    // regressions - the "new suite vs old baseline" shape.
+    JsonValue Old = MakeDoc(R"([{"name":"a","median_sec":1.0}])");
+    JsonValue New = MakeDoc(R"([{"name":"b","median_sec":9.0}])");
+    std::vector<DiffRow> Rows = buildDiff(Old, New);
+    Expect(Rows.size() == 2, "disjoint sets keep both rows");
+    Expect(countRegressions(Rows, 0.0) == 0, "disjoint sets cannot regress");
+  }
+  {
+    // Missing series arrays on either side are tolerated, not errors.
+    JsonValue Empty = MakeDoc("[]");
+    JsonValue None;
+    Expect(JsonValue::parse(R"({"schema":"lvish-bench-v1"})", None),
+           "no-series fixture parses");
+    Expect(buildDiff(Empty, None).empty(), "empty vs missing series is empty");
+    JsonValue Some = MakeDoc(R"([{"name":"a","median_sec":1.0}])");
+    Expect(buildDiff(None, Some).size() == 1,
+           "missing old series still lists new rows");
+    Expect(buildDiff(Some, None).size() == 1,
+           "missing new series still lists old rows");
+  }
 
   if (Failures) {
     std::fprintf(stderr, "bench-report --self-test: %d failure(s)\n",

@@ -30,6 +30,13 @@
 #              ExploreTest + ExploreRegressionTest + the explored
 #              determinism sweeps under a reduced schedule budget
 #              (LVISH_EXPLORE_SCHEDULES). Reuses the release build.
+#   pbbs     - the PBBS-on-LVars problem suite (src/pbbs/): golden
+#              matrix vs the sequential references under Debug +
+#              LVISH_CHECK (reuses the debug tree), explored determinism
+#              sweeps + pinned replay corpus under a reduced schedule
+#              budget, and smoke-runs of the four bench_pbbs_* benches
+#              with --json + bench-report validation. Reuses the debug
+#              and release builds.
 #   service  - multi-tenant service runtime: re-runs ServiceRuntimeTest
 #              under ThreadSanitizer (cross-session isolation is where a
 #              data race would hide), smoke-runs the open-loop traffic
@@ -56,10 +63,10 @@
 #              stage list (instrumented builds are slow).
 #
 # Usage: tools/ci.sh
-#        [debug|release|tsan|bench|faults|explore|service|chaos|analyze|
-#         coverage]...
-#        (default: debug release tsan bench faults explore service chaos
-#         analyze)
+#        [debug|release|tsan|bench|faults|explore|pbbs|service|chaos|
+#         analyze|coverage]...
+#        (default: debug release tsan bench faults explore pbbs service
+#         chaos analyze)
 #
 #===------------------------------------------------------------------------===#
 
@@ -69,7 +76,7 @@ cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 STAGES=("$@")
 [ ${#STAGES[@]} -eq 0 ] && \
-  STAGES=(debug release tsan bench faults explore service chaos analyze)
+  STAGES=(debug release tsan bench faults explore pbbs service chaos analyze)
 
 run_stage() {
   local name=$1; shift
@@ -100,6 +107,11 @@ for stage in "${STAGES[@]}"; do
       # shares the machine across tests, this run gives the publish/probe
       # protocol an uncontended-by-other-tests pass under TSan.
       ./build-ci-tsan/tests/ContentionStressTest
+      echo "==== [tsan] PBBS golden matrix ===="
+      # The worker-count x steal-seed golden matrix doubles as a race
+      # hunt: every put/bump/freeze path of the four PBBS ports runs
+      # under TSan against the sequential references.
+      ./build-ci-tsan/tests/PbbsGoldenTest
       ;;
     bench)
       # Reuse the release tree when it exists; otherwise build it.
@@ -153,6 +165,50 @@ for stage in "${STAGES[@]}"; do
         --gtest_filter='DeterminismExplored.*'
       ./build-ci-release/tests/ContentionStressTest \
         --gtest_filter='ContentionStress.Explored*'
+      ;;
+    pbbs)
+      # Golden tests under the Debug dynamic checkers: reuse the debug
+      # tree when it exists; otherwise build it.
+      if [ ! -x build-ci-debug/tests/PbbsGoldenTest ]; then
+        echo "==== [pbbs] building debug tree ===="
+        cmake -B build-ci-debug -S . -DCMAKE_BUILD_TYPE=Debug \
+          > build-ci-debug.cfg.log 2>&1 || {
+          cat build-ci-debug.cfg.log; exit 1; }
+        cmake --build build-ci-debug -j "$JOBS"
+      fi
+      echo "==== [pbbs] golden matrix under Debug + LVISH_CHECK ===="
+      LVISH_CHECK=1 ./build-ci-debug/tests/PbbsGoldenTest
+      echo "==== [pbbs] explored sweeps + pinned replay corpus ===="
+      LVISH_EXPLORE_SCHEDULES=100 ./build-ci-debug/tests/PbbsExploreTest
+      # Bench smoke on the release tree; (re)build when the tree or the
+      # pbbs bench binaries are missing (a reused tree may predate them).
+      if [ ! -x build-ci-release/bench/bench_pbbs_bfs ]; then
+        echo "==== [pbbs] building release tree ===="
+        cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          > build-ci-release.cfg.log 2>&1 || {
+          cat build-ci-release.cfg.log; exit 1; }
+        cmake --build build-ci-release -j "$JOBS"
+      fi
+      echo "==== [pbbs] bench smoke with --json ===="
+      mkdir -p build-ci-release/bench-json
+      for b in build-ci-release/bench/bench_pbbs_*; do
+        name=$(basename "$b")
+        json="build-ci-release/bench-json/BENCH_${name#bench_}.json"
+        echo "---- $name --smoke --json $json ----"
+        "$b" --smoke --json "$json"
+      done
+      ./build-ci-release/tools/bench-report validate \
+        build-ci-release/bench-json/BENCH_pbbs_*.json
+      echo "==== [pbbs] baseline drift report (informational) ===="
+      # Non-fatal: smoke sizes are not comparable to the committed
+      # full-rep baselines; the diff (new/old-only rows included) is for
+      # reviewers, not a gate.
+      for p in bfs components histogram forest; do
+        ./build-ci-release/tools/bench-report diff \
+          "bench/baselines/pbbs_$p.json" \
+          "build-ci-release/bench-json/BENCH_pbbs_$p.json" \
+          || echo "bench-report diff failed (non-fatal)"
+      done
       ;;
     service)
       # Reuse the tsan tree when it exists; otherwise build it.
@@ -276,7 +332,7 @@ for stage in "${STAGES[@]}"; do
       ;;
     *)
       echo "unknown stage '$stage' (expected debug, release, tsan, bench," \
-           "faults, explore, service, chaos, analyze, or coverage)" >&2
+           "faults, explore, pbbs, service, chaos, analyze, or coverage)" >&2
       exit 2
       ;;
   esac
