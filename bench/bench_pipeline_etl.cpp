@@ -1,0 +1,208 @@
+//===- bench_pipeline_etl.cpp - Streaming parse/filter/aggregate pipeline --===//
+//
+// The DESIGN.md Section 18 workload: a three-stage log-ETL pipeline wired
+// stage-to-stage with BoundedStream. Stage 1 feeds raw log lines into a
+// bounded raw stream; stage 2 parses each line and forwards only the
+// error records (status >= 400) into a second bounded stream; the root
+// aggregates per-service error bytes. Backpressure - not barriers - paces
+// the stages: a fast producer parks on the capacity credit and resumes
+// when the consumer advances, so peak memory is O(capacity), never O(N).
+//
+// Reported per rep: wall time and input-lines-per-second; the filtered
+// record count and the aggregate checksum pin the pipeline's output so a
+// scheduling bug shows up as a changed metric, not just changed timing.
+// `--json` + tools/bench-report diff this against
+// bench/baselines/pipeline_etl.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+#include "src/core/LVish.h"
+#include "src/data/Stream.h"
+#include "src/support/SplitMix.h"
+#include "src/support/Timer.h"
+
+#include <string>
+#include <vector>
+
+using namespace lvish;
+
+namespace {
+
+constexpr EffectSet D = Eff::Det;
+
+volatile uint64_t Sink; // Defeats dead-code elimination of results.
+
+/// One parsed log record. The terminal sentinel carries Svc == ~0u.
+struct Record {
+  uint32_t Svc = 0;
+  uint32_t Status = 0;
+  uint64_t Bytes = 0;
+  bool operator==(const Record &) const = default;
+};
+
+constexpr uint32_t NumServices = 32;
+constexpr uint32_t SentinelSvc = ~0u;
+
+/// Seeded synthetic access-log lines: "svc<k> <status> <bytes>". Pure
+/// function of the seed, so every rep parses identical input.
+std::vector<std::string> makeLines(uint64_t Seed, uint64_t N) {
+  SplitMix64 Rng(Seed);
+  std::vector<std::string> Lines;
+  Lines.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    uint32_t Svc = static_cast<uint32_t>(Rng.nextBounded(NumServices));
+    // ~25% of requests are errors, split between 404 and 503.
+    uint32_t Status = 200;
+    uint64_t Roll = Rng.nextBounded(8);
+    if (Roll == 0)
+      Status = 404;
+    else if (Roll == 1)
+      Status = 503;
+    uint64_t Bytes = 64 + Rng.nextBounded(4000);
+    Lines.push_back("svc" + std::to_string(Svc) + " " +
+                    std::to_string(Status) + " " + std::to_string(Bytes));
+  }
+  return Lines;
+}
+
+/// Parses "svc<k> <status> <bytes>" without allocating.
+Record parseLine(const std::string &L) {
+  Record R;
+  size_t At = 3; // Skip "svc".
+  while (At < L.size() && L[At] != ' ')
+    R.Svc = R.Svc * 10 + static_cast<uint32_t>(L[At++] - '0');
+  ++At;
+  while (At < L.size() && L[At] != ' ')
+    R.Status = R.Status * 10 + static_cast<uint32_t>(L[At++] - '0');
+  ++At;
+  while (At < L.size())
+    R.Bytes = R.Bytes * 10 + static_cast<uint64_t>(L[At++] - '0');
+  return R;
+}
+
+struct EtlResult {
+  uint64_t ErrorRecords = 0;
+  uint64_t Checksum = 0; // sum over services of Svc * errorBytes(Svc)
+};
+
+/// One end-to-end pipeline session over \p Lines.
+EtlResult runPipeline(const std::vector<std::string> &Lines,
+                      uint64_t Capacity, unsigned Workers,
+                      SchedulerStats *Stats) {
+  RunOptions Opts;
+  Opts.Config.NumWorkers = Workers;
+  Opts.StatsOut = Stats;
+  const std::vector<std::string> *In = &Lines;
+  auto O = tryRunPar<D>(
+      [In, Capacity](ParCtx<D> Ctx) -> Par<uint64_t> {
+        auto Raw = newBoundedStream<std::string>(Ctx, Capacity);
+        auto Errors = newBoundedStream<Record>(Ctx, Capacity);
+        const uint64_t N = In->size();
+        // Stage 1: feed. The only writer of Raw.
+        auto Feed = [In, Raw, N](ParCtx<D> C) -> Par<void> {
+          for (uint64_t I = 0; I < N; ++I) {
+            auto Pw = put(C, *Raw, I, (*In)[I]);
+            co_await Pw;
+          }
+        };
+        // Stage 2: parse + filter. Consumes Raw, produces Errors, and
+        // terminates it with a sentinel so the aggregator needs no
+        // out-of-band record count.
+        auto Parse = [Raw, Errors, N](ParCtx<D> C) -> Par<void> {
+          uint64_t Out = 0;
+          for (uint64_t I = 0; I < N; ++I) {
+            auto Gw = get(C, *Raw, I + 1);
+            const std::string &L = co_await Gw;
+            Record R = parseLine(L);
+            advance(C, *Raw, I + 1);
+            if (R.Status >= 400) {
+              auto Pw = put(C, *Errors, Out, R);
+              co_await Pw;
+              ++Out;
+            }
+          }
+          Record End;
+          End.Svc = SentinelSvc;
+          auto Pw = put(C, *Errors, Out, End);
+          co_await Pw;
+        };
+        fork(Ctx, Feed);
+        fork(Ctx, Parse);
+        // Stage 3 (root): aggregate error bytes per service.
+        uint64_t PerSvc[NumServices] = {};
+        uint64_t Count = 0;
+        for (uint64_t I = 0;; ++I) {
+          auto Gw = get(Ctx, *Errors, I + 1);
+          Record R = co_await Gw;
+          advance(Ctx, *Errors, I + 1);
+          if (R.Svc == SentinelSvc)
+            break;
+          PerSvc[R.Svc] += R.Bytes;
+          ++Count;
+        }
+        uint64_t Sum = 0;
+        for (uint32_t S = 0; S < NumServices; ++S)
+          Sum += S * PerSvc[S];
+        co_return (Count << 40) ^ Sum;
+      },
+      Opts);
+  EtlResult R;
+  if (!O.ok()) {
+    std::fprintf(stderr, "ERROR: pipeline faulted: %s\n",
+                 O.fault().Message.c_str());
+    return R;
+  }
+  R.ErrorRecords = O.value() >> 40;
+  R.Checksum = O.value() & ((uint64_t{1} << 40) - 1);
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bench::BenchHarness H("pipeline_etl",
+                        bench::BenchConfig::fromArgs(argc, argv));
+  const uint64_t Lines = H.config().pick<uint64_t>(120'000, 4'000);
+  const uint64_t Capacity = 1024;
+  const unsigned Workers = 4;
+  const uint64_t Seed = 20140609;
+  H.noteConfig("lines_per_rep", Lines);
+  H.noteConfig("stage_capacity", Capacity);
+  H.noteConfig("workers", uint64_t{Workers});
+  H.noteConfig("input_seed", Seed);
+
+  const std::vector<std::string> Input = makeLines(Seed, Lines);
+
+  std::vector<double> WallSec;
+  double ThroughputSum = 0;
+  EtlResult Last;
+  SchedulerStats Stats;
+  const int Rounds = H.config().Warmup + H.config().Reps;
+  for (int Round = 0; Round < Rounds; ++Round) {
+    const bool Recorded = Round >= H.config().Warmup;
+    WallTimer T;
+    EtlResult R = runPipeline(Input, Capacity, Workers, &Stats);
+    double Elapsed = T.elapsedSeconds();
+    Sink = R.Checksum;
+    if (Round > 0 && (R.ErrorRecords != Last.ErrorRecords ||
+                      R.Checksum != Last.Checksum))
+      std::fprintf(stderr, "ERROR: rep output diverged\n");
+    Last = R;
+    if (Recorded) {
+      WallSec.push_back(Elapsed);
+      ThroughputSum += static_cast<double>(Lines) / Elapsed;
+    }
+  }
+
+  bench::Series &S = H.addSeries("etl_wall", WallSec);
+  S.config("lines", Lines);
+  S.config("capacity", Capacity);
+  S.config("workers", uint64_t{Workers});
+  S.metric("lines_per_sec",
+           ThroughputSum / static_cast<double>(H.config().Reps));
+  S.metric("error_records", static_cast<double>(Last.ErrorRecords));
+  S.metric("agg_checksum", static_cast<double>(Last.Checksum));
+  H.recordStats(Stats);
+  return H.finish();
+}

@@ -1,0 +1,198 @@
+//===- bench_stream_wordcount.cpp - Streaming word count over a Stream -----===//
+//
+// Streaming word count (DESIGN.md Section 18): one feeder task appends
+// text lines to a BoundedStream while W tokenizer workers consume it in a
+// strided partition, folding counts into the LVar aggregates as they go -
+// each distinct word is bound in an IMap (word -> stable slot, a value
+// that is a function of the key, so concurrent duplicate inserts are
+// no-op joins) and its occurrences bump the matching CounterVec cell (the
+// paper's collection-of-counters shape). A Counter of processed lines is
+// the completion threshold: the root's unified get() unblocks exactly
+// when every line is tokenized, then a freeze reads the totals.
+//
+// Stream cells are never unbound, so the strided consumers need no
+// per-worker queues: a laggard re-reads old cells while faster workers
+// advance the shared credit mark (advance is a lub, so the watermark
+// joins monotonically). Reported per rep: wall time, words per second,
+// and the count checksum pinning the output. `--json` +
+// tools/bench-report diff against bench/baselines/stream_wordcount.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchHarness.h"
+#include "src/core/LVish.h"
+#include "src/data/Counter.h"
+#include "src/data/IMap.h"
+#include "src/data/Stream.h"
+#include "src/support/SplitMix.h"
+#include "src/support/Timer.h"
+
+#include <string>
+#include <vector>
+
+using namespace lvish;
+
+namespace {
+
+constexpr EffectSet IOE = Eff::FullIO;
+
+volatile uint64_t Sink; // Defeats dead-code elimination of results.
+
+constexpr uint64_t Vocab = 1000;
+
+/// Seeded lines of 6-12 words drawn Zipf-ishly from a closed vocabulary
+/// "w0".."w999" (heavier mass on low indices, like real text).
+std::vector<std::string> makeLines(uint64_t Seed, uint64_t N) {
+  SplitMix64 Rng(Seed);
+  std::vector<std::string> Lines;
+  Lines.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    uint64_t Words = 6 + Rng.nextBounded(7);
+    std::string L;
+    for (uint64_t W = 0; W < Words; ++W) {
+      // Squaring a uniform sample skews toward 0: a cheap Zipf stand-in.
+      uint64_t U = Rng.nextBounded(Vocab);
+      uint64_t Idx = (U * U) / Vocab;
+      if (W)
+        L += ' ';
+      L += 'w';
+      L += std::to_string(Idx);
+    }
+    Lines.push_back(std::move(L));
+  }
+  return Lines;
+}
+
+/// Parses "w<idx>" back to its vocabulary slot.
+uint64_t slotOf(const std::string &L, size_t Begin, size_t End) {
+  uint64_t Idx = 0;
+  for (size_t At = Begin + 1; At < End; ++At)
+    Idx = Idx * 10 + static_cast<uint64_t>(L[At] - '0');
+  return Idx;
+}
+
+struct WcResult {
+  uint64_t TotalWords = 0;
+  uint64_t DistinctWords = 0;
+  uint64_t Checksum = 0; // sum of slot * count
+};
+
+WcResult runWordCount(const std::vector<std::string> &Lines,
+                      uint64_t Capacity, unsigned Workers,
+                      SchedulerStats *Stats) {
+  RunOptions Opts;
+  Opts.Config.NumWorkers = Workers;
+  Opts.StatsOut = Stats;
+  const std::vector<std::string> *In = &Lines;
+  WcResult R;
+  WcResult *Out = &R;
+  auto O = tryRunParIO<IOE>(
+      [In, Out, Capacity, Workers](ParCtx<IOE> Ctx) -> Par<uint64_t> {
+        auto Text = newBoundedStream<std::string>(Ctx, Capacity);
+        auto Slots = newEmptyMap<std::string, uint64_t>(Ctx);
+        auto Counts = newCounterVec(Ctx, Vocab);
+        auto Done = newCounter(Ctx);
+        const uint64_t N = In->size();
+        auto Feed = [In, Text, N](ParCtx<IOE> C) -> Par<void> {
+          for (uint64_t I = 0; I < N; ++I) {
+            auto Pw = put(C, *Text, I, (*In)[I]);
+            co_await Pw;
+          }
+        };
+        fork(Ctx, Feed);
+        for (unsigned W = 0; W < Workers; ++W) {
+          auto Tokenize = [Text, Slots, Counts, Done, N, W,
+                           Workers](ParCtx<IOE> C) -> Par<void> {
+            for (uint64_t I = W; I < N; I += Workers) {
+              auto Gw = get(C, *Text, I + 1);
+              const std::string &L = co_await Gw;
+              size_t Begin = 0;
+              while (Begin < L.size()) {
+                size_t End = L.find(' ', Begin);
+                if (End == std::string::npos)
+                  End = L.size();
+                uint64_t Slot = slotOf(L, Begin, End);
+                insert(C, *Slots, L.substr(Begin, End - Begin), Slot);
+                incrCounterAt(C, *Counts, Slot);
+                Begin = End + 1;
+              }
+              // Credit joins by lub: strided workers may advance out of
+              // order, and the watermark only ever grows.
+              advance(C, *Text, I + 1);
+              incrCounter(C, *Done, 1);
+            }
+          };
+          fork(Ctx, Tokenize);
+        }
+        auto Gw = get(Ctx, *Done, N); // All lines tokenized.
+        co_await Gw;
+        auto Totals = freezeCounterVec(Ctx, *Counts);
+        auto Bound = freezeMap(Ctx, *Slots);
+        uint64_t Total = 0, Sum = 0;
+        for (uint64_t S = 0; S < Vocab; ++S) {
+          Total += Totals[S];
+          Sum += S * Totals[S];
+        }
+        Out->TotalWords = Total;
+        Out->DistinctWords = Bound.size();
+        Out->Checksum = Sum;
+        co_return Total;
+      },
+      Opts);
+  if (!O.ok()) {
+    std::fprintf(stderr, "ERROR: word count faulted: %s\n",
+                 O.fault().Message.c_str());
+    return {};
+  }
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bench::BenchHarness H("stream_wordcount",
+                        bench::BenchConfig::fromArgs(argc, argv));
+  const uint64_t Lines = H.config().pick<uint64_t>(40'000, 2'000);
+  const uint64_t Capacity = 512;
+  const unsigned Workers = 4;
+  const uint64_t Seed = 20140609;
+  H.noteConfig("lines_per_rep", Lines);
+  H.noteConfig("stream_capacity", Capacity);
+  H.noteConfig("workers", uint64_t{Workers});
+  H.noteConfig("input_seed", Seed);
+
+  const std::vector<std::string> Input = makeLines(Seed, Lines);
+
+  std::vector<double> WallSec;
+  double ThroughputSum = 0;
+  WcResult Last;
+  SchedulerStats Stats;
+  const int Rounds = H.config().Warmup + H.config().Reps;
+  for (int Round = 0; Round < Rounds; ++Round) {
+    const bool Recorded = Round >= H.config().Warmup;
+    WallTimer T;
+    WcResult R = runWordCount(Input, Capacity, Workers, &Stats);
+    double Elapsed = T.elapsedSeconds();
+    Sink = R.Checksum;
+    if (Round > 0 && (R.TotalWords != Last.TotalWords ||
+                      R.Checksum != Last.Checksum))
+      std::fprintf(stderr, "ERROR: rep output diverged\n");
+    Last = R;
+    if (Recorded) {
+      WallSec.push_back(Elapsed);
+      ThroughputSum += static_cast<double>(R.TotalWords) / Elapsed;
+    }
+  }
+
+  bench::Series &S = H.addSeries("wordcount_wall", WallSec);
+  S.config("lines", Lines);
+  S.config("capacity", Capacity);
+  S.config("workers", uint64_t{Workers});
+  S.metric("words_per_sec",
+           ThroughputSum / static_cast<double>(H.config().Reps));
+  S.metric("total_words", static_cast<double>(Last.TotalWords));
+  S.metric("distinct_words", static_cast<double>(Last.DistinctWords));
+  S.metric("count_checksum", static_cast<double>(Last.Checksum));
+  H.recordStats(Stats);
+  return H.finish();
+}

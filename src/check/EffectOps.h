@@ -82,9 +82,10 @@ struct StaticEffectOp {
 };
 
 /// Every effect-requiring operation of the public API, mirroring the
-/// `requires(has...)` clauses. Deprecated threshold-read spellings are
-/// included so the analyzer stays sound on grandfathered code (the
-/// deprecated-threshold-read rule flags them separately).
+/// `requires(has...)` clauses. Only the unified spellings exist now: the
+/// PR-5-era per-structure threshold-read aliases were removed, and the
+/// deprecated-threshold-read analyzer rule survives purely as an
+/// unknown-name safety net against their resurrection.
 inline constexpr StaticEffectOp StaticEffectOps[] = {
     // HasPut: least-upper-bound writes.
     {"put", FxPut},
@@ -97,21 +98,16 @@ inline constexpr StaticEffectOp StaticEffectOps[] = {
     {"cancel", FxPut}, // `cancel :: HasPut m2 => ...` (Section 6.1).
     {"putMin", FxPut},   // MinMap: lub (= min) write to a keyed label.
     {"putMinAt", FxPut}, // MinVec: lub (= min) write to a dense cell.
-    // HasGet: blocking threshold reads (unified + deprecated spellings).
+    {"advance", FxPut},  // BoundedStream: lub write to the release mark.
+    // HasGet: blocking threshold reads (the unified spellings). Note the
+    // analyzer resolves stream puts by the shared name `put` -> FxPut; the
+    // bounded overload additionally requires Get (it blocks on the
+    // consumer watermark), which only the runtime audit can distinguish.
     {"get", FxGet},
     {"waitSize", FxGet},
     {"quiesce", FxGet},
     {"readCFuture", FxGet},
     {"getAndLV", FxGet},
-    {"getKey", FxGet},
-    {"getIdx", FxGet},
-    {"waitElem", FxGet},
-    {"waitMapSize", FxGet},
-    {"waitCounterAtLeast", FxGet},
-    {"waitPureMapSize", FxGet},
-    {"getPureLVar", FxGet},
-    {"getPureLVarWith", FxGet},
-    {"getKeyPure", FxGet},
     // HasBump: non-idempotent inflationary updates.
     {"incrCounter", FxBump},
     {"incrCounterAt", FxBump},
@@ -125,6 +121,7 @@ inline constexpr StaticEffectOp StaticEffectOps[] = {
     {"freezeIVar", FxFreeze},
     {"freezeMinMap", FxFreeze},
     {"freezeMinVec", FxFreeze},
+    {"freezeStream", FxFreeze},
     // HasIO: arbitrary nondeterminism in the parent signature.
     {"forkCancelableND", FxIO},
     // HasST: disjoint destructive state (the paper's msplit/forkSTSplit).
@@ -152,7 +149,7 @@ inline constexpr const char *StaticNeutralOps[] = {
     "newISet",      "newIVar",     "newCounter",    "newAndLV",
     "newIStructure", "newPureLVar", "addHandler",    "addHandlerRef",
     "forkCancelable", "runParVec", "noteBytes",     "newMinMap",
-    "newMinVec",
+    "newMinVec",    "newStream",   "newBoundedStream",
 };
 
 /// A named effect level (the Eff:: namespace) and its mask; the analyzer

@@ -361,6 +361,34 @@ protected:
     dispatchWakes(Waker, ToWake);
   }
 
+  /// Targeted notify for a capacity credit (a BoundedStream consumer's
+  /// advance): scans only the producer bucket named by \p KeyHash and
+  /// routes the resume-order choice through ScheduleCtl::onBackpressure
+  /// (its own decision kind) instead of onPick. Credit wakes are not
+  /// threshold reads, so ThresholdWakeups is deliberately not counted
+  /// here; the released producers count BackpressureParks on resume.
+  void notifyCredit(Task *Waker, uint64_t KeyHash) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    WaiterBucket *KB = KeyBuckets.load(std::memory_order_acquire);
+    if (!KB) {
+      obs::count(obs::Event::NotifySkips);
+      return;
+    }
+    WaiterBucket &B = KB[KeyHash & (NumKeyBuckets - 1)];
+    if (B.Count.load(std::memory_order_relaxed) == 0) {
+      obs::count(obs::Event::NotifySkips);
+      return;
+    }
+    std::vector<Task *> ToWake;
+    collectBucket(B, ToWake);
+    if (ToWake.empty())
+      return;
+    if (ToWake.size() > 1)
+      ToWake.front()->Sched->explorePermuteBackpressure(ToWake);
+    for (Task *T : ToWake)
+      T->Sched->wake(T, Waker);
+  }
+
   /// The always-present default shard.
   mutable WaiterBucket Bucket0;
 
@@ -371,6 +399,13 @@ protected:
   /// constructed member, and usable from const methods unlike a direct
   /// alias through `this`.)
   std::mutex &WaitMutex;
+
+  /// RAII guard for \c WaitMutex, exported so mutex-guarded structures
+  /// outside the trusted core layer (Stream) can take the state lock
+  /// without naming a raw sync primitive themselves - the lock they take
+  /// is still this base's, never a new one, which is exactly what the
+  /// raw-sync analyzer rule is guarding.
+  using StateGuard = std::lock_guard<std::mutex>;
 
   /// Footnote-6 gate: puts take the fast side; handler registration takes
   /// the slow side. See src/support/AsymmetricGate.h.

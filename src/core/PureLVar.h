@@ -271,16 +271,6 @@ get(ParCtx<E> Ctx, PureLVar<L> &LV,
                                           std::move(Triggers));
 }
 
-/// Deprecated spelling of \c lvish::get(Ctx, LV, Triggers).
-template <EffectSet E, typename L>
-  requires(hasGet(E) && Lattice<L>)
-[[deprecated("use lvish::get(Ctx, LV, Triggers)")]]
-typename PureLVar<L>::GetAwaiter
-getPureLVar(ParCtx<E> Ctx, PureLVar<L> &LV,
-            ThresholdSets<typename L::ValueType> Triggers) {
-  return get(Ctx, LV, std::move(Triggers));
-}
-
 /// General monotone-threshold read (footnote 5): blocks until \p Fn
 /// returns an engaged optional on the LVar's state, and returns its
 /// value. \p Fn must be monotone (stable above its activation point).
@@ -291,19 +281,6 @@ template <EffectSet E, typename L, typename FnT>
 auto get(ParCtx<E> Ctx, PureLVar<L> &LV, FnT Fn) {
   using OptR = std::invoke_result_t<FnT &, const typename L::ValueType &>;
   using R = typename OptR::value_type;
-  return typename PureLVar<L>::template GetWithAwaiter<R>(LV, Ctx.task(),
-                                                          std::move(Fn));
-}
-
-/// Deprecated spelling of \c lvish::get(Ctx, LV, Fn) with an explicit
-/// result type.
-template <typename R, EffectSet E, typename L>
-  requires(hasGet(E) && Lattice<L>)
-[[deprecated("use lvish::get(Ctx, LV, Fn)")]]
-typename PureLVar<L>::template GetWithAwaiter<R>
-getPureLVarWith(ParCtx<E> Ctx, PureLVar<L> &LV,
-                std::function<std::optional<R>(const typename L::ValueType &)>
-                    Fn) {
   return typename PureLVar<L>::template GetWithAwaiter<R>(LV, Ctx.task(),
                                                           std::move(Fn));
 }

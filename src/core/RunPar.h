@@ -22,14 +22,10 @@
 /// Runtime's single session, and tears the pool down. Long-lived callers
 /// - benches amortizing worker startup, services multiplexing concurrent
 /// sessions - should hold a service::Runtime and use Runtime::run /
-/// Runtime::submit directly. The old borrowed-scheduler surface
-/// (RunOptions::Borrowed, RunOptions::On, the *On wrappers) is
-/// deprecated: it predates per-session isolation, admits exactly one
-/// session at a time by caller discipline, and is superseded by the
-/// Runtime's admission control. The shims below still forward (a session
-/// on a borrowed scheduler bypasses Runtime admission entirely) so
-/// out-of-tree callers keep building, but in-repo code must not use them
-/// (lvish-analyze rule deprecated-borrowed-scheduler).
+/// Runtime::submit directly. (The pre-Runtime borrowed-scheduler surface
+/// - RunOptions::Borrowed/::On and the *On wrappers - is gone; the
+/// lvish-analyze rule deprecated-borrowed-scheduler now simply rejects
+/// any resurrection of those names.)
 ///
 /// Sessions run to *full* quiescence before returning: every forked task
 /// has either finished or is permanently blocked (and is then reaped; see
@@ -73,23 +69,9 @@ namespace lvish {
 ///   SchedulerStats Stats;
 ///   auto R = runPar(Body, RunOptions::CollectStats(Stats));
 ///   // Stats.TasksCreated, Stats.Steals, ... now describe the run.
-// The implicitly-defined constructors touch Borrowed's initializer; merely
-// constructing RunOptions is not an opt-in to the deprecated surface, so
-// suppress the diagnostic for the definition itself. Assigning or reading
-// Borrowed at a call site still warns there.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct RunOptions {
-  /// Configuration for the session's private scheduler pool. Ignored when
-  /// \c Borrowed is set.
+  /// Configuration for the session's private scheduler pool.
   SchedulerConfig Config{};
-  /// DEPRECATED: run on this existing scheduler instead of a private
-  /// Runtime - one session at a time, by caller discipline, with no
-  /// admission control. Hold a service::Runtime and use Runtime::run /
-  /// Runtime::submit instead.
-  [[deprecated("use service::Runtime::run/submit instead of a borrowed "
-               "Scheduler")]]
-  Scheduler *Borrowed = nullptr;
   /// After quiescence, markFrozen() the returned LVar handle - the
   /// always-deterministic freeze-on-the-way-out of runParThenFreeze.
   /// Requires the body to return a (shared_ptr to an) LVar structure.
@@ -106,19 +88,6 @@ struct RunOptions {
   /// scheduler decisions. Steps, not wall clock, so budget kills replay
   /// bit-for-bit under Explore (DESIGN.md Section 16). 0 = unlimited.
   uint64_t SessionBudget = 0;
-
-  /// DEPRECATED: options that run on \p Sched instead of a private
-  /// Runtime; see \c Borrowed.
-  [[deprecated("use service::Runtime::run/submit instead of a borrowed "
-               "Scheduler")]]
-  static RunOptions On(Scheduler &Sched) {
-    RunOptions O;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    O.Borrowed = &Sched;
-#pragma GCC diagnostic pop
-    return O;
-  }
 
   /// Options that deposit the session's stats delta into \p Out.
   static RunOptions CollectStats(SchedulerStats &Out) {
@@ -141,15 +110,12 @@ struct RunOptions {
     return O;
   }
 };
-#pragma GCC diagnostic pop
 
 namespace detail {
 
 /// The one session front door every runPar* wrapper funnels into.
-/// Translates RunOptions into a service session: on a private one-shot
-/// Runtime normally, or directly on the borrowed scheduler through the
-/// deprecated shim path. Returns the body's value or the session's
-/// deterministic Fault.
+/// Translates RunOptions into a session on a private one-shot Runtime and
+/// returns the body's value or the session's deterministic Fault.
 template <EffectSet E, typename F>
 auto runParOnImpl(const RunOptions &Opts, F Body) {
   service::SessionOptions SOpts;
@@ -157,16 +123,6 @@ auto runParOnImpl(const RunOptions &Opts, F Body) {
   SOpts.StatsOut = Opts.StatsOut;
   SOpts.Explore = Opts.Config.Explore;
   SOpts.MaxSteps = Opts.SessionBudget;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Scheduler *Borrowed = Opts.Borrowed;
-#pragma GCC diagnostic pop
-  if (Borrowed) {
-    // Deprecated shim semantics: no Runtime, no admission - the caller
-    // guarantees one session at a time on that scheduler.
-    return service::detail::runSessionOn<E>(*Borrowed, std::move(Body),
-                                            SOpts);
-  }
   service::RuntimeConfig RC;
   RC.Sched = Opts.Config;
   service::Runtime RT(RC);
@@ -199,17 +155,6 @@ template <EffectSet E = Eff::Det, typename F>
   return tryRunPar<E>(std::move(Body), Opts);
 }
 
-/// DEPRECATED: tryRunPar on a borrowed scheduler (one session at a time,
-/// caller's discipline). Use service::Runtime::run instead.
-template <EffectSet E = Eff::Det, typename F>
-[[deprecated("use service::Runtime::run instead of a borrowed Scheduler")]]
-[[nodiscard]] auto tryRunParOn(Scheduler &Sched, F Body) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  return tryRunPar<E>(std::move(Body), RunOptions::On(Sched));
-#pragma GCC diagnostic pop
-}
-
 /// Fault-aware runParIO: like tryRunPar but without the purity
 /// restriction (quasi-deterministic freezes and IO-bit operations
 /// allowed).
@@ -223,17 +168,6 @@ template <EffectSet E = Eff::FullIO, typename F>
   RunOptions Opts;
   Opts.Config = Config;
   return tryRunParIO<E>(std::move(Body), Opts);
-}
-
-/// DEPRECATED: tryRunParIO on a borrowed scheduler. Use
-/// service::Runtime::runIO instead.
-template <EffectSet E = Eff::FullIO, typename F>
-[[deprecated("use service::Runtime::runIO instead of a borrowed Scheduler")]]
-[[nodiscard]] auto tryRunParIOOn(Scheduler &Sched, F Body) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  return tryRunParIO<E>(std::move(Body), RunOptions::On(Sched));
-#pragma GCC diagnostic pop
 }
 
 /// Runs \p Body with explicit options and returns its pure result,
@@ -253,17 +187,6 @@ auto runPar(F Body, SchedulerConfig Config = SchedulerConfig()) {
   return runPar<E>(std::move(Body), Opts);
 }
 
-/// DEPRECATED: runPar on a borrowed scheduler. Hold a service::Runtime
-/// and call Runtime::run to amortize worker startup across sessions.
-template <EffectSet E = Eff::Det, typename F>
-[[deprecated("use service::Runtime::run instead of a borrowed Scheduler")]]
-auto runParOn(Scheduler &Sched, F Body) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  return runPar<E>(std::move(Body), RunOptions::On(Sched));
-#pragma GCC diagnostic pop
-}
-
 /// Like runPar but without the purity restriction: quasi-deterministic
 /// freezes and nondeterministic (IO-bit) operations are allowed.
 template <EffectSet E = Eff::FullIO, typename F>
@@ -276,17 +199,6 @@ auto runParIO(F Body, SchedulerConfig Config = SchedulerConfig()) {
   RunOptions Opts;
   Opts.Config = Config;
   return runParIO<E>(std::move(Body), Opts);
-}
-
-/// DEPRECATED: runParIO on a borrowed scheduler. Use
-/// service::Runtime::runIO instead.
-template <EffectSet E = Eff::FullIO, typename F>
-[[deprecated("use service::Runtime::runIO instead of a borrowed Scheduler")]]
-auto runParIOOn(Scheduler &Sched, F Body) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  return runParIO<E>(std::move(Body), RunOptions::On(Sched));
-#pragma GCC diagnostic pop
 }
 
 /// Fault-aware runParThenFreeze: quiesce, freeze the returned LVar handle
@@ -323,23 +235,6 @@ template <EffectSet E = Eff::Det, typename F>
 auto runParThenFreeze(F Body, RunOptions Opts) {
   return tryRunParThenFreeze<E>(std::move(Body), std::move(Opts))
       .valueOrAbort();
-}
-
-/// DEPRECATED: runParThenFreeze on a borrowed scheduler. Use
-/// service::Runtime::runThenFreeze instead.
-template <EffectSet E = Eff::Det, typename F>
-[[deprecated("use service::Runtime::runThenFreeze instead of a borrowed "
-             "Scheduler")]]
-auto runParThenFreezeOn(Scheduler &Sched, F Body) {
-  static_assert(noFreeze(E) && noIO(E),
-                "the computation under runParThenFreeze must not freeze "
-                "explicitly");
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  RunOptions Opts = RunOptions::On(Sched);
-#pragma GCC diagnostic pop
-  Opts.FreezeOnExit = true;
-  return detail::runParOnImpl<E>(Opts, std::move(Body)).valueOrAbort();
 }
 
 } // namespace lvish

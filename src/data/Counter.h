@@ -123,15 +123,6 @@ Counter::WaitThresholdAwaiter get(ParCtx<E> Ctx, Counter &C, uint64_t N) {
   return Counter::WaitThresholdAwaiter(C, Ctx.task(), N);
 }
 
-/// Deprecated spelling of \c lvish::get(Ctx, C, N).
-template <EffectSet E>
-  requires(hasGet(E))
-[[deprecated("use lvish::get(Ctx, C, N)")]]
-Counter::WaitThresholdAwaiter waitCounterAtLeast(ParCtx<E> Ctx, Counter &C,
-                                                 uint64_t N) {
-  return get(Ctx, C, N);
-}
-
 /// Freezes and reads the exact value.
 template <EffectSet E>
   requires(hasFreeze(E))

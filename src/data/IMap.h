@@ -221,31 +221,12 @@ typename IMap<K, V, HashT>::GetKeyAwaiter get(ParCtx<E> Ctx,
                                                    std::move(Key));
 }
 
-/// Deprecated spelling of \c lvish::get(Ctx, Map, Key).
-template <EffectSet E, typename K, typename V, typename HashT>
-  requires(hasGet(E))
-[[deprecated("use lvish::get(Ctx, Map, Key)")]]
-typename IMap<K, V, HashT>::GetKeyAwaiter getKey(ParCtx<E> Ctx,
-                                                 IMap<K, V, HashT> &Map,
-                                                 K Key) {
-  return get(Ctx, Map, std::move(Key));
-}
-
 /// Blocks until the map has at least \p N bindings.
 template <EffectSet E, typename K, typename V, typename HashT>
   requires(hasGet(E))
 typename IMap<K, V, HashT>::WaitSizeAwaiter
 waitSize(ParCtx<E> Ctx, IMap<K, V, HashT> &Map, size_t N) {
   return typename IMap<K, V, HashT>::WaitSizeAwaiter(Map, Ctx.task(), N);
-}
-
-/// Deprecated spelling of \c lvish::waitSize(Ctx, Map, N).
-template <EffectSet E, typename K, typename V, typename HashT>
-  requires(hasGet(E))
-[[deprecated("use lvish::waitSize(Ctx, Map, N)")]]
-typename IMap<K, V, HashT>::WaitSizeAwaiter
-waitMapSize(ParCtx<E> Ctx, IMap<K, V, HashT> &Map, size_t N) {
-  return waitSize(Ctx, Map, N);
 }
 
 /// Freezes mid-computation (quasi-deterministic) and returns the sorted

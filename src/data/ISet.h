@@ -171,16 +171,6 @@ typename ISet<T, HashT>::WaitElemAwaiter get(ParCtx<E> Ctx,
                                                   std::move(Elem));
 }
 
-/// Deprecated spelling of \c lvish::get(Ctx, Set, Elem).
-template <EffectSet E, typename T, typename HashT>
-  requires(hasGet(E))
-[[deprecated("use lvish::get(Ctx, Set, Elem)")]]
-typename ISet<T, HashT>::WaitElemAwaiter waitElem(ParCtx<E> Ctx,
-                                                  ISet<T, HashT> &Set,
-                                                  T Elem) {
-  return get(Ctx, Set, std::move(Elem));
-}
-
 /// Blocks until the set has at least \p N elements.
 template <EffectSet E, typename T, typename HashT>
   requires(hasGet(E))

@@ -64,15 +64,6 @@ typename IVar<T>::GetAwaiter get(ParCtx<E> Ctx, IStructure<T> &S,
   return get(Ctx, S.slot(I));
 }
 
-/// Deprecated spelling of \c lvish::get(Ctx, S, I).
-template <EffectSet E, typename T>
-  requires(hasGet(E))
-[[deprecated("use lvish::get(Ctx, S, I)")]]
-typename IVar<T>::GetAwaiter getIdx(ParCtx<E> Ctx, IStructure<T> &S,
-                                    size_t I) {
-  return get(Ctx, S, I);
-}
-
 } // namespace lvish
 
 #endif // LVISH_DATA_ISTRUCTURE_H

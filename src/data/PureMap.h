@@ -94,14 +94,6 @@ auto get(ParCtx<E> Ctx, PureMap<K, V> &Map, K Key) {
              });
 }
 
-/// Deprecated spelling of \c lvish::get(Ctx, Map, Key).
-template <EffectSet E, typename K, typename V>
-  requires(hasGet(E))
-[[deprecated("use lvish::get(Ctx, Map, Key)")]]
-auto getKeyPure(ParCtx<E> Ctx, PureMap<K, V> &Map, K Key) {
-  return get(Ctx, Map, std::move(Key));
-}
-
 /// Blocks until the map holds at least \p N bindings (cardinality is
 /// monotone; the observation returns only N itself).
 template <EffectSet E, typename K, typename V>
@@ -113,14 +105,6 @@ auto waitSize(ParCtx<E> Ctx, PureMap<K, V> &Map, size_t N) {
       return N;
     return std::nullopt;
   });
-}
-
-/// Deprecated spelling of \c lvish::waitSize(Ctx, Map, N).
-template <EffectSet E, typename K, typename V>
-  requires(hasGet(E))
-[[deprecated("use lvish::waitSize(Ctx, Map, N)")]]
-auto waitPureMapSize(ParCtx<E> Ctx, PureMap<K, V> &Map, size_t N) {
-  return waitSize(Ctx, Map, N);
 }
 
 /// Freezes and returns the exact contents (requires HasFreeze); also the

@@ -193,6 +193,11 @@ unsigned Engine::onPick(unsigned N) {
   return decide(N, DecisionKind::Pick, ~0u, nullptr);
 }
 
+unsigned Engine::onBackpressure(unsigned N) {
+  assert(N >= 2);
+  return decide(N, DecisionKind::Backpressure, ~0u, nullptr);
+}
+
 void Engine::onResume(const Pedigree &Ped) {
   PedHash = hashCombine(PedHash, Ped.hash());
   ++Steps;

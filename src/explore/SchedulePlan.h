@@ -50,8 +50,11 @@
 namespace lvish {
 namespace explore {
 
-/// Whether a log slot was a worker step or a wake/drain ordering pick.
-enum class DecisionKind : uint8_t { Step, Pick };
+/// Whether a log slot was a worker step, a wake/drain ordering pick, or a
+/// bounded-stream backpressure credit (which of N parked producers a
+/// consumer's advance resumes first). New kinds append at the end so the
+/// canonical rank order of existing replay strings never shifts.
+enum class DecisionKind : uint8_t { Step, Pick, Backpressure };
 
 /// One recorded decision. \c Arity and \c ContinueIdx are observations of
 /// the run (what was possible), not inputs: replay only needs \c Chosen,
@@ -107,6 +110,7 @@ public:
   // ScheduleCtl - called by the scheduler on the session thread.
   unsigned onStep(const StepOption *Options, unsigned N) override;
   unsigned onPick(unsigned N) override;
+  unsigned onBackpressure(unsigned N) override;
   void onResume(const Pedigree &Ped) override;
 
   // Post-run interrogation.

@@ -29,6 +29,7 @@
 #include "src/data/IStructure.h"      // IWYU pragma: export
 #include "src/data/MonotoneHashMap.h" // IWYU pragma: export
 #include "src/data/PureMap.h"         // IWYU pragma: export
+#include "src/data/Stream.h"          // IWYU pragma: export
 
 // Transformers and derived abstractions (Sections 5-6).
 #include "src/trans/BulkRetry.h"    // IWYU pragma: export

@@ -57,6 +57,12 @@ const char *obs::eventName(Event E) {
     return "budget_faults";
   case Event::DrainWaits:
     return "drain_waits";
+  case Event::StreamAppends:
+    return "stream_appends";
+  case Event::PrefixWakeups:
+    return "prefix_wakeups";
+  case Event::BackpressureParks:
+    return "backpressure_parks";
   }
   return "unknown";
 }

@@ -85,9 +85,15 @@ enum class Event : unsigned {
                       ///< budget (FaultCode::BudgetExceeded).
   DrainWaits,         ///< Runtime::drain() calls that actually had to
                       ///< wait for in-flight sessions to finish.
+  StreamAppends,      ///< Stream cells filled (one per accepted put; no-op
+                      ///< duplicate joins count NoOpJoins instead).
+  PrefixWakeups,      ///< Stream prefix readers (get/waitSize) that parked
+                      ///< and were later released by an append.
+  BackpressureParks,  ///< BoundedStream producers that parked waiting for
+                      ///< a consumer advance() capacity credit.
 };
 
-inline constexpr unsigned NumEvents = 24;
+inline constexpr unsigned NumEvents = 27;
 
 /// Stable lower-snake-case name, used as the JSON key in BENCH_*.json.
 const char *eventName(Event E);

@@ -66,6 +66,17 @@ public:
   /// [0, N); N >= 2.
   virtual unsigned onPick(unsigned N) = 0;
 
+  /// Called when a capacity credit (a BoundedStream consumer's advance)
+  /// releases N >= 2 parked producers at once: returns which of the N
+  /// remaining producers resumes first (selection order, like onPick).
+  /// Defaults to the first option so ScheduleCtl implementations predating
+  /// bounded streams keep compiling; the explore engines override it with
+  /// a recorded decision of its own kind so replays stay bit-for-bit.
+  virtual unsigned onBackpressure(unsigned N) {
+    (void)N;
+    return 0;
+  }
+
   /// Called just before a chosen task is resumed (or reaped, when it was
   /// cancelled in the queue) with its fork-tree pedigree; engines fold
   /// these into the schedule hash that pins a replay bit-for-bit.

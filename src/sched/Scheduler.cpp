@@ -314,6 +314,22 @@ void Scheduler::explorePermuteWakes(std::vector<Task *> &ToWake) {
   }
 }
 
+void Scheduler::explorePermuteBackpressure(std::vector<Task *> &ToWake) {
+  if (!ExploreCtl || ToWake.size() < 2)
+    return;
+  // Same selection-order scheme as explorePermuteWakes, but each choice is
+  // recorded as DecisionKind::Backpressure so a replayed schedule can be
+  // read back as "which starved producer got the credit first".
+  for (size_t I = 0; I + 1 < ToWake.size(); ++I) {
+    unsigned K =
+        ExploreCtl->onBackpressure(static_cast<unsigned>(ToWake.size() - I));
+    assert(K < ToWake.size() - I && "onBackpressure out of range");
+    Task *Chosen = ToWake[I + K];
+    ToWake.erase(ToWake.begin() + static_cast<ptrdiff_t>(I + K));
+    ToWake.insert(ToWake.begin() + static_cast<ptrdiff_t>(I), Chosen);
+  }
+}
+
 void Scheduler::exploreRun() {
   // The session thread masquerades as each virtual worker via the worker
   // TLS, so schedule()/deferRetire() inside a resumed slice route to the

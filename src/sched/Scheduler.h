@@ -171,6 +171,13 @@ public:
   /// (one null check) outside explore mode or for batches of one.
   void explorePermuteWakes(std::vector<Task *> &ToWake);
 
+  /// Explore mode: reorders a batch of parked producers about to be
+  /// resumed by a BoundedStream capacity credit. Identical mechanics to
+  /// explorePermuteWakes but routed through ScheduleCtl::onBackpressure so
+  /// the choice is recorded (and replayed) as its own decision kind. No-op
+  /// outside explore mode or for batches of one.
+  void explorePermuteBackpressure(std::vector<Task *> &ToWake);
+
   /// The session's schedule controller, or null outside explore mode.
   explore::ScheduleCtl *exploreCtl() const { return ExploreCtl; }
 
@@ -218,17 +225,6 @@ public:
   /// have quiesced, approximate while workers run. Per-session deltas
   /// (what SessionOptions::StatsOut delivers) come from sessionStats().
   SchedulerStats stats() const;
-
-  /// \deprecated Pre-stats() accessors, kept as wrappers for out-of-tree
-  /// callers; use stats().TasksCreated / stats().Steals.
-  [[deprecated("use Scheduler::stats().TasksCreated")]]
-  uint64_t tasksCreatedStat() const {
-    return stats().TasksCreated;
-  }
-  [[deprecated("use Scheduler::stats().Steals")]]
-  uint64_t stealsStat() const {
-    return stats().Steals;
-  }
 
 private:
   struct alignas(64) Worker {

@@ -31,8 +31,8 @@
 ///   ParOutcome<int> P = RT.run(Body);  // blocking, same outcome type
 ///
 /// runPar / tryRunPar* (src/core/RunPar.h) are one-shot wrappers that spin
-/// up a private Runtime; the old RunOptions::Borrowed / RunOptions::On
-/// borrowed-scheduler surface is deprecated in their favor.
+/// up a private Runtime (the pre-Runtime borrowed-scheduler surface was
+/// removed in their favor).
 ///
 /// Completion pipeline: a session's last pending-count decrement can
 /// happen under a park-site lock, so the quiescence observer only enqueues
@@ -367,9 +367,8 @@ void rejectChannel(SessionChannel<R> &Ch, FaultCode Code,
 }
 
 /// Blocking session driver on an arbitrary scheduler: launch, wait on the
-/// session's own quiesce scope, finalize inline. The deprecated
-/// RunOptions::Borrowed shim funnels here; Runtime::run wraps it with
-/// admission.
+/// session's own quiesce scope, finalize inline. Runtime::run wraps it
+/// with admission.
 template <EffectSet E, typename F>
 auto runSessionOn(Scheduler &Sched, F Body, const SessionOptions &Opts) {
   using RetPar = std::invoke_result_t<F, ParCtx<E>>;
@@ -527,7 +526,7 @@ public:
 
   // --- Unchecked front doors ---------------------------------------------
   // The effect level is the caller's responsibility here; the checked
-  // wrappers above and the deprecated RunOptions shims (src/core/RunPar.h)
+  // wrappers above and the one-shot runPar* wrappers (src/core/RunPar.h)
   // funnel into these.
 
   template <EffectSet E, typename F>

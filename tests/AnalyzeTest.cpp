@@ -85,6 +85,20 @@ TEST(Analyze, EffectConsistencyCleanFixture) {
   EXPECT_EQ(totalErrors(Fs), 0);
 }
 
+TEST(Analyze, StreamEffectsSeededViolations) {
+  // The streaming API flows through the shared EffectOps table: the
+  // analyzer must charge stream put/advance as Put, get/waitSize as Get,
+  // and freezeStream as Freeze against the declared level.
+  auto Fs = analyzeFixture("stream_effects_violation.cpp");
+  EXPECT_EQ(errorsOfRule(Fs, "effect-consistency"), 3);
+  EXPECT_EQ(totalErrors(Fs), 3) << "no other rule should fire";
+}
+
+TEST(Analyze, StreamEffectsCleanFixture) {
+  auto Fs = analyzeFixture("stream_effects_clean.cpp");
+  EXPECT_EQ(totalErrors(Fs), 0);
+}
+
 TEST(Analyze, CtxEscapeSeededViolations) {
   auto Fs = analyzeFixture("ctx_escape_violation.cpp");
   EXPECT_EQ(errorsOfRule(Fs, "ctx-escape"), 2)

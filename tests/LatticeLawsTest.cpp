@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -223,6 +224,86 @@ TEST_P(LatticeLawsP, MapUnionJoinLaws) {
   L::ValueType B = std::map<int, int>{{1, 20}};
   EXPECT_TRUE(L::isTop(L::join(A, B)));
   EXPECT_EQ(L::join(A, A), A);
+}
+
+// The Stream state lattice (src/data/Stream.h), modeled: a partial map
+// from index to value with a designated top for conflicting rebinds of
+// one cell - exactly MapUnionLattice over (index, value). The stream's
+// observable "filled prefix length" is a DERIVED quantity, so the model
+// checks both the join laws and that the derivation is monotone.
+using StreamCellLattice = MapUnionLattice<int, int>;
+
+/// Length of the contiguous bound prefix of a model state (top => the
+/// question is moot; the session has already faulted).
+static size_t prefixLenOf(const StreamCellLattice::ValueType &V) {
+  if (StreamCellLattice::isTop(V))
+    return 0;
+  size_t N = 0;
+  while (V->count(static_cast<int>(N)))
+    ++N;
+  return N;
+}
+
+TEST_P(LatticeLawsP, StreamPrefixMapJoinLaws) {
+  SplitMix64 Rng(GetParam());
+  std::vector<StreamCellLattice::ValueType> States{
+      StreamCellLattice::bottom(), std::nullopt /* top */};
+  for (int I = 0; I < 6; ++I) {
+    std::map<int, int> M;
+    int N = 1 + static_cast<int>(Rng.nextBounded(5));
+    for (int K = 0; K < N; ++K) {
+      // Value is a function of the index, as the monotone discipline
+      // requires of non-conflicting producers; the conflict case is
+      // exercised separately below.
+      int Idx = static_cast<int>(Rng.nextBounded(6));
+      M[Idx] = Idx * 7 + 1;
+    }
+    States.push_back(std::move(M));
+  }
+  checkJoinLaws<StreamCellLattice>(States);
+  // The derived prefix length is monotone under join: joining in more
+  // cells can only extend (never shrink) the contiguous filled prefix.
+  for (const auto &A : States)
+    for (const auto &B : States) {
+      auto J = StreamCellLattice::join(A, B);
+      if (!StreamCellLattice::isTop(J))
+        EXPECT_GE(prefixLenOf(J), std::max(prefixLenOf(A), prefixLenOf(B)))
+            << "filled prefix shrank under join";
+    }
+  // Conflicting rebind of one index is the cell's top; equal rebind is a
+  // no-op - the exact pair of behaviors Stream::appendAt implements as
+  // (session fault, NoOpJoins skip).
+  StreamCellLattice::ValueType A = std::map<int, int>{{0, 10}};
+  StreamCellLattice::ValueType B = std::map<int, int>{{0, 20}};
+  EXPECT_TRUE(StreamCellLattice::isTop(StreamCellLattice::join(A, B)));
+  EXPECT_EQ(StreamCellLattice::join(A, A), A);
+}
+
+TEST_P(LatticeLawsP, StreamHoleThenFillOrderIndependence) {
+  // Operational cousin: a fixed SET of (index, value) appends - holes
+  // deliberately included, so some arrival orders fill cell 3 before
+  // cell 1 exists - lands on the same state AND the same filled prefix
+  // whatever the arrival order. This is the schedule-independence the
+  // explored pipeline sweeps check end-to-end on the real structure.
+  SplitMix64 Rng(GetParam());
+  std::vector<std::pair<int, int>> Writes;
+  for (int I = 0; I < 24; ++I) {
+    int Idx = static_cast<int>(Rng.nextBounded(10));
+    Writes.push_back({Idx, Idx * 7 + 1}); // Equal-on-duplicate values.
+  }
+  std::vector<std::pair<int, int>> Shuffled = Writes;
+  for (size_t I = Shuffled.size(); I > 1; --I)
+    std::swap(Shuffled[I - 1], Shuffled[Rng.nextBounded(I)]);
+  auto Apply = [](const auto &Ws) {
+    StreamCellLattice::ValueType S = StreamCellLattice::bottom();
+    for (const auto &[Idx, V] : Ws)
+      S = StreamCellLattice::join(S, std::map<int, int>{{Idx, V}});
+    return S;
+  };
+  auto S1 = Apply(Writes), S2 = Apply(Shuffled);
+  EXPECT_EQ(S1, S2);
+  EXPECT_FALSE(StreamCellLattice::isTop(S1));
+  EXPECT_EQ(prefixLenOf(S1), prefixLenOf(S2));
 }
 
 TEST_P(LatticeLawsP, AndLatticeSeededTripleSweep) {

@@ -23,6 +23,7 @@
 
 #include "src/core/LVish.h"
 #include "src/data/ISet.h"
+#include "src/data/Stream.h"
 #include "src/explore/SchedulePlan.h"
 #include "src/service/Runtime.h"
 
@@ -153,6 +154,53 @@ TEST(ServiceRuntime, DoomedSessionFaultsAloneOnSharedPool) {
                                                Ctx, 0, 100); });
   ASSERT_TRUE(After.ok()) << After.fault().Message;
   EXPECT_EQ(After.value(), sumSquaresSeq(0, 100));
+}
+
+TEST(ServiceRuntime, StreamingSessionsIsolateOnSharedPool) {
+  // Two tenants each run a private BoundedStream pipeline on the shared
+  // pool, while a third is doomed by a duplicate-index conflict on its
+  // own stream. Session isolation must hold the streaming state apart:
+  // both healthy pipelines produce their sequential sums, and the fault
+  // carries only the doomed session's id.
+  service::Runtime RT({.Sched = {.NumWorkers = 4}});
+  auto Pipeline = [](int Scale) {
+    return [Scale](ParCtx<IOE> Ctx) -> Par<int> {
+      auto BS = newBoundedStream<int>(Ctx, 2);
+      auto Producer = [BS, Scale](ParCtx<IOE> C) -> Par<void> {
+        for (int I = 0; I < 24; ++I) {
+          auto Pw = put(C, *BS, static_cast<uint64_t>(I), I * Scale);
+          co_await Pw;
+        }
+      };
+      fork(Ctx, Producer);
+      int Sum = 0;
+      for (int I = 0; I < 24; ++I) {
+        auto Gw = get(Ctx, *BS, static_cast<uint64_t>(I) + 1);
+        int V = co_await Gw;
+        Sum += V;
+        advance(Ctx, *BS, static_cast<uint64_t>(I) + 1);
+      }
+      co_return Sum;
+    };
+  };
+  auto FA = RT.submitIO<IOE>(Pipeline(1));
+  auto FB = RT.submitIO<IOE>(Pipeline(3));
+  auto Bad = RT.submitIO<IOE>([](ParCtx<IOE> Ctx) -> Par<int> {
+    auto S = newStream<int>(Ctx);
+    put(Ctx, *S, 0, 1);
+    put(Ctx, *S, 0, 2); // Cell-lattice top: this tenant faults alone.
+    co_return 0;
+  });
+  auto OBad = Bad.get();
+  ASSERT_FALSE(OBad.ok());
+  EXPECT_EQ(OBad.fault().Code, FaultCode::ConflictingInsert);
+  EXPECT_EQ(OBad.fault().SessionId, Bad.sessionId());
+  auto OA = FA.get();
+  auto OB = FB.get();
+  ASSERT_TRUE(OA.ok()) << "tenant A infected: " << OA.fault().Message;
+  ASSERT_TRUE(OB.ok()) << "tenant B infected: " << OB.fault().Message;
+  EXPECT_EQ(OA.value(), 24 * 23 / 2);
+  EXPECT_EQ(OB.value(), 3 * 24 * 23 / 2);
 }
 
 TEST(ServiceRuntime, ExploreSessionRejectedDeterministically) {

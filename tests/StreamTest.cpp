@@ -1,0 +1,464 @@
+//===- StreamTest.cpp - Streaming LVars and deterministic backpressure -----===//
+//
+// Part of lvish-cpp, a C++ reproduction of the LVish deterministic
+// parallelism library (Kuper et al., PLDI 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stream / BoundedStream (DESIGN.md Section 18): the prefix-ordered
+/// sequence lattice, producer-owned index appends with hole tracking,
+/// unified threshold reads over the prefix length, handler delivery,
+/// freeze-to-view, and - the part worth a regression corpus of its own -
+/// deterministic backpressure: a BoundedStream consumer's advance that
+/// releases several parked producers at once routes the release order
+/// through a ScheduleCtl decision (DecisionKind::Backpressure), so the
+/// explorer enumerates it and a pinned replay string reproduces a
+/// backpressure-ordering race bit-for-bit.
+///
+/// The pinned corpus entry regenerates like ExploreRegressionTest's:
+///
+///   LVISH_EXPLORE_REGEN=1 ./StreamTest --gtest_filter='*Regen*'
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/core/HandlerPool.h"
+#include "src/core/LVish.h"
+#include "src/data/Counter.h"
+#include "src/data/Stream.h"
+#include "src/explore/Explorer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace lvish;
+
+namespace {
+
+constexpr EffectSet D = Eff::Det;
+constexpr EffectSet Q = Eff::QuasiDet;
+constexpr EffectSet IOE = Eff::FullIO;
+
+/// ci.sh runs the explored members with a small budget
+/// (LVISH_EXPLORE_SCHEDULES=N), like ExploreTest.
+unsigned scheduleBudget(unsigned Def) {
+  if (const char *S = std::getenv("LVISH_EXPLORE_SCHEDULES")) {
+    unsigned N = static_cast<unsigned>(std::strtoul(S, nullptr, 10));
+    if (N > 0)
+      return N;
+  }
+  return Def;
+}
+
+// -- Unbounded Stream basics -----------------------------------------------
+
+TEST(StreamTest, OutOfOrderPutsJoinIntoPrefix) {
+  auto O = tryRunPar<D>([](ParCtx<D> Ctx) -> Par<int> {
+    auto S = newStream<int>(Ctx);
+    put(Ctx, *S, 2, 30); // Hole at 0,1: filled prefix stays empty.
+    EXPECT_EQ(S->filledNow(), 0u);
+    put(Ctx, *S, 0, 10);
+    EXPECT_EQ(S->filledNow(), 1u);
+    put(Ctx, *S, 1, 20); // Plugs the hole; prefix jumps over cell 2.
+    EXPECT_EQ(S->filledNow(), 3u);
+    auto Gw = get(Ctx, *S, 3); // Threshold read: element at index N-1.
+    int V = co_await Gw;
+    co_return V;
+  });
+  ASSERT_TRUE(O.ok()) << O.fault().Message;
+  EXPECT_EQ(O.value(), 30);
+}
+
+TEST(StreamTest, DuplicateEqualPutIsIdempotent) {
+  auto O = tryRunPar<D>([](ParCtx<D> Ctx) -> Par<int> {
+    auto S = newStream<int>(Ctx);
+    put(Ctx, *S, 0, 5);
+    put(Ctx, *S, 0, 5); // Same index, same value: lattice no-op.
+    auto Gw = get(Ctx, *S, 1);
+    int V = co_await Gw;
+    co_return V;
+  });
+  ASSERT_TRUE(O.ok()) << O.fault().Message;
+  EXPECT_EQ(O.value(), 5);
+}
+
+TEST(StreamTest, ConflictingIndexPutFaults) {
+  auto O = tryRunPar<D>([](ParCtx<D> Ctx) -> Par<int> {
+    auto S = newStream<int>(Ctx);
+    put(Ctx, *S, 0, 1);
+    put(Ctx, *S, 0, 2); // Per-cell lattice top: deterministic fault.
+    co_return 0;
+  });
+  ASSERT_FALSE(O.ok());
+  EXPECT_EQ(O.fault().Code, FaultCode::ConflictingInsert);
+}
+
+TEST(StreamTest, WaitSizeBlocksUntilHoleFilled) {
+  RunOptions Opts;
+  Opts.Config.NumWorkers = 4;
+  auto O = tryRunParIO<IOE>(
+      [](ParCtx<IOE> Ctx) -> Par<int> {
+        auto S = newStream<int>(Ctx);
+        put(Ctx, *S, 0, 1);
+        put(Ctx, *S, 2, 3); // Prefix stuck at 1 until index 1 lands.
+        auto Filler = [S](ParCtx<IOE> C) -> Par<void> {
+          co_await yield(C);
+          put(C, *S, 1, 2);
+        };
+        fork(Ctx, Filler);
+        auto Ww = waitSize(Ctx, *S, 3);
+        co_await Ww;
+        EXPECT_GE(S->filledNow(), 3u);
+        co_return 7;
+      },
+      Opts);
+  ASSERT_TRUE(O.ok()) << O.fault().Message;
+  EXPECT_EQ(O.value(), 7);
+}
+
+TEST(StreamTest, FreezeYieldsZeroCopySnapshotView) {
+  auto O = tryRunParIO<Q>([](ParCtx<Q> Ctx) -> Par<int> {
+    auto S = newStream<int>(Ctx);
+    put(Ctx, *S, 0, 4);
+    put(Ctx, *S, 1, 5);
+    put(Ctx, *S, 3, 9); // Beyond the hole: not part of the frozen prefix.
+    auto View = freezeStream(Ctx, *S);
+    EXPECT_EQ(View.size(), 2u);
+    EXPECT_FALSE(View.empty());
+    co_return View[0] + View[1];
+  });
+  ASSERT_TRUE(O.ok()) << O.fault().Message;
+  EXPECT_EQ(O.value(), 9);
+}
+
+TEST(StreamTest, PutAfterFreezeFaults) {
+  auto O = tryRunParIO<Q>([](ParCtx<Q> Ctx) -> Par<int> {
+    auto S = newStream<int>(Ctx);
+    put(Ctx, *S, 0, 1);
+    auto View = freezeStream(Ctx, *S);
+    (void)View;
+    put(Ctx, *S, 1, 2);
+    co_return 0;
+  });
+  ASSERT_FALSE(O.ok());
+  EXPECT_EQ(O.fault().Code, FaultCode::PutAfterFreeze);
+}
+
+// -- Handlers ---------------------------------------------------------------
+
+TEST(StreamTest, HandlersSeeEveryAppendOnceEach) {
+  auto O = tryRunParIO<IOE>([](ParCtx<IOE> Ctx) -> Par<uint64_t> {
+    auto S = newStream<int>(Ctx);
+    auto Sum = newCounter(Ctx);
+    auto Pool = newPool(Ctx);
+    Counter *Raw = Sum.get();
+    auto Handler = [Raw](ParCtx<IOE> C,
+                         const StreamDelta<int> &Dl) -> Par<void> {
+      incrCounter(C, *Raw, static_cast<uint64_t>(Dl.Value));
+      co_return;
+    };
+    [[maybe_unused]] HandlerHandle H = addHandler(Ctx, Pool, *S, Handler);
+    put(Ctx, *S, 4, 50); // Beyond the prefix: handlers still see it.
+    for (int I = 0; I < 4; ++I)
+      put(Ctx, *S, static_cast<uint64_t>(I), (I + 1) * 10);
+    co_await quiesce(Ctx, Pool);
+    co_return freezeCounter(Ctx, *Sum);
+  });
+  ASSERT_TRUE(O.ok()) << O.fault().Message;
+  EXPECT_EQ(O.value(), 10u + 20 + 30 + 40 + 50);
+}
+
+TEST(StreamTest, LateHandlerRegistrationReplaysExistingElements) {
+  auto O = tryRunParIO<IOE>([](ParCtx<IOE> Ctx) -> Par<uint64_t> {
+    auto S = newStream<int>(Ctx);
+    auto Seen = newCounter(Ctx);
+    put(Ctx, *S, 0, 1);
+    put(Ctx, *S, 1, 1);
+    put(Ctx, *S, 2, 1);
+    auto Pool = newPool(Ctx);
+    Counter *Raw = Seen.get();
+    auto Handler = [Raw](ParCtx<IOE> C,
+                         const StreamDelta<int> &Dl) -> Par<void> {
+      (void)Dl;
+      incrCounter(C, *Raw, 1);
+      co_return;
+    };
+    [[maybe_unused]] HandlerHandle H = addHandler(Ctx, Pool, *S, Handler);
+    co_await quiesce(Ctx, Pool);
+    co_return freezeCounter(Ctx, *Seen);
+  });
+  ASSERT_TRUE(O.ok()) << O.fault().Message;
+  EXPECT_EQ(O.value(), 3u);
+}
+
+// -- BoundedStream: threaded pipelines --------------------------------------
+
+constexpr int PipeN = 64;
+
+TEST(StreamTest, BoundedProducerConsumerPipelineThreaded) {
+  RunOptions Opts;
+  Opts.Config.NumWorkers = 4;
+  for (int Run = 0; Run < 5; ++Run) {
+    auto O = tryRunParIO<IOE>(
+        [](ParCtx<IOE> Ctx) -> Par<int> {
+          auto BS = newBoundedStream<int>(Ctx, 2);
+          auto Producer = [BS](ParCtx<IOE> C) -> Par<void> {
+            for (int I = 0; I < PipeN; ++I) {
+              auto Pw = put(C, *BS, static_cast<uint64_t>(I), I);
+              co_await Pw;
+            }
+          };
+          fork(Ctx, Producer);
+          int Sum = 0;
+          for (int I = 0; I < PipeN; ++I) {
+            auto Gw = get(Ctx, *BS, static_cast<uint64_t>(I) + 1);
+            int V = co_await Gw;
+            Sum += V;
+            advance(Ctx, *BS, static_cast<uint64_t>(I) + 1);
+          }
+          co_return Sum;
+        },
+        Opts);
+    ASSERT_TRUE(O.ok()) << "run " << Run << ": " << O.fault().Message;
+    EXPECT_EQ(O.value(), PipeN * (PipeN - 1) / 2) << "run " << Run;
+  }
+}
+
+TEST(StreamTest, TwoStagePipelineThreaded) {
+  // parse -> transform -> aggregate across two chained bounded stages,
+  // each stage a forked task, the root aggregating. The ETL bench's
+  // shape, shrunk to a deterministic unit check.
+  RunOptions Opts;
+  Opts.Config.NumWorkers = 4;
+  auto O = tryRunParIO<IOE>(
+      [](ParCtx<IOE> Ctx) -> Par<int> {
+        auto Raw = newBoundedStream<int>(Ctx, 4);
+        auto Cooked = newBoundedStream<int>(Ctx, 4);
+        auto Parse = [Raw](ParCtx<IOE> C) -> Par<void> {
+          for (int I = 0; I < 32; ++I) {
+            auto Pw = put(C, *Raw, static_cast<uint64_t>(I), I + 1);
+            co_await Pw;
+          }
+        };
+        auto Transform = [Raw, Cooked](ParCtx<IOE> C) -> Par<void> {
+          for (int I = 0; I < 32; ++I) {
+            auto Gw = get(C, *Raw, static_cast<uint64_t>(I) + 1);
+            int V = co_await Gw;
+            advance(C, *Raw, static_cast<uint64_t>(I) + 1);
+            auto Pw = put(C, *Cooked, static_cast<uint64_t>(I), V * 2);
+            co_await Pw;
+          }
+        };
+        fork(Ctx, Parse);
+        fork(Ctx, Transform);
+        int Sum = 0;
+        for (int I = 0; I < 32; ++I) {
+          auto Gw = get(Ctx, *Cooked, static_cast<uint64_t>(I) + 1);
+          int V = co_await Gw;
+          Sum += V;
+          advance(Ctx, *Cooked, static_cast<uint64_t>(I) + 1);
+        }
+        co_return Sum;
+      },
+      Opts);
+  ASSERT_TRUE(O.ok()) << O.fault().Message;
+  EXPECT_EQ(O.value(), 2 * 32 * 33 / 2);
+}
+
+// -- Explored sweeps --------------------------------------------------------
+
+/// Two interleaved producers on a capacity-2 stream, with the consumer
+/// granting credits in BATCHES of two - a single advance can then release
+/// both parked producers at once, which is the multi-release shape that
+/// routes through the backpressure decision. Always sums to the same
+/// value, whatever the explorer chooses.
+ParOutcome<int> boundedPipelineProgram(const RunOptions &Opts) {
+  return tryRunParIO<IOE>(
+      [](ParCtx<IOE> Ctx) -> Par<int> {
+        auto BS = newBoundedStream<int>(Ctx, 2);
+        auto ProduceHalf = [BS](ParCtx<IOE> C, int Lo) -> Par<void> {
+          for (int I = Lo; I < 8; I += 2) {
+            auto Pw = put(C, *BS, static_cast<uint64_t>(I), I * 3);
+            co_await Pw;
+          }
+        };
+        auto PA = [ProduceHalf](ParCtx<IOE> C) -> Par<void> {
+          co_await ProduceHalf(C, 0);
+        };
+        auto PB = [ProduceHalf](ParCtx<IOE> C) -> Par<void> {
+          co_await ProduceHalf(C, 1);
+        };
+        fork(Ctx, PA);
+        fork(Ctx, PB);
+        int Sum = 0;
+        for (int I = 0; I < 8; I += 2) {
+          auto G1 = get(Ctx, *BS, static_cast<uint64_t>(I) + 1);
+          int V1 = co_await G1;
+          auto G2 = get(Ctx, *BS, static_cast<uint64_t>(I) + 2);
+          int V2 = co_await G2;
+          Sum += V1 + V2;
+          advance(Ctx, *BS, static_cast<uint64_t>(I) + 2);
+        }
+        co_return Sum;
+      },
+      Opts);
+}
+
+constexpr int PipelineSum = 3 * (8 * 7 / 2); // 3 * sum(0..7)
+
+TEST(StreamTest, ExploredPipelineIsDeterministic) {
+  // Every random schedule - including those that interleave the two
+  // producers so a single advance releases both - lands on the same sum,
+  // and at least one schedule in the sweep actually exercised a
+  // DecisionKind::Backpressure choice (so the sweep is not vacuous).
+  bool SawBackpressure = false;
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    explore::Engine Eng = explore::Engine::random(Seed);
+    auto O = boundedPipelineProgram(explore::sessionOptions(Eng));
+    ASSERT_TRUE(O.ok()) << "seed " << Seed << ": " << O.fault().Message;
+    EXPECT_EQ(O.value(), PipelineSum) << "seed " << Seed;
+    for (const explore::Decision &Dc : Eng.log())
+      SawBackpressure |= Dc.Kind == explore::DecisionKind::Backpressure;
+  }
+  EXPECT_TRUE(SawBackpressure)
+      << "no schedule released 2+ parked producers at once; the sweep "
+         "never reached the backpressure decision point";
+}
+
+TEST(StreamTest, SearchFindsNoFailureInCleanPipeline) {
+  explore::SearchOptions O;
+  O.Schedules = scheduleBudget(150);
+  O.Shrink = false;
+  explore::SearchResult R = explore::searchPct(boundedPipelineProgram, O);
+  EXPECT_FALSE(R.Failure.has_value())
+      << "clean pipeline failed under " << R.SchedulesRun << " schedules: "
+      << (R.Failure ? explore::failureSig(R.Failure->F) : "");
+}
+
+// -- The pinned backpressure race -------------------------------------------
+
+/// Two producers park on a full capacity-1 stream; the root's advance
+/// releases BOTH at once, and the explorer-chosen release order decides
+/// which of their conflicting IVar puts faults ("L" vs "RL" pedigree).
+/// The release order is a DecisionKind::Backpressure slot in the log, so
+/// the pinned string replays the ordering bit-for-bit.
+ParOutcome<int> backpressureRace(const RunOptions &Opts) {
+  return tryRunParIO<IOE>(
+      [](ParCtx<IOE> Ctx) -> Par<int> {
+        auto BS = newBoundedStream<int>(Ctx, 1);
+        auto Out = newIVar<int>(Ctx, "bp-out");
+        auto Fill = put(Ctx, *BS, 0, 0); // Fills the only capacity slot.
+        co_await Fill;
+        auto P1 = [BS, Out](ParCtx<IOE> C) -> Par<void> {
+          auto Pw = put(C, *BS, 1, 11);
+          co_await Pw;
+          put(C, *Out, 1);
+        };
+        auto P2 = [BS, Out](ParCtx<IOE> C) -> Par<void> {
+          auto Pw = put(C, *BS, 2, 22);
+          co_await Pw;
+          put(C, *Out, 2);
+        };
+        fork(Ctx, P1);
+        fork(Ctx, P2);
+        co_await yield(Ctx); // Let both producers reach the park.
+        co_await yield(Ctx);
+        advance(Ctx, *BS, 2); // One credit releases both at once.
+        auto Gw = get(Ctx, *Out);
+        co_return co_await Gw;
+      },
+      Opts);
+}
+
+/// Replays \p Spec and reports whether the engine's decision log contains
+/// a backpressure slot - i.e. the schedule genuinely routed a multi-
+/// producer release through ScheduleCtl::onBackpressure.
+bool replayExercisesBackpressure(ParOutcome<int> (*Program)(const RunOptions &),
+                                 const explore::ReplaySpec &Spec) {
+  explore::Engine Eng = explore::Engine::replay(Spec);
+  (void)Program(explore::sessionOptions(Eng));
+  for (const explore::Decision &Dc : Eng.log())
+    if (Dc.Kind == explore::DecisionKind::Backpressure)
+      return true;
+  return false;
+}
+
+struct StreamCorpusEntry {
+  const char *Name;
+  ParOutcome<int> (*Program)(const RunOptions &);
+  const char *Sig;
+  const char *Replay;
+};
+
+const StreamCorpusEntry StreamCorpus[] = {
+    {"backpressure-race", backpressureRace, "conflicting_put@RL",
+     "lvx1:w2:h5576823c88d4e3e6:"},
+};
+
+TEST(StreamTest, PinnedBackpressureReplayReproduces) {
+  for (const StreamCorpusEntry &E : StreamCorpus) {
+    SCOPED_TRACE(E.Name);
+    auto Spec = explore::decodeReplay(E.Replay);
+    ASSERT_TRUE(Spec.has_value()) << "corpus string does not decode";
+    EXPECT_TRUE(replayExercisesBackpressure(E.Program, *Spec))
+        << "the pinned schedule never hit a Backpressure decision - it "
+           "pins the wrong race";
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      bool BitIdentical = false;
+      std::optional<Fault> Flt =
+          explore::replaySession(E.Program, *Spec, &BitIdentical);
+      ASSERT_TRUE(Flt.has_value()) << "rep " << Rep << ": no fault";
+      EXPECT_EQ(explore::failureSig(*Flt), E.Sig) << "rep " << Rep;
+      EXPECT_TRUE(BitIdentical)
+          << "rep " << Rep << ": schedule hash diverged from the corpus";
+    }
+  }
+}
+
+TEST(StreamTest, BackpressureRaceIsSearchFindable) {
+  explore::SearchOptions O;
+  O.Schedules = scheduleBudget(300);
+  O.Shrink = false;
+  explore::SearchResult R = explore::searchPct(backpressureRace, O);
+  EXPECT_TRUE(R.Failure.has_value())
+      << "no failing schedule found in " << R.SchedulesRun;
+}
+
+TEST(StreamTest, RegenerateStreamCorpus) {
+  if (!std::getenv("LVISH_EXPLORE_REGEN"))
+    GTEST_SKIP() << "set LVISH_EXPLORE_REGEN=1 to regenerate the corpus";
+  for (const StreamCorpusEntry &E : StreamCorpus) {
+    // Accept only replays that (a) pin the expected signature and (b)
+    // actually route through a Backpressure decision - a conflicting-put
+    // schedule that never parked both producers pins the wrong race.
+    std::string Replay, GotSig;
+    for (uint64_t Base = 0; Base < 64 && Replay.empty(); ++Base) {
+      explore::SearchOptions O;
+      O.Seed = 0x6c76697368ULL + Base * 1000;
+      O.Schedules = 500;
+      explore::SearchResult R = explore::searchPct(E.Program, O);
+      if (!R.Failure)
+        continue;
+      GotSig = explore::failureSig(R.Failure->F);
+      if (GotSig != E.Sig)
+        continue;
+      auto Spec = explore::decodeReplay(R.Failure->Replay);
+      if (Spec && replayExercisesBackpressure(E.Program, *Spec))
+        Replay = R.Failure->Replay;
+    }
+    if (Replay.empty()) {
+      ADD_FAILURE() << E.Name << ": wanted " << E.Sig
+                    << " with a Backpressure decision, last got " << GotSig;
+      continue;
+    }
+    std::printf("    {\"%s\", %s, \"%s\",\n     \"%s\"},\n", E.Name,
+                "<program>", E.Sig, Replay.c_str());
+  }
+  std::fflush(stdout);
+}
+
+} // namespace

@@ -1,0 +1,26 @@
+// lvish-analyze-fixture-path: src/sim/stream_effects_clean.cpp
+//
+// Clean fixture for the effect-consistency pass over the streaming API:
+// every Stream/BoundedStream operation is covered by the declared level.
+// Scanned, never compiled.
+
+namespace lvish {
+
+Par<int> streamPipeline(ParCtx<Eff::Det> Ctx, Stream<int> &S,
+                        BoundedStream<int> &B) {
+  put(Ctx, S, 0, 7);               // Put
+  co_await put(Ctx, B, 0, 8);      // Put (bounded; blocks on credit)
+  advance(Ctx, B, 1);              // Put (lub write to the release mark)
+  co_await waitSize(Ctx, S, 1);    // Get
+  int V = co_await get(Ctx, S, 1); // Get
+  co_return V;
+}
+
+Par<int> quasiStreamFreezer(ParCtx<Eff::QuasiDet> Ctx, Stream<int> &S) {
+  auto BS = newBoundedStream<int>(Ctx, 2); // Neutral allocation
+  put(Ctx, S, 0, 1);
+  auto View = freezeStream(Ctx, S); // Freeze granted by QuasiDet
+  co_return View[0];
+}
+
+} // namespace lvish

@@ -1,0 +1,26 @@
+// lvish-analyze-fixture-path: src/sim/stream_effects_violation.cpp
+//
+// Seeded violations for the effect-consistency pass over the streaming
+// API: a ReadOnly scope that appends, a WriteOnly scope that threshold-
+// reads the prefix, and a Det scope that freezes a stream (needs
+// QuasiDet). Scanned, never compiled.
+
+namespace lvish {
+
+Par<void> readOnlyAppender(ParCtx<Eff::ReadOnly> Ctx, Stream<int> &S) {
+  put(Ctx, S, 0, 1); // missing Put
+  co_return;
+}
+
+Par<void> writeOnlyReader(ParCtx<Eff::WriteOnly> Ctx, Stream<int> &S) {
+  co_await waitSize(Ctx, S, 1); // missing Get
+  co_return;
+}
+
+Par<void> detStreamFreezer(ParCtx<Eff::Det> Ctx, Stream<int> &S) {
+  auto View = freezeStream(Ctx, S); // missing Freeze
+  (void)View;
+  co_return;
+}
+
+} // namespace lvish

@@ -102,26 +102,28 @@ const std::vector<TokenRule> &tokenRules() {
       {"deprecated-threshold-read",
        // The `(` is part of each sequence (matching the semantics of the
        // retired ci.sh grep); the token stream makes it match even when
-       // the paren lands on the next line.
+       // the paren lands on the next line. The aliases themselves were
+       // deleted (PR-5 generation retired), so there are no defining
+       // directories to exempt: any occurrence anywhere is a resurrected
+       // name that no longer exists.
        seqsOf({"getKey(", "waitElem(", "waitMapSize(",
                "waitCounterAtLeast(", "getPureLVar(", "getPureLVarWith(",
                "getKeyPure(", "waitPureMapSize(", "getIdx("}),
-       {"/core/", "/data/"},
-       "the old per-structure threshold-read spellings are deprecated "
-       "forwarding aliases; in-repo code must use the unified lvish::get "
-       "/ lvish::waitSize API",
+       {},
+       "the old per-structure threshold-read spellings were removed; use "
+       "the unified lvish::get / lvish::waitSize API",
        /*LimitDirs=*/{}},
       {"deprecated-borrowed-scheduler",
        // Both the field spellings and the *On wrappers. `runParOn` is a
        // full identifier token, so the internal `runParOnImpl` funnel
-       // (a distinct token) never matches. Unlike the other library
-       // rules, tests/ and examples/ are NOT exempt: the whole point is
-       // that no in-repo caller borrows a scheduler anymore.
+       // (a distinct token) never matches. The shims were deleted (PR-7
+       // generation retired), so no directory is exempt anymore: any
+       // occurrence is a resurrected name that no longer exists.
        seqsOf({"RunOptions::On", ".Borrowed", "->Borrowed", "runParOn",
                "tryRunParOn", "runParIOOn", "tryRunParIOOn",
                "runParThenFreezeOn"}),
-       {"/core/"},
-       "the borrowed-Scheduler session surface is deprecated; hold a "
+       {},
+       "the borrowed-Scheduler session surface was removed; hold a "
        "service::Runtime and submit sessions through Runtime::run / "
        "Runtime::submit instead",
        /*LimitDirs=*/{}},

@@ -112,8 +112,9 @@ int selfTest() {
          0, "bench-harness suppression works");
   Expect(Errors("src/trans/X.h", "int V = co_await getKey(Ctx, *M, K);\n"),
          1, "deprecated-threshold-read fires on an old spelling");
-  Expect(Errors("src/data/IMap.h", "auto getKey(ParCtx<E> Ctx);\n"), 0,
-         "deprecated-threshold-read allows the alias definitions");
+  Expect(Errors("src/data/IMap.h", "auto getKey(ParCtx<E> Ctx);\n"), 1,
+         "deprecated-threshold-read has no defining-directory exemption "
+         "now that the aliases are deleted");
   Expect(Errors("src/trans/X.h", "int V = co_await get(Ctx, *M, K);\n"), 0,
          "unified get spelling is clean");
   Expect(Errors("src/trans/X.h", "getKeyboard();\n"), 0,

@@ -37,6 +37,15 @@
 #              budget, and smoke-runs of the four bench_pbbs_* benches
 #              with --json + bench-report validation. Reuses the debug
 #              and release builds.
+#   streams  - streaming LVars (src/data/Stream.h): re-runs StreamTest
+#              under Debug + LVISH_CHECK (join-law sampling on the prefix
+#              lattice) and under ThreadSanitizer (the backpressure
+#              park/credit protocol is where a race would hide), replays
+#              the pinned backpressure corpus under a reduced schedule
+#              budget, and smoke-runs the two streaming pipeline benches
+#              with --json + bench-report validation and a non-fatal
+#              diff against the committed baselines. Reuses the debug,
+#              tsan, and release builds.
 #   service  - multi-tenant service runtime: re-runs ServiceRuntimeTest
 #              under ThreadSanitizer (cross-session isolation is where a
 #              data race would hide), smoke-runs the open-loop traffic
@@ -63,10 +72,10 @@
 #              stage list (instrumented builds are slow).
 #
 # Usage: tools/ci.sh
-#        [debug|release|tsan|bench|faults|explore|pbbs|service|chaos|
-#         analyze|coverage]...
-#        (default: debug release tsan bench faults explore pbbs service
-#         chaos analyze)
+#        [debug|release|tsan|bench|faults|explore|pbbs|streams|service|
+#         chaos|analyze|coverage]...
+#        (default: debug release tsan bench faults explore pbbs streams
+#         service chaos analyze)
 #
 #===------------------------------------------------------------------------===#
 
@@ -76,7 +85,8 @@ cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 STAGES=("$@")
 [ ${#STAGES[@]} -eq 0 ] && \
-  STAGES=(debug release tsan bench faults explore pbbs service chaos analyze)
+  STAGES=(debug release tsan bench faults explore pbbs streams service \
+          chaos analyze)
 
 run_stage() {
   local name=$1; shift
@@ -210,6 +220,68 @@ for stage in "${STAGES[@]}"; do
           || echo "bench-report diff failed (non-fatal)"
       done
       ;;
+    streams)
+      # Checked pass: reuse the debug tree when it exists; otherwise
+      # build it.
+      if [ ! -x build-ci-debug/tests/StreamTest ]; then
+        echo "==== [streams] building debug tree ===="
+        cmake -B build-ci-debug -S . -DCMAKE_BUILD_TYPE=Debug \
+          > build-ci-debug.cfg.log 2>&1 || {
+          cat build-ci-debug.cfg.log; exit 1; }
+        cmake --build build-ci-debug -j "$JOBS"
+      fi
+      echo "==== [streams] StreamTest under Debug + LVISH_CHECK ===="
+      # The dynamic checkers sample join laws on every appendAt/advance;
+      # the explored sweeps and the pinned backpressure replay run here
+      # under a reduced schedule budget.
+      LVISH_CHECK=1 LVISH_EXPLORE_SCHEDULES=100 \
+        ./build-ci-debug/tests/StreamTest
+      # Race hunt: reuse the tsan tree when it exists; otherwise build it.
+      if [ ! -x build-ci-tsan/tests/StreamTest ]; then
+        echo "==== [streams] building tsan tree ===="
+        cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DLVISH_SANITIZE=thread -DLVISH_TELEMETRY=OFF \
+          > build-ci-tsan.cfg.log 2>&1 || {
+          cat build-ci-tsan.cfg.log; exit 1; }
+        cmake --build build-ci-tsan -j "$JOBS"
+      fi
+      echo "==== [streams] StreamTest under ThreadSanitizer ===="
+      # The producer park / consumer credit handshake (key bucket 1, the
+      # publish-then-recheck Dekker protocol) is exactly where a missed
+      # fence would hide from the single-threaded explored runs.
+      ./build-ci-tsan/tests/StreamTest
+      # Bench smoke on the release tree; (re)build when the tree or the
+      # stream bench binaries are missing (a reused tree may predate
+      # them).
+      if [ ! -x build-ci-release/bench/bench_pipeline_etl ]; then
+        echo "==== [streams] building release tree ===="
+        cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          > build-ci-release.cfg.log 2>&1 || {
+          cat build-ci-release.cfg.log; exit 1; }
+        cmake --build build-ci-release -j "$JOBS"
+      fi
+      echo "==== [streams] pipeline bench smoke with --json ===="
+      mkdir -p build-ci-release/bench-json
+      for b in build-ci-release/bench/bench_pipeline_etl \
+               build-ci-release/bench/bench_stream_wordcount; do
+        name=$(basename "$b")
+        json="build-ci-release/bench-json/BENCH_${name#bench_}.json"
+        echo "---- $name --smoke --json $json ----"
+        "$b" --smoke --json "$json"
+      done
+      ./build-ci-release/tools/bench-report validate \
+        build-ci-release/bench-json/BENCH_pipeline_etl.json \
+        build-ci-release/bench-json/BENCH_stream_wordcount.json
+      echo "==== [streams] baseline drift report (informational) ===="
+      # Non-fatal: smoke sizes are not comparable to the committed
+      # full-rep baselines; the diff is for reviewers, not a gate.
+      for p in pipeline_etl stream_wordcount; do
+        ./build-ci-release/tools/bench-report diff \
+          "bench/baselines/$p.json" \
+          "build-ci-release/bench-json/BENCH_$p.json" \
+          || echo "bench-report diff failed (non-fatal)"
+      done
+      ;;
     service)
       # Reuse the tsan tree when it exists; otherwise build it.
       if [ ! -x build-ci-tsan/tests/ServiceRuntimeTest ]; then
@@ -332,7 +404,8 @@ for stage in "${STAGES[@]}"; do
       ;;
     *)
       echo "unknown stage '$stage' (expected debug, release, tsan, bench," \
-           "faults, explore, pbbs, service, chaos, analyze, or coverage)" >&2
+           "faults, explore, pbbs, streams, service, chaos, analyze, or" \
+           "coverage)" >&2
       exit 2
       ;;
   esac
